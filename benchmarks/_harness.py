@@ -1,0 +1,185 @@
+"""Shared harness for the per-table / per-figure benchmarks.
+
+Every benchmark builds a list of :class:`RunSpec` grid points, executes them
+(optionally across processes — mirroring the paper's multi-GPU grid), and
+prints the same rows/series the paper reports.  Results are also persisted
+under ``benchmarks/results/`` so the regenerated tables survive pytest's
+output capture.
+
+Scale note: runs use the -lite datasets and small models (DESIGN.md section
+1), so absolute accuracies differ from the paper; EXPERIMENTS.md records the
+paper-vs-measured comparison for every experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.algorithms import make_method
+from repro.data import load_federated_dataset
+from repro.nn import build_model, make_mlp
+from repro.parallel import parallel_map
+from repro.simulation import FLConfig, FederatedSimulation
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# honour the 2-core budget of the reference environment but scale up elsewhere
+WORKERS = min(os.cpu_count() or 1, 8)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One grid point of an experiment."""
+
+    method: str = "fedavg"
+    dataset: str = "fashion-mnist-lite"
+    imbalance_factor: float = 0.1
+    beta: float = 0.1
+    num_clients: int = 20
+    rounds: int = 30
+    batch_size: int = 10
+    participation: float = 0.25
+    local_epochs: int = 5
+    lr_local: float = 0.1
+    lr_global: float = 1.0
+    seed: int = 0
+    model: str = "mlp"  # "mlp" (flat view) or "conv" (resnet-lite-micro)
+    partition: str = "balanced"
+    scale: float = 1.0
+    eval_every: int = 5
+    method_kwargs: tuple = ()  # tuple of (key, value) pairs — keeps the spec hashable
+
+    def label(self) -> str:
+        return (
+            f"{self.method}|{self.dataset}|IF={self.imbalance_factor}|beta={self.beta}"
+            f"|K={self.num_clients}|p={self.participation}|E={self.local_epochs}|s={self.seed}"
+        )
+
+
+def execute(spec: RunSpec) -> dict:
+    """Run one grid point; returns a picklable summary dict."""
+    ds = load_federated_dataset(
+        spec.dataset,
+        imbalance_factor=spec.imbalance_factor,
+        beta=spec.beta,
+        num_clients=spec.num_clients,
+        seed=spec.seed,
+        partition=spec.partition,
+        scale=spec.scale,
+    )
+    c = ds.num_classes
+    if spec.model == "mlp":
+        ds = ds.flat_view()
+        model = make_mlp(ds.x_train.shape[1], c, seed=spec.seed)
+    elif spec.model == "conv":
+        shape = ds.info.shape
+        model = build_model(
+            "resnet-lite-18",
+            in_channels=shape[0],
+            image_size=shape[1],
+            num_classes=c,
+            width=4,
+            seed=spec.seed,
+        )
+    else:
+        raise ValueError(f"unknown model kind {spec.model!r}")
+
+    bundle = make_method(spec.method, **dict(spec.method_kwargs))
+    cfg = FLConfig(
+        rounds=spec.rounds,
+        batch_size=spec.batch_size,
+        local_epochs=spec.local_epochs,
+        lr_local=spec.lr_local,
+        lr_global=spec.lr_global,
+        participation=spec.participation,
+        eval_every=spec.eval_every,
+        seed=spec.seed,
+    )
+    sim = FederatedSimulation(
+        bundle.algorithm,
+        model,
+        ds,
+        cfg,
+        loss_builder=bundle.loss_builder,
+        sampler_builder=bundle.sampler_builder,
+    )
+    h = sim.run()
+    acc = h.accuracy
+    evaluated = ~np.isnan(acc)
+    return {
+        "label": spec.label(),
+        "method": spec.method,
+        "spec": spec,
+        "final": h.final_accuracy,
+        "best": h.best_accuracy,
+        "tail": h.tail_accuracy(3),
+        "rounds": np.flatnonzero(evaluated).tolist(),
+        "accuracy": acc[evaluated].tolist(),
+        "alpha_series": [r.extras.get("alpha") for r in h.records if r.extras.get("alpha") is not None],
+    }
+
+
+def sweep(specs: list[RunSpec], workers: int | None = None) -> list[dict]:
+    """Execute a grid, in parallel when more than one core is available."""
+    return parallel_map(execute, specs, workers=workers or WORKERS)
+
+
+def mean_over_seeds(specs: list[RunSpec], seeds: tuple[int, ...] = (0,)) -> list[dict]:
+    """Run each spec for several seeds and average the summary accuracies."""
+    grid = [replace(s, seed=seed) for s in specs for seed in seeds]
+    results = sweep(grid)
+    out = []
+    for i, spec in enumerate(specs):
+        chunk = results[i * len(seeds) : (i + 1) * len(seeds)]
+        out.append(
+            {
+                "label": spec.label(),
+                "method": spec.method,
+                "spec": spec,
+                "final": float(np.mean([c["final"] for c in chunk])),
+                "best": float(np.mean([c["best"] for c in chunk])),
+                "tail": float(np.mean([c["tail"] for c in chunk])),
+            }
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+def format_table(title: str, header: list[str], rows: list[list]) -> str:
+    widths = [
+        max(len(str(header[j])), max((len(_fmt(r[j])) for r in rows), default=0))
+        for j in range(len(header))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        lines.append("  ".join(_fmt(v).ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4f}"
+    return str(v)
+
+
+def report(name: str, text: str) -> None:
+    """Print a regenerated table/series and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    print("\n" + text + "\n")
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+
+
+def series_text(title: str, series: dict[str, tuple[list, list]]) -> str:
+    """Render accuracy-vs-round series as aligned text columns."""
+    lines = [title, "-" * len(title)]
+    for name, (rounds, accs) in series.items():
+        pts = "  ".join(f"r{r}:{a:.3f}" for r, a in zip(rounds, accs))
+        lines.append(f"{name:24s} {pts}")
+    return "\n".join(lines)

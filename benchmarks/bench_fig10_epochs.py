@@ -1,0 +1,47 @@
+"""Figure 10: accuracy vs local epochs {1, 5, 10, 20}.
+
+Paper: FedWCM leads at every local-epoch setting and benefits from more
+local computation; FedCM is unstable.
+"""
+
+from __future__ import annotations
+
+from _harness import RunSpec, format_table, report, sweep
+
+EPOCHS = (1, 5, 10, 20)
+METHODS = ("fedavg", "fedcm", "fedwcm")
+
+
+def _specs():
+    out = []
+    for e in EPOCHS:
+        # keep total local compute per run bounded: fewer rounds at high E
+        rounds = {1: 30, 5: 24, 10: 14, 20: 8}[e]
+        for m in METHODS:
+            out.append(
+                RunSpec(
+                    method=m,
+                    dataset="fashion-mnist-lite",
+                    imbalance_factor=0.1,
+                    beta=0.1,
+                    local_epochs=e,
+                    rounds=rounds,
+                    eval_every=rounds // 2,
+                )
+            )
+    return out
+
+
+def bench_fig10_epochs(benchmark):
+    results = benchmark.pedantic(lambda: sweep(_specs()), rounds=1, iterations=1)
+    by = {(r["spec"].local_epochs, r["method"]): r["tail"] for r in results}
+    rows = [[e] + [by[(e, m)] for m in METHODS] for e in EPOCHS]
+    text = format_table(
+        "Figure 10 — accuracy vs local epochs (beta=0.1, IF=0.1)",
+        ["epochs"] + list(METHODS),
+        rows,
+    )
+    report("fig10_epochs", text)
+
+    wins = sum(by[(e, "fedwcm")] >= by[(e, "fedcm")] - 0.03 for e in EPOCHS)
+    assert wins >= 3

@@ -1,0 +1,68 @@
+"""Figures 13-16: neuron-concentration trajectories for FedAvg / FedCM /
+FedWCM, globally and per layer.
+
+Paper appendix B: at IF=1 concentration decreases for FedAvg but turns up
+under momentum; at IF=0.1 FedCM shows large periodic fluctuations while
+FedAvg and FedWCM decline smoothly (FedWCM faster and smoother).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import format_table, report
+from repro.algorithms import make_method
+from repro.analysis import ConcentrationTracker
+from repro.data import load_federated_dataset
+from repro.nn import make_mlp
+from repro.simulation import FLConfig, FederatedSimulation
+
+METHODS = ("fedavg", "fedcm", "fedwcm")
+SETTINGS = ((0.1, 1.0), (0.1, 0.1))  # (beta, IF)
+
+
+def _run(method: str, beta: float, imf: float):
+    ds = load_federated_dataset(
+        "fashion-mnist-lite", imbalance_factor=imf, beta=beta, num_clients=20, seed=0
+    )
+    model = make_mlp(32, 10, seed=0)
+    tracker = ConcentrationTracker(ds.x_test, ds.y_test, 10)
+    bundle = make_method(method)
+    cfg = FLConfig(rounds=24, batch_size=10, participation=0.25, local_epochs=5,
+                   eval_every=3, seed=0)
+    sim = FederatedSimulation(bundle.algorithm, model, ds, cfg, metric_hooks=[tracker])
+    sim.run()
+    per_layer = np.stack(tracker.per_layer)  # (evals, layers)
+    mean = tracker.mean_series
+    fluct = float(np.abs(np.diff(mean)).mean())
+    return {"mean": mean, "per_layer": per_layer, "fluct": fluct}
+
+
+def bench_fig13_16_collapse(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            (m, beta, imf): _run(m, beta, imf)
+            for m in METHODS
+            for beta, imf in SETTINGS
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for (m, beta, imf), r in results.items():
+        rows.append(
+            [m, beta, imf, float(r["mean"][0]), float(r["mean"][-1]), r["fluct"],
+             r["per_layer"].shape[1]]
+        )
+    text = format_table(
+        "Figures 13-16 — neuron concentration dynamics",
+        ["method", "beta", "IF", "start", "end", "mean_abs_step", "layers"],
+        rows,
+    )
+    report("fig13_16_collapse", text)
+
+    # paper shape: under the long tail, momentum (FedCM) fluctuates at least
+    # as much as FedAvg, and FedWCM does not fluctuate more than FedCM
+    f = {(m, imf): results[(m, 0.1, imf)]["fluct"] for m in METHODS for _, imf in SETTINGS}
+    assert f[("fedcm", 0.1)] >= f[("fedavg", 0.1)] * 0.7
+    assert f[("fedwcm", 0.1)] <= f[("fedcm", 0.1)] * 1.3

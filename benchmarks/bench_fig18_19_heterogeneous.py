@@ -1,0 +1,62 @@
+"""Figures 18/19: FedCM vs heterogeneous-FL baselines (non-long-tailed).
+
+Paper appendix D: on CIFAR-10 with beta = 0.1 and IF = 1 (no long tail),
+FedCM converges fastest and reaches the highest train/test accuracy among
+FedAvg, SCAFFOLD, FedDyn, FedProx, FedSAM, MoFedSAM and server-momentum
+baselines — momentum is the right tool when data is *not* long-tailed.
+"""
+
+from __future__ import annotations
+
+from _harness import RunSpec, format_table, report, series_text, sweep
+
+METHODS = (
+    "fedcm",
+    "fedavg",
+    "scaffold",
+    "feddyn",
+    "fedprox",
+    "fedsam",
+    "mofedsam",
+    "fedavgm",
+    "fedspeed",
+    "fedsmoo",
+    "fedlesam",
+)
+# the qualitative assertions compare against the paper's core grouping; the
+# three -lite SAM-family reimplementations are reported but not asserted on
+CORE = METHODS[:8]
+
+
+def _specs():
+    return [
+        RunSpec(
+            method=m,
+            dataset="cifar10-lite",
+            imbalance_factor=1.0,
+            beta=0.1,
+            rounds=24,
+            eval_every=4,
+        )
+        for m in METHODS
+    ]
+
+
+def bench_fig18_19_heterogeneous(benchmark):
+    results = benchmark.pedantic(lambda: sweep(_specs()), rounds=1, iterations=1)
+    series = {r["method"]: (r["rounds"], r["accuracy"]) for r in results}
+    text = series_text(
+        "Figures 18/19 — heterogeneous (beta=0.1, IF=1) test accuracy", series
+    )
+    rows = sorted(
+        ([r["method"], r["tail"], r["best"]] for r in results),
+        key=lambda x: -x[1],
+    )
+    text += "\n\n" + format_table("ranking", ["method", "tail_acc", "best_acc"], rows)
+    report("fig18_19_heterogeneous", text)
+
+    by = {r["method"]: r["tail"] for r in results}
+    # paper shape: FedCM at/near the top when data is not long-tailed
+    core_best = max(by[m] for m in CORE)
+    assert by["fedcm"] >= core_best - 0.06
+    assert by["fedcm"] >= by["fedavg"] - 0.02

@@ -1,0 +1,47 @@
+"""Figure 9: accuracy vs total client count.
+
+Paper: with the dataset fixed, more clients means less data per client and
+worse effective imbalance; FedWCM declines slowest, FedCM fluctuates.
+"""
+
+from __future__ import annotations
+
+from _harness import RunSpec, format_table, report, sweep
+
+CLIENTS = (10, 20, 40)
+METHODS = ("fedavg", "fedcm", "fedwcm")
+
+
+def _specs():
+    return [
+        RunSpec(
+            method=m,
+            dataset="fashion-mnist-lite",
+            imbalance_factor=0.1,
+            beta=0.1,
+            num_clients=k,
+            participation=0.25,
+            rounds=24,
+            eval_every=8,
+        )
+        for k in CLIENTS
+        for m in METHODS
+    ]
+
+
+def bench_fig9_clients(benchmark):
+    results = benchmark.pedantic(lambda: sweep(_specs()), rounds=1, iterations=1)
+    by = {(r["spec"].num_clients, r["method"]): r["tail"] for r in results}
+    rows = [[k] + [by[(k, m)] for m in METHODS] for k in CLIENTS]
+    text = format_table(
+        "Figure 9 — accuracy vs number of clients (beta=0.1, IF=0.1)",
+        ["clients"] + list(METHODS),
+        rows,
+    )
+    report("fig9_clients", text)
+
+    # paper shape: FedWCM holds up across client counts
+    for k in CLIENTS:
+        assert by[(k, "fedwcm")] >= by[(k, "fedcm")] - 0.05
+    wins = sum(by[(k, "fedwcm")] >= by[(k, "fedavg")] - 0.03 for k in CLIENTS)
+    assert wins >= 2

@@ -1,0 +1,86 @@
+"""Stability analysis of the momentum round map (mechanism quantification).
+
+Not a paper table — this bench quantifies *why* fixed heavy momentum is
+fragile under long-tailed cohort bias (section 4's mechanism) using the
+exact 2x2 round-map spectrum of :mod:`repro.theory.stability`:
+
+* FedCM's alpha = 0.1 keeps the spectral radius near 1 — a stale (e.g.
+  head-biased) momentum direction is remembered for ~1/(1-rho) rounds;
+* FedWCM's imbalance-raised alpha shortens that memory by an order of
+  magnitude while keeping the stochastic-noise amplification bounded.
+
+The bench cross-checks the closed-form predictions against simulated
+quadratic dynamics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import format_table, report
+from repro.theory import (
+    bias_forgetting_time,
+    critical_alpha,
+    make_longtail_quadratic,
+    noise_amplification,
+    run_quadratic_fl,
+    spectral_radius,
+)
+
+LAM = 1.0
+STEP = 1.0  # lr_local * local_steps of the simulated runs below
+ALPHAS = (0.1, 0.3, 0.5, 0.9)
+
+
+def _run():
+    rows = []
+    for a in ALPHAS:
+        rows.append(
+            [
+                a,
+                spectral_radius(LAM, a, STEP),
+                bias_forgetting_time(LAM, a, STEP),
+                noise_amplification(LAM, a, STEP),
+            ]
+        )
+
+    # empirical cross-check: time to recover after the cohort bias flips.
+    # clients' optima sit along one direction for the first phase; measuring
+    # distance decay after a warm momentum points the wrong way.
+    p = make_longtail_quadratic(
+        num_clients=30, dim=10, head_fraction=0.9, bias_strength=4.0, sigma=0.05, seed=0
+    )
+    recovery = {}
+    for a in (0.1, 0.9):
+        out = run_quadratic_fl(
+            p, "fedcm", rounds=150, local_steps=10, lr_local=0.1,
+            participation=0.2, alpha=a, seed=0, x0=np.full(10, 4.0),
+        )
+        d = out["distance"]
+        # rounds until the distance first reaches 2x its final plateau
+        plateau = d[-20:].mean()
+        hit = np.argmax(d <= 2 * plateau) if np.any(d <= 2 * plateau) else len(d)
+        recovery[a] = int(hit)
+    return rows, recovery
+
+
+def bench_stability_analysis(benchmark):
+    rows, recovery = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table(
+        "Momentum round-map spectrum (lam=1, effective step=1)",
+        ["alpha", "spectral_radius", "bias_forgetting_rounds", "noise_amplification"],
+        rows,
+    )
+    text += "\n\nempirical rounds to reach 2x final plateau (quadratic, biased cohorts):\n"
+    text += "\n".join(f"  alpha={a}: {r} rounds" for a, r in recovery.items())
+    text += f"\n\ncritical alpha for 5% margin at step=1.8: {critical_alpha(1.0, 1.8):.3f}"
+    report("stability_analysis", text)
+
+    by = {r[0]: r for r in rows}
+    # the mechanism: small alpha -> long bias memory; alpha raises -> memory shrinks
+    assert by[0.1][2] > 5 * by[0.9][2]
+    # spectral radius monotone decreasing in alpha over this range
+    radii = [by[a][1] for a in ALPHAS]
+    assert all(np.diff(radii) < 0)
+    # all configurations remain linearly stable (rho < 1)
+    assert all(r < 1.0 for r in radii)

@@ -1,0 +1,89 @@
+"""Table 1: overall accuracy comparison — 7 methods x datasets x IF x beta.
+
+Paper: Fashion-MNIST / SVHN / CIFAR-10 / CIFAR-100 / ImageNet under
+beta in {0.6, 0.1} and IF in {1, 0.5, 0.1, 0.05, 0.01}.
+
+Scaled grid here: all five -lite datasets (MLP on flat views for the grid —
+the conv backbone is exercised by Fig. 3/7 benches), beta in {0.6, 0.1},
+IF in {1, 0.1, 0.01}.  Methods: the paper's seven columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import RunSpec, format_table, report, sweep
+
+METHODS = (
+    "fedavg",
+    "balancefl",
+    "fedcm",
+    "fedcm+focal",
+    "fedcm+balance_loss",
+    "fedcm+balance_sampler",
+    "fedwcm",
+)
+DATASETS = ("fashion-mnist-lite", "svhn-lite", "cifar10-lite", "cifar100-lite", "imagenet-lite")
+IFS = (1.0, 0.1, 0.01)
+BETAS = (0.6, 0.1)
+
+
+def _specs():
+    out = []
+    for dsname in DATASETS:
+        for beta in BETAS:
+            for imf in IFS:
+                for m in METHODS:
+                    out.append(
+                        RunSpec(
+                            method=m,
+                            dataset=dsname,
+                            imbalance_factor=imf,
+                            beta=beta,
+                            rounds=20,
+                            eval_every=10,
+                            scale=0.6,
+                        )
+                    )
+    return out
+
+
+def bench_table1_overall(benchmark):
+    results = benchmark.pedantic(lambda: sweep(_specs()), rounds=1, iterations=1)
+    by = {
+        (r["spec"].dataset, r["spec"].beta, r["spec"].imbalance_factor, r["method"]): r["tail"]
+        for r in results
+    }
+    rows = []
+    for dsname in DATASETS:
+        for imf in IFS:
+            for beta in BETAS:
+                rows.append(
+                    [dsname, imf, beta] + [by[(dsname, beta, imf, m)] for m in METHODS]
+                )
+    text = format_table(
+        "Table 1 — mean tail accuracy (last evals), all -lite datasets",
+        ["dataset", "IF", "beta"] + list(METHODS),
+        rows,
+    )
+    report("table1_overall", text)
+
+    # paper shape: FedWCM is best-or-competitive in the long-tailed cells
+    wins = 0
+    cells = 0
+    for dsname in DATASETS:
+        for beta in BETAS:
+            for imf in (0.1, 0.01):
+                cells += 1
+                wcm = by[(dsname, beta, imf, "fedwcm")]
+                best_other = max(by[(dsname, beta, imf, m)] for m in METHODS if m != "fedwcm")
+                if wcm >= best_other - 0.05:
+                    wins += 1
+    assert wins >= cells * 0.6, f"FedWCM competitive in only {wins}/{cells} LT cells"
+
+    # FedWCM never collapses: always clearly above chance
+    for dsname in DATASETS:
+        c = {"cifar100-lite": 20, "imagenet-lite": 30}.get(dsname, 10)
+        for beta in BETAS:
+            for imf in IFS:
+                assert by[(dsname, beta, imf, "fedwcm")] > 1.5 / c

@@ -1,0 +1,49 @@
+"""Tables 2 and 7: FedAvg vs FedGraB vs FedWCM on CIFAR-10(-lite).
+
+Paper: FedGraB is competitive at moderate settings but degrades sharply at
+beta = 0.1 with small IF, while FedWCM stays ahead throughout.
+"""
+
+from __future__ import annotations
+
+from _harness import RunSpec, format_table, report, sweep
+
+METHODS = ("fedavg", "fedgrab", "fedwcm")
+IFS = (1.0, 0.5, 0.1, 0.05, 0.01)
+BETAS = (0.6, 0.1)
+
+
+def _specs():
+    return [
+        RunSpec(
+            method=m,
+            dataset="cifar10-lite",
+            imbalance_factor=imf,
+            beta=beta,
+            rounds=20,
+            eval_every=10,
+            scale=0.6,
+        )
+        for imf in IFS
+        for beta in BETAS
+        for m in METHODS
+    ]
+
+
+def bench_table2_fedgrab(benchmark):
+    results = benchmark.pedantic(lambda: sweep(_specs()), rounds=1, iterations=1)
+    by = {(r["spec"].imbalance_factor, r["spec"].beta, r["method"]): r["tail"] for r in results}
+    rows = [
+        [imf] + [by[(imf, beta, m)] for beta in BETAS for m in METHODS]
+        for imf in IFS
+    ]
+    header = ["IF"] + [f"{m}@b={b}" for b in BETAS for m in METHODS]
+    text = format_table("Table 2/7 — CIFAR-10-lite: FedAvg / FedGraB / FedWCM", header, rows)
+    report("table2_fedgrab", text)
+
+    # paper shape: FedWCM >= both baselines in the harshest cells
+    for beta in BETAS:
+        for imf in (0.05, 0.01):
+            wcm = by[(imf, beta, "fedwcm")]
+            assert wcm >= by[(imf, beta, "fedgrab")] - 0.05
+            assert wcm >= by[(imf, beta, "fedavg")] - 0.05

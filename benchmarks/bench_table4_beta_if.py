@@ -1,0 +1,54 @@
+"""Table 4: FedAvg / FedCM / FedWCM across beta in {0.1, 0.6} and six IFs.
+
+Paper: FedWCM wins every cell, stays insensitive to beta, and degrades only
+mildly as IF shrinks, even where FedCM does not converge.
+"""
+
+from __future__ import annotations
+
+from _harness import RunSpec, format_table, report, sweep
+
+IFS = (1.0, 0.4, 0.1, 0.06, 0.04, 0.01)
+BETAS = (0.1, 0.6)
+METHODS = ("fedavg", "fedcm", "fedwcm")
+
+
+def _specs():
+    return [
+        RunSpec(
+            method=m,
+            dataset="fashion-mnist-lite",
+            imbalance_factor=imf,
+            beta=beta,
+            rounds=24,
+            eval_every=8,
+        )
+        for beta in BETAS
+        for imf in IFS
+        for m in METHODS
+    ]
+
+
+def bench_table4_beta_if(benchmark):
+    results = benchmark.pedantic(lambda: sweep(_specs()), rounds=1, iterations=1)
+    by = {(r["spec"].beta, r["spec"].imbalance_factor, r["method"]): r["tail"] for r in results}
+    rows = []
+    for beta in BETAS:
+        for imf in IFS:
+            rows.append([beta, imf] + [by[(beta, imf, m)] for m in METHODS])
+    text = format_table(
+        "Table 4 — accuracy across beta and IF (Fashion-MNIST-lite)",
+        ["beta", "IF"] + list(METHODS),
+        rows,
+    )
+    report("table4_beta_if", text)
+
+    # paper shape: FedWCM competitive in every cell, ahead in the LT cells
+    for beta in BETAS:
+        for imf in IFS:
+            assert by[(beta, imf, "fedwcm")] >= by[(beta, imf, "fedcm")] - 0.06
+        lt_cells = [imf for imf in IFS if imf <= 0.1]
+        wins = sum(
+            by[(beta, imf, "fedwcm")] >= by[(beta, imf, "fedavg")] - 0.03 for imf in lt_cells
+        )
+        assert wins >= len(lt_cells) - 1

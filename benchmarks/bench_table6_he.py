@@ -1,0 +1,62 @@
+"""Table 6: homomorphic-encryption overhead of global-distribution gathering.
+
+Paper appendix C: plaintext size grows linearly with the class count while
+the BFV ciphertext stays ~constant (~88 KB with TenSEAL's parameters); the
+per-client encryption cost is negligible next to model transmission.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import format_table, report
+from repro.he import BFVParams, aggregate_class_distribution, plaintext_bytes
+
+CLASS_COUNTS = (10, 20, 50, 100)
+PARAMS = BFVParams(n=1024, t=1 << 20, q_bits=50)
+
+
+def _run():
+    rows = []
+    rng = np.random.default_rng(0)
+    for c in CLASS_COUNTS:
+        counts = rng.integers(0, 500, size=(20, c))
+        rep = aggregate_class_distribution(counts, scheme="bfv", seed=0, bfv_params=PARAMS)
+        assert np.array_equal(rep.global_counts, counts.sum(axis=0))
+        rows.append(
+            [
+                c,
+                rep.plaintext_bytes,
+                rep.ciphertext_bytes,
+                rep.encrypt_seconds_per_client,
+                rep.aggregate_seconds,
+                rep.decrypt_seconds,
+            ]
+        )
+    # protocol-level figure from the paper's prose: 100 clients, 10 classes
+    counts = rng.integers(0, 500, size=(100, 10))
+    rep100 = aggregate_class_distribution(counts, scheme="bfv", seed=0, bfv_params=PARAMS)
+    return rows, rep100
+
+
+def bench_table6_he(benchmark):
+    rows, rep100 = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table(
+        "Table 6 — plaintext vs BFV ciphertext sizes and protocol timings",
+        ["classes", "plaintext_B", "ciphertext_B", "enc_s/client", "agg_s", "dec_s"],
+        rows,
+    )
+    text += (
+        f"\n\n100-client/10-class protocol: total upload = "
+        f"{rep100.total_upload_bytes / 1e6:.2f} MB, "
+        f"encrypt/client = {rep100.encrypt_seconds_per_client * 1e3:.1f} ms"
+    )
+    report("table6_he", text)
+
+    pt = [r[1] for r in rows]
+    ct = [r[2] for r in rows]
+    # paper shape: plaintext linear in classes, ciphertext constant
+    growth = np.diff(pt) / np.diff(CLASS_COUNTS)
+    assert np.allclose(growth, growth[0])
+    assert len(set(ct)) == 1
+    assert ct[0] > pt[-1]  # ciphertext dwarfs plaintext, as in the paper

@@ -1,0 +1,92 @@
+"""Deployment-readiness report for a federated method.
+
+Beyond headline accuracy, a production FL rollout cares about: per-client
+fairness (does the model serve tail-holding devices?), communication budget
+(what do 300 rounds cost on the wire?), privacy overhead (what does HE-based
+distribution gathering add?), and lr scheduling.  This example assembles all
+of that for FedWCM vs FedAvg on one long-tailed problem.
+
+    python examples/deployment_report.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import make_method
+from repro.analysis import fairness_report
+from repro.data import load_federated_dataset
+from repro.he import BFVParams, aggregate_class_distribution
+from repro.nn import CosineSchedule, make_mlp
+from repro.simulation import CommunicationModel, FederatedSimulation, FLConfig
+from repro.viz import ascii_barchart
+
+
+def main() -> None:
+    ds = load_federated_dataset(
+        "fashion-mnist-lite", imbalance_factor=0.1, beta=0.1, num_clients=20, seed=0
+    )
+    rounds = 30
+
+    print("=" * 64)
+    print("1. accuracy + cross-client fairness")
+    print("=" * 64)
+    reports = {}
+    for method in ("fedavg", "fedwcm"):
+        bundle = make_method(method)
+        model = make_mlp(32, 10, seed=0)
+        cfg = FLConfig(
+            rounds=rounds, batch_size=10, participation=0.25, local_epochs=5,
+            eval_every=10, seed=0, lr_schedule=CosineSchedule(total_rounds=rounds, floor=0.2),
+        )
+        sim = FederatedSimulation(bundle.algorithm, model, ds, cfg)
+        h = sim.run()
+        sim.ctx.load_params(sim.final_params)
+        fair = fairness_report(sim.ctx.model, ds)
+        reports[method] = (h.final_accuracy, fair)
+        print(
+            f"{method:8s} global={h.final_accuracy:.3f}  "
+            f"worst-client={fair['worst']:.3f}  gini={fair['gini']:.3f}  "
+            f"spread={fair['spread']:.3f}"
+        )
+
+    print()
+    print(ascii_barchart(
+        {f"{m} worst-client": rep[1]["worst"] for m, rep in reports.items()},
+        title="worst-served client accuracy",
+    ))
+
+    print()
+    print("=" * 64)
+    print("2. communication budget (300-round deployment, float32 wire format)")
+    print("=" * 64)
+    model = make_mlp(32, 10, seed=0)
+    he_rep = aggregate_class_distribution(
+        ds.client_counts, scheme="bfv", seed=0,
+        bfv_params=BFVParams(n=1024, t=1 << 20, q_bits=50),
+    )
+    cm = CommunicationModel(
+        num_params=model.num_params, clients_per_round=5, bytes_per_param=4
+    )
+    table = cm.compare(
+        ["fedavg", "fedcm", "fedwcm", "fedwcm-he", "scaffold"],
+        rounds=300,
+        num_classes=10,
+        total_clients=20,
+        he_ciphertext_bytes=he_rep.ciphertext_bytes,
+    )
+    for method, cost in table.items():
+        print(
+            f"{method:10s} per-round={cost['per_round']/1024:8.1f} KiB   "
+            f"one-time={cost['one_time']/1024:8.1f} KiB   "
+            f"total={cost['total']/1e6:6.2f} MB"
+        )
+    print(
+        f"\nHE gathering adds a one-time {he_rep.ciphertext_bytes * 20 / 1024:.0f} KiB "
+        f"upload (~{he_rep.encrypt_seconds_per_client * 1e3:.0f} ms/client) — "
+        "negligible next to 300 rounds of model traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""IoT human-activity sensing with rare critical events (the paper's intro
+scenario).
+
+Smart-home devices mostly observe routine activities (sitting, walking,
+standing...) while safety-critical events (falls, seizures) are rare — a
+textbook long-tailed federated problem where tail recall is what matters.
+
+This example builds that scenario explicitly (8 routine activities as head
+classes, 2 critical events as tail classes at ~2% frequency), then compares
+FedAvg / FedCM / FedWCM on *critical-event accuracy*.
+
+    python examples/iot_sensing_longtail.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import make_method
+from repro.analysis import head_tail_accuracy, per_label_accuracy
+from repro.data.partition import partition_balanced_dirichlet
+from repro.data.registry import DatasetInfo, FederatedDataset
+from repro.data.synthetic import ClassConditionalGenerator, SyntheticSpec
+from repro.nn import make_mlp
+from repro.simulation import FLConfig, FederatedSimulation
+
+ACTIVITIES = [
+    "sitting", "walking", "standing", "lying", "cooking",
+    "cleaning", "watching-tv", "sleeping",           # routine (head)
+    "fall", "medical-emergency",                     # critical (tail)
+]
+
+
+def build_sensing_dataset(num_devices: int = 20, seed: int = 0) -> FederatedDataset:
+    """36-dim IMU-like feature windows; critical events at ~6% of the head."""
+    rng = np.random.default_rng(seed)
+    spec = SyntheticSpec(
+        num_classes=len(ACTIVITIES), shape=(36,), separation=0.8, noise=1.0, modes=3
+    )
+    gen = ClassConditionalGenerator(spec, seed=rng.spawn(1)[0])
+    counts = np.array([400, 400, 350, 350, 300, 300, 250, 250, 25, 25])
+    x_train, y_train = gen.sample(counts, rng.spawn(1)[0])
+    x_test, y_test = gen.sample(np.full(len(ACTIVITIES), 40), rng.spawn(1)[0])
+    partitions = partition_balanced_dirichlet(
+        y_train, num_devices, beta=0.2, rng=rng.spawn(1)[0], num_classes=len(ACTIVITIES)
+    )
+    info = DatasetInfo(
+        name="iot-sensing",
+        num_classes=len(ACTIVITIES),
+        shape=(36,),
+        n_max_train=400,
+        n_test_per_class=40,
+        separation=0.8,
+        noise=1.0,
+        modes=3,
+        paper_counterpart="IoT HAR motivation (section 1)",
+    )
+    return FederatedDataset(
+        info=info, x_train=x_train, y_train=y_train, x_test=x_test, y_test=y_test,
+        partitions=partitions, imbalance_factor=float(counts.min() / counts.max()),
+        beta=0.2, partition_kind="balanced",
+    )
+
+
+def main() -> None:
+    ds = build_sensing_dataset()
+    print(f"devices: {ds.num_clients}, IF = {ds.imbalance_factor:.3f}")
+    print(f"class counts: {dict(zip(ACTIVITIES, ds.global_class_counts.tolist()))}\n")
+
+    results = {}
+    for method in ("fedavg", "fedcm", "fedwcm"):
+        bundle = make_method(method)
+        model = make_mlp(36, len(ACTIVITIES), seed=0)
+        cfg = FLConfig(rounds=30, batch_size=10, participation=0.25, local_epochs=5,
+                       eval_every=10, seed=0)
+        sim = FederatedSimulation(
+            bundle.algorithm, model, ds, cfg,
+            loss_builder=bundle.loss_builder, sampler_builder=bundle.sampler_builder,
+        )
+        h = sim.run()
+        sim.ctx.load_params(sim.final_params)
+        per_label = per_label_accuracy(sim.ctx.model, ds.x_test, ds.y_test, ds.num_classes)
+        ht = head_tail_accuracy(per_label, ds.global_class_counts, head_fraction=0.8)
+        critical = float(np.nanmean(per_label[8:]))
+        results[method] = (h.final_accuracy, ht, critical)
+        print(
+            f"{method:8s} overall={h.final_accuracy:.3f}  "
+            f"routine={ht['head']:.3f}  critical-events={critical:.3f}"
+        )
+
+    print(
+        "\ncritical-event (fall / medical-emergency) accuracy is the metric "
+        "that matters for deployment; FedWCM's scarcity weighting gives the "
+        "devices holding those rare events more influence on the momentum."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: train FedWCM on a long-tailed non-IID federated problem.
+
+Runs in under a minute on a laptop CPU:
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import make_method
+from repro.data import load_federated_dataset
+from repro.nn import make_mlp
+from repro.simulation import FLConfig, FederatedSimulation
+
+
+def main() -> None:
+    # 1. a long-tailed (IF = 0.1), heterogeneous (Dirichlet beta = 0.1)
+    #    federated dataset across 20 clients
+    dataset = load_federated_dataset(
+        "fashion-mnist-lite",
+        imbalance_factor=0.1,
+        beta=0.1,
+        num_clients=20,
+        seed=0,
+    )
+    counts = dataset.global_class_counts
+    print(f"global class counts (head -> tail): {counts.tolist()}")
+
+    # 2. model + method (any name from repro.algorithms.METHOD_NAMES)
+    model = make_mlp(input_dim=32, num_classes=10, seed=0)
+    bundle = make_method("fedwcm")
+
+    # 3. the federated round loop (paper defaults: eta_l = 0.1, eta_g = 1,
+    #    5 local epochs, 25% participation here for a faster demo)
+    config = FLConfig(
+        rounds=30,
+        batch_size=10,
+        participation=0.25,
+        local_epochs=5,
+        eval_every=5,
+        seed=0,
+    )
+    sim = FederatedSimulation(
+        bundle.algorithm,
+        model,
+        dataset,
+        config,
+        loss_builder=bundle.loss_builder,
+        sampler_builder=bundle.sampler_builder,
+    )
+    history = sim.run(verbose=True)
+
+    print(f"\nfinal accuracy: {history.final_accuracy:.4f}")
+    print(f"best accuracy:  {history.best_accuracy:.4f}")
+    alphas = [r.extras.get("alpha") for r in history.records if "alpha" in r.extras]
+    print(f"adaptive alpha ranged over [{min(alphas):.3f}, {max(alphas):.3f}]")
+
+
+if __name__ == "__main__":
+    main()

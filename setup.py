@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment's setuptools lacks bdist_wheel, so
+``pip install -e . --no-use-pep517`` (setup.py develop) is the supported
+editable-install path. Metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""FedWCM reproduction: momentum-based federated learning for long-tailed
+non-IID data.
+
+Public API tour:
+
+* :mod:`repro.data` - synthetic long-tailed datasets and client partitions.
+* :mod:`repro.nn` - the pure-NumPy NN engine (models, losses, training).
+* :mod:`repro.core` - FedWCM's scoring / weighting / adaptive momentum.
+* :mod:`repro.algorithms` - FedWCM, FedWCM-X and every baseline.
+* :mod:`repro.simulation` - the federated round loop.
+* :mod:`repro.he` - homomorphic encryption for private distribution sharing.
+* :mod:`repro.analysis` - neuron concentration / collapse diagnostics.
+* :mod:`repro.theory` - convergence bounds and the quadratic testbed.
+
+Quickstart::
+
+    from repro.data import load_federated_dataset
+    from repro.nn import make_mlp
+    from repro.simulation import FLConfig, FederatedSimulation
+    from repro.algorithms import make_method
+
+    ds = load_federated_dataset("fashion-mnist-lite", imbalance_factor=0.1, beta=0.6)
+    bundle = make_method("fedwcm")
+    sim = FederatedSimulation(
+        bundle.algorithm, make_mlp(32, 10), ds, FLConfig(rounds=50)
+    )
+    history = sim.run()
+    print(history.final_accuracy)
+"""
+
+__version__ = "1.0.0"
+
+from repro import algorithms, analysis, core, data, he, nn, parallel, simulation, theory, utils
+
+__all__ = [
+    "algorithms",
+    "analysis",
+    "core",
+    "data",
+    "he",
+    "nn",
+    "parallel",
+    "simulation",
+    "theory",
+    "utils",
+    "__version__",
+]

@@ -1,0 +1,150 @@
+"""Algorithm protocol and the shared local-SGD machinery.
+
+Every federated method implements three entry points:
+
+* ``setup(ctx)`` — one-time state initialisation (momentum buffers, control
+  variates, scores, ...).
+* ``client_update(ctx, round_idx, client_id, x_global) -> ClientUpdate`` —
+  run local training from the broadcast parameters and return the client's
+  *displacement* ``x_global - x_local`` (a pseudo-gradient scaled by
+  ``lr_local * n_batches``) plus bookkeeping.
+* ``aggregate(ctx, round_idx, selected, updates, x_global) -> x_new`` — the
+  server step.
+
+``LocalSGDMixin._local_sgd`` implements the inner loop once; algorithms
+customise it through a ``direction_fn(g, x_local) -> step direction`` hook
+(FedProx's proximal term, SCAFFOLD's control variates, FedCM's momentum
+injection are all one-liners under this interface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.train import forward_backward
+from repro.simulation.context import SimulationContext
+
+__all__ = ["ClientUpdate", "FederatedAlgorithm", "LocalSGDMixin", "size_weights"]
+
+DirectionFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class ClientUpdate:
+    """Result of one client's local training.
+
+    Attributes:
+        client_id: which client produced this update.
+        displacement: ``x_global - x_local`` (flat vector).
+        n_samples: client dataset size.
+        n_batches: local gradient steps actually executed.
+        extras: algorithm-specific payload (e.g. SCAFFOLD's control delta).
+    """
+
+    client_id: int
+    displacement: np.ndarray
+    n_samples: int
+    n_batches: int
+    extras: dict = field(default_factory=dict)
+
+
+def size_weights(updates: list[ClientUpdate]) -> np.ndarray:
+    """FedAvg weights: proportional to client sample counts."""
+    sizes = np.array([u.n_samples for u in updates], dtype=np.float64)
+    total = sizes.sum()
+    if total <= 0:
+        return np.full(len(updates), 1.0 / max(len(updates), 1))
+    return sizes / total
+
+
+class FederatedAlgorithm:
+    """Base class; concrete methods override the three protocol methods."""
+
+    name = "base"
+
+    def setup(self, ctx: SimulationContext) -> None:  # pragma: no cover - trivial
+        pass
+
+    def client_update(
+        self, ctx: SimulationContext, round_idx: int, client_id: int, x_global: np.ndarray
+    ) -> ClientUpdate:
+        raise NotImplementedError
+
+    def aggregate(
+        self,
+        ctx: SimulationContext,
+        round_idx: int,
+        selected: np.ndarray,
+        updates: list[ClientUpdate],
+        x_global: np.ndarray,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def round_extras(self) -> dict:
+        """Per-round scalars to log into the history (e.g. current alpha)."""
+        return {}
+
+
+class LocalSGDMixin:
+    """Shared local-training loop over the flattened parameter vector."""
+
+    def _local_sgd(
+        self,
+        ctx: SimulationContext,
+        round_idx: int,
+        client_id: int,
+        x_global: np.ndarray,
+        direction_fn: DirectionFn | None = None,
+        lr: float | None = None,
+        epochs: int | None = None,
+        grad_eval=None,
+    ) -> tuple[np.ndarray, int]:
+        """Run local SGD and return ``(x_local, n_batches)``.
+
+        Args:
+            direction_fn: maps ``(grad, x_local)`` to the applied direction;
+                identity when None.
+            lr: override the local learning rate.
+            epochs: override the number of local epochs.
+            grad_eval: optional callable ``(xb, yb, loss, x_local) -> grad``
+                replacing the plain gradient evaluation (used by SAM, which
+                needs an extra forward/backward at a perturbed point).
+        """
+        cfg = ctx.config
+        lr = ctx.lr_at(round_idx) if lr is None else lr
+        epochs = cfg.local_epochs if epochs is None else epochs
+        xs, ys = ctx.client_xy(client_id)
+        sampler = ctx.sampler_for(client_id)
+        loss = ctx.loss_for(client_id)
+        rng = ctx.client_rng(round_idx, client_id)
+
+        x = x_global.copy()
+        nb = 0
+        cap = cfg.max_batches_per_round
+        done = False
+        for _ in range(epochs):
+            if done:
+                break
+            for bidx in sampler.epoch(rng):
+                if grad_eval is None:
+                    ctx.load_params(x)
+                    forward_backward(ctx.model, xs[bidx], ys[bidx], loss)
+                    g = ctx.flat_gradient()
+                else:
+                    g = grad_eval(xs[bidx], ys[bidx], loss, x)
+                d = g if direction_fn is None else direction_fn(g, x)
+                x -= lr * d
+                nb += 1
+                if cap is not None and nb >= cap:
+                    done = True
+                    break
+        return x, nb
+
+    def _plain_gradient(self, ctx: SimulationContext, x: np.ndarray, xb, yb, loss) -> np.ndarray:
+        """Gradient of ``loss`` at parameters ``x`` on batch ``(xb, yb)``."""
+        ctx.load_params(x)
+        forward_backward(ctx.model, xb, yb, loss)
+        return ctx.flat_gradient()

@@ -1,0 +1,98 @@
+"""FedAvg, FedProx and server-momentum (FedAvgM / SlowMo) baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import ClientUpdate, FederatedAlgorithm, LocalSGDMixin, size_weights
+from repro.simulation.context import SimulationContext
+
+__all__ = ["FedAvg", "FedProx", "FedAvgM"]
+
+
+class FedAvg(LocalSGDMixin, FederatedAlgorithm):
+    """McMahan et al. 2017: local SGD + sample-size-weighted averaging.
+
+    Args:
+        weighted: weight client updates by sample count (True, the original)
+            or uniformly (False).
+    """
+
+    name = "fedavg"
+
+    def __init__(self, weighted: bool = True) -> None:
+        self.weighted = weighted
+
+    def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
+        x_local, nb = self._local_sgd(ctx, round_idx, client_id, x_global)
+        return ClientUpdate(
+            client_id=client_id,
+            displacement=x_global - x_local,
+            n_samples=len(ctx.client_xy(client_id)[1]),
+            n_batches=nb,
+        )
+
+    def aggregate(self, ctx, round_idx, selected, updates, x_global) -> np.ndarray:
+        w = size_weights(updates) if self.weighted else np.full(
+            len(updates), 1.0 / len(updates)
+        )
+        disp = np.stack([u.displacement for u in updates])
+        return x_global - ctx.config.lr_global * (w @ disp)
+
+
+class FedProx(FedAvg):
+    """Li et al. 2020: FedAvg with a proximal term mu/2 ||x - x_global||^2."""
+
+    name = "fedprox"
+
+    def __init__(self, mu: float = 0.01, weighted: bool = True) -> None:
+        super().__init__(weighted=weighted)
+        if mu < 0:
+            raise ValueError(f"mu must be >= 0, got {mu}")
+        self.mu = mu
+
+    def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
+        mu = self.mu
+
+        def direction(g: np.ndarray, x: np.ndarray) -> np.ndarray:
+            return g + mu * (x - x_global)
+
+        x_local, nb = self._local_sgd(
+            ctx, round_idx, client_id, x_global, direction_fn=direction
+        )
+        return ClientUpdate(
+            client_id=client_id,
+            displacement=x_global - x_local,
+            n_samples=len(ctx.client_xy(client_id)[1]),
+            n_batches=nb,
+        )
+
+
+class FedAvgM(FedAvg):
+    """Server-side momentum (Hsu et al. 2019; SlowMo, Wang et al. 2019).
+
+    The server keeps a momentum buffer over aggregated displacements:
+    ``m <- beta * m + avg_displacement``; ``x <- x - lr_global * m``.
+    """
+
+    name = "fedavgm"
+
+    def __init__(self, server_momentum: float = 0.9, weighted: bool = True) -> None:
+        super().__init__(weighted=weighted)
+        if not 0.0 <= server_momentum < 1.0:
+            raise ValueError(f"server_momentum must be in [0, 1), got {server_momentum}")
+        self.beta = server_momentum
+        self._m: np.ndarray | None = None
+
+    def setup(self, ctx: SimulationContext) -> None:
+        self._m = np.zeros(ctx.dim, dtype=np.float64)
+
+    def aggregate(self, ctx, round_idx, selected, updates, x_global) -> np.ndarray:
+        w = size_weights(updates) if self.weighted else np.full(
+            len(updates), 1.0 / len(updates)
+        )
+        disp = np.stack([u.displacement for u in updates])
+        avg = w @ disp
+        self._m *= self.beta
+        self._m += avg
+        return x_global - ctx.config.lr_global * self._m

@@ -1,0 +1,75 @@
+"""FedCM (Xu et al. 2021): federated learning with client-level momentum.
+
+The server broadcasts a global momentum direction ``Delta`` (gradient scale);
+every local step mixes it with the fresh gradient:
+
+    v = alpha * g + (1 - alpha) * Delta        (paper Eq. 2 / 6)
+    x <- x - lr_local * v
+
+After the round, ``Delta`` is refreshed from the clients' average applied
+direction (their displacement divided by ``lr_local * n_batches``) and the
+server applies the averaged displacement as in FedAvg.
+
+FedCM uses a *fixed* ``alpha = 0.1`` — the design decision FedWCM revisits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import ClientUpdate, FederatedAlgorithm, LocalSGDMixin, size_weights
+from repro.simulation.context import SimulationContext
+
+__all__ = ["FedCM"]
+
+
+class FedCM(LocalSGDMixin, FederatedAlgorithm):
+    """Client-level momentum with fixed mixing coefficient.
+
+    Args:
+        alpha: weight on the instantaneous gradient (paper default 0.1 —
+            i.e. 90% of every local step follows the global momentum).
+        weighted: sample-size aggregation weights (True) or uniform (False).
+    """
+
+    name = "fedcm"
+
+    def __init__(self, alpha: float = 0.1, weighted: bool = True) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.weighted = weighted
+        self._delta: np.ndarray | None = None
+
+    def setup(self, ctx: SimulationContext) -> None:
+        self._delta = np.zeros(ctx.dim, dtype=np.float64)
+
+    def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
+        a, delta = self.alpha, self._delta
+
+        def direction(g: np.ndarray, x: np.ndarray) -> np.ndarray:
+            return a * g + (1.0 - a) * delta
+
+        x_local, nb = self._local_sgd(
+            ctx, round_idx, client_id, x_global, direction_fn=direction
+        )
+        return ClientUpdate(
+            client_id=client_id,
+            displacement=x_global - x_local,
+            n_samples=len(ctx.client_xy(client_id)[1]),
+            n_batches=nb,
+        )
+
+    def aggregate(self, ctx, round_idx, selected, updates, x_global) -> np.ndarray:
+        w = size_weights(updates) if self.weighted else np.full(
+            len(updates), 1.0 / len(updates)
+        )
+        disp = np.stack([u.displacement for u in updates])
+        lr = ctx.lr_at(round_idx)
+        # gradient-scale pseudo-gradients: displacement / (lr * batches)
+        scale = np.array([1.0 / (lr * max(u.n_batches, 1)) for u in updates])
+        self._delta = w @ (disp * scale[:, None])
+        return x_global - ctx.config.lr_global * (w @ disp)
+
+    def round_extras(self) -> dict:
+        return {"alpha": self.alpha}

@@ -1,0 +1,60 @@
+"""FedDyn (Acar et al. 2021): dynamic regularization.
+
+Each client minimises its risk plus a linear correction and a quadratic
+anchor to the broadcast parameters:
+
+    direction = g - h_i + alpha * (x - x_global)
+
+where ``h_i`` accumulates the client's dual state
+``h_i <- h_i - alpha * (x_local - x_global)``.  The server maintains the
+running dual mean ``h`` over *all* clients and sets
+
+    x_new = mean(x_local of participants) - h / alpha
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import ClientUpdate, FederatedAlgorithm, LocalSGDMixin
+from repro.simulation.context import SimulationContext
+
+__all__ = ["FedDyn"]
+
+
+class FedDyn(LocalSGDMixin, FederatedAlgorithm):
+    name = "feddyn"
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+
+    def setup(self, ctx: SimulationContext) -> None:
+        self._hi = np.zeros((ctx.num_clients, ctx.dim), dtype=np.float64)
+        self._h = np.zeros(ctx.dim, dtype=np.float64)
+
+    def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
+        a = self.alpha
+        hi = self._hi[client_id]
+
+        def direction(g: np.ndarray, x: np.ndarray) -> np.ndarray:
+            return g - hi + a * (x - x_global)
+
+        x_local, nb = self._local_sgd(
+            ctx, round_idx, client_id, x_global, direction_fn=direction
+        )
+        self._hi[client_id] = hi - a * (x_local - x_global)
+        return ClientUpdate(
+            client_id=client_id,
+            displacement=x_global - x_local,
+            n_samples=len(ctx.client_xy(client_id)[1]),
+            n_batches=nb,
+        )
+
+    def aggregate(self, ctx, round_idx, selected, updates, x_global) -> np.ndarray:
+        disp = np.stack([u.displacement for u in updates])
+        avg_delta = disp.mean(axis=0)  # x_global - mean(x_local)
+        # running dual mean over ALL clients: h <- h - alpha/N * sum(x_local - x)
+        self._h += self.alpha * (len(updates) / ctx.num_clients) * avg_delta
+        return (x_global - avg_delta) - self._h / self.alpha

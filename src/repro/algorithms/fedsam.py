@@ -1,0 +1,107 @@
+"""Sharpness-aware baselines: FedSAM and MoFedSAM (Qu et al. 2022).
+
+FedSAM replaces each local gradient with the SAM gradient: evaluate the
+gradient at the adversarially perturbed point ``x + rho * g / ||g||``.
+MoFedSAM combines the SAM gradient with FedCM-style client momentum.
+
+These are the appendix-D heterogeneous baselines (Figures 18/19).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import ClientUpdate, FederatedAlgorithm, LocalSGDMixin, size_weights
+from repro.simulation.context import SimulationContext
+
+__all__ = ["FedSAM", "MoFedSAM"]
+
+
+class FedSAM(LocalSGDMixin, FederatedAlgorithm):
+    """FedAvg with local SAM steps."""
+
+    name = "fedsam"
+
+    def __init__(self, rho: float = 0.05, weighted: bool = True) -> None:
+        if rho <= 0:
+            raise ValueError(f"rho must be positive, got {rho}")
+        self.rho = rho
+        self.weighted = weighted
+
+    def _sam_grad_eval(self, ctx: SimulationContext):
+        rho = self.rho
+
+        def grad_eval(xb, yb, loss, x):
+            g = self._plain_gradient(ctx, x, xb, yb, loss).copy()
+            norm = np.linalg.norm(g)
+            if norm > 1e-12:
+                x_adv = x + rho * g / norm
+                g = self._plain_gradient(ctx, x_adv, xb, yb, loss).copy()
+            return g
+
+        return grad_eval
+
+    def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
+        x_local, nb = self._local_sgd(
+            ctx, round_idx, client_id, x_global, grad_eval=self._sam_grad_eval(ctx)
+        )
+        return ClientUpdate(
+            client_id=client_id,
+            displacement=x_global - x_local,
+            n_samples=len(ctx.client_xy(client_id)[1]),
+            n_batches=nb,
+        )
+
+    def aggregate(self, ctx, round_idx, selected, updates, x_global) -> np.ndarray:
+        w = size_weights(updates) if self.weighted else np.full(
+            len(updates), 1.0 / len(updates)
+        )
+        disp = np.stack([u.displacement for u in updates])
+        return x_global - ctx.config.lr_global * (w @ disp)
+
+
+class MoFedSAM(FedSAM):
+    """FedCM-style momentum applied on top of local SAM gradients."""
+
+    name = "mofedsam"
+
+    def __init__(self, rho: float = 0.05, alpha: float = 0.1, weighted: bool = True) -> None:
+        super().__init__(rho=rho, weighted=weighted)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._delta: np.ndarray | None = None
+
+    def setup(self, ctx: SimulationContext) -> None:
+        self._delta = np.zeros(ctx.dim, dtype=np.float64)
+
+    def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
+        a, delta = self.alpha, self._delta
+
+        def direction(g: np.ndarray, x: np.ndarray) -> np.ndarray:
+            return a * g + (1.0 - a) * delta
+
+        x_local, nb = self._local_sgd(
+            ctx,
+            round_idx,
+            client_id,
+            x_global,
+            direction_fn=direction,
+            grad_eval=self._sam_grad_eval(ctx),
+        )
+        return ClientUpdate(
+            client_id=client_id,
+            displacement=x_global - x_local,
+            n_samples=len(ctx.client_xy(client_id)[1]),
+            n_batches=nb,
+        )
+
+    def aggregate(self, ctx, round_idx, selected, updates, x_global) -> np.ndarray:
+        w = size_weights(updates) if self.weighted else np.full(
+            len(updates), 1.0 / len(updates)
+        )
+        disp = np.stack([u.displacement for u in updates])
+        lr = ctx.lr_at(round_idx)
+        scale = np.array([1.0 / (lr * max(u.n_batches, 1)) for u in updates])
+        self._delta = w @ (disp * scale[:, None])
+        return x_global - ctx.config.lr_global * (w @ disp)

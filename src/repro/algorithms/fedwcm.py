@@ -1,0 +1,199 @@
+"""FedWCM (the paper's Algorithm 1) and FedWCM-X (Algorithm 3).
+
+FedWCM = FedCM + two adaptive mechanisms driven by global distribution
+information gathered once at startup (section 5.1; optionally under
+homomorphic encryption, see :mod:`repro.he`):
+
+1. **Weighted momentum aggregation** (Eq. 4): the global momentum ``Delta``
+   is aggregated with temperature-softmax weights over client scarcity
+   scores, boosting clients that hold globally scarce (tail) data.
+2. **Adaptive momentum coefficient** (Eq. 5): ``alpha_{r+1}`` grows with the
+   global imbalance and with the current cohort's scarcity ratio, so momentum
+   is strong when it is safe (balanced data) and damped when it would amplify
+   head-class bias.
+
+FedWCM-X additionally handles quantity skew: aggregation weights are
+multiplied by relative client sizes and the local learning rate is rescaled
+by ``B_hat / B_k`` so clients with more batches do not apply the shared
+momentum more often at full strength.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import ClientUpdate, FederatedAlgorithm, LocalSGDMixin
+from repro.core.momentum import GlobalMomentum, adaptive_alpha, score_ratio
+from repro.core.scoring import client_scores, global_distribution
+from repro.core.weighting import compute_temperature, l1_discrepancy, softmax_weights
+from repro.simulation.context import SimulationContext
+
+__all__ = ["FedWCM", "FedWCMX"]
+
+
+class FedWCM(LocalSGDMixin, FederatedAlgorithm):
+    """Weighted-and-calibrated momentum federated learning.
+
+    Args:
+        alpha0: initial momentum coefficient (paper: 0.1).
+        target_dist: target global distribution p_hat; uniform when None.
+        score_mode: ``"signed"`` (paper semantics, default) or ``"abs"``
+            (literal Eq. 3) — see :mod:`repro.core.scoring`.
+        t_scale: temperature scale for Eq. 4.
+        alpha_min / alpha_max: clipping range of the adaptive alpha.
+    """
+
+    name = "fedwcm"
+
+    def __init__(
+        self,
+        alpha0: float = 0.1,
+        target_dist: np.ndarray | None = None,
+        score_mode: str = "signed",
+        t_scale: float = 1.0,
+        alpha_min: float = 0.1,
+        alpha_max: float = 0.999,
+        adaptive: bool = True,
+    ) -> None:
+        if not 0.0 < alpha0 < 1.0:
+            raise ValueError(f"alpha0 must be in (0, 1), got {alpha0}")
+        self.alpha0 = alpha0
+        self.target_dist = target_dist
+        self.score_mode = score_mode
+        self.t_scale = t_scale
+        self.alpha_min = alpha_min
+        self.alpha_max = alpha_max
+        self.adaptive = adaptive
+        self.momentum: GlobalMomentum | None = None
+
+    # -- setup: global information gathering (section 5.1) -------------------
+    def setup(self, ctx: SimulationContext) -> None:
+        counts = ctx.dataset.client_counts.astype(np.float64)
+        self.scores = client_scores(counts, self.target_dist, mode=self.score_mode)
+        self.global_dist = global_distribution(counts)
+        self.discrepancy = l1_discrepancy(self.global_dist, self.target_dist)
+        self.temperature = compute_temperature(
+            self.global_dist, self.target_dist, t_scale=self.t_scale
+        )
+        self.momentum = GlobalMomentum(dim=ctx.dim, alpha=self.alpha0)
+
+    # -- local update (Eq. 6) ---------------------------------------------------
+    def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
+        mom = self.momentum
+        a, delta = mom.alpha, mom.delta
+
+        def direction(g: np.ndarray, x: np.ndarray) -> np.ndarray:
+            return a * g + (1.0 - a) * delta
+
+        x_local, nb = self._local_sgd(
+            ctx, round_idx, client_id, x_global, direction_fn=direction
+        )
+        return ClientUpdate(
+            client_id=client_id,
+            displacement=x_global - x_local,
+            n_samples=len(ctx.client_xy(client_id)[1]),
+            n_batches=nb,
+        )
+
+    # -- server step (Algorithm 1) ------------------------------------------------
+    def _aggregation_weights(self, ctx, selected, updates) -> np.ndarray:
+        sel_scores = self.scores[np.asarray(selected, dtype=np.int64)]
+        return softmax_weights(sel_scores, self.temperature)
+
+    def aggregate(self, ctx, round_idx, selected, updates, x_global) -> np.ndarray:
+        w = self._aggregation_weights(ctx, selected, updates)
+        disp = np.stack([u.displacement for u in updates])
+        lr = ctx.lr_at(round_idx)
+        scale = np.array([1.0 / (lr * max(u.n_batches, 1)) for u in updates])
+        self.momentum.update(disp * scale[:, None], w)
+
+        if self.adaptive:
+            q_r = score_ratio(self.scores, np.asarray(selected))
+            alpha_next = adaptive_alpha(
+                self.discrepancy,
+                ctx.num_classes,
+                q_r,
+                alpha_min=self.alpha_min,
+                alpha_max=self.alpha_max,
+            )
+            self.momentum.set_alpha(alpha_next)
+
+        return x_global - ctx.config.lr_global * (w @ disp)
+
+    def round_extras(self) -> dict:
+        return {
+            "alpha": self.momentum.alpha if self.momentum else self.alpha0,
+            "temperature": getattr(self, "temperature", float("nan")),
+        }
+
+
+class FedWCMX(FedWCM):
+    """FedWCM-X (Algorithm 3): FedWCM under quantity-skewed partitions.
+
+    Two changes relative to FedWCM:
+
+    * aggregation weights are multiplied by relative sample counts
+      ``n_k / sum_j n_j`` (then renormalised);
+    * each client's local learning rate becomes
+      ``lr_local * B_hat / B_k`` where ``B_hat`` is the batch count of an
+      even split and ``B_k`` the client's own batch count.
+    """
+
+    name = "fedwcm-x"
+
+    def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
+        mom = self.momentum
+        a, delta = mom.alpha, mom.delta
+
+        def direction(g: np.ndarray, x: np.ndarray) -> np.ndarray:
+            return a * g + (1.0 - a) * delta
+
+        n_k = len(ctx.client_xy(client_id)[1])
+        per_epoch = max(1, int(np.ceil(n_k / ctx.config.batch_size)))
+        b_k = per_epoch * ctx.config.local_epochs
+        b_hat = ctx.nominal_batches()
+        lr_k = ctx.lr_at(round_idx) * (b_hat / max(b_k, 1))
+
+        x_local, nb = self._local_sgd(
+            ctx, round_idx, client_id, x_global, direction_fn=direction, lr=lr_k
+        )
+        return ClientUpdate(
+            client_id=client_id,
+            displacement=x_global - x_local,
+            n_samples=n_k,
+            n_batches=nb,
+            extras={"lr_k": lr_k},
+        )
+
+    def _aggregation_weights(self, ctx, selected, updates) -> np.ndarray:
+        w = super()._aggregation_weights(ctx, selected, updates)
+        sizes = np.array([u.n_samples for u in updates], dtype=np.float64)
+        total = sizes.sum()
+        if total > 0:
+            w = w * (sizes / total)
+            s = w.sum()
+            if s > 0:
+                w = w / s
+        return w
+
+    def aggregate(self, ctx, round_idx, selected, updates, x_global) -> np.ndarray:
+        w = self._aggregation_weights(ctx, selected, updates)
+        disp = np.stack([u.displacement for u in updates])
+        # normalise by each client's actual applied step budget (lr_k * B_k)
+        scale = np.array(
+            [1.0 / (u.extras["lr_k"] * max(u.n_batches, 1)) for u in updates]
+        )
+        self.momentum.update(disp * scale[:, None], w)
+
+        if self.adaptive:
+            q_r = score_ratio(self.scores, np.asarray(selected))
+            alpha_next = adaptive_alpha(
+                self.discrepancy,
+                ctx.num_classes,
+                q_r,
+                alpha_min=self.alpha_min,
+                alpha_max=self.alpha_max,
+            )
+            self.momentum.set_alpha(alpha_next)
+
+        return x_global - ctx.config.lr_global * (w @ disp)

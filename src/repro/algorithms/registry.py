@@ -1,0 +1,92 @@
+"""Method registry: build any algorithm (plus its loss/sampler builders) by
+the name used in the paper's tables and figures.
+
+Returns ``MethodBundle(algorithm, loss_builder, sampler_builder)``; pass the
+builders to :class:`repro.simulation.FederatedSimulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.algorithms.balancefl import BalanceFL
+from repro.algorithms.creff import CReFF
+from repro.algorithms.fedavg import FedAvg, FedAvgM, FedProx
+from repro.algorithms.fedcm import FedCM
+from repro.algorithms.feddyn import FedDyn
+from repro.algorithms.fedgrab import FedGraB
+from repro.algorithms.fedsam import FedSAM, MoFedSAM
+from repro.algorithms.sam_family import FedSpeed, FedSMOO, FedLESAM
+from repro.algorithms.fedwcm import FedWCM, FedWCMX
+from repro.algorithms.fedwcm_he import FedWCMEncrypted
+from repro.algorithms.server_opt import FedAdam, FedNova, FedYogi
+from repro.algorithms.scaffold import Scaffold
+from repro.algorithms.variants import (
+    fedcm_with_balance_loss,
+    fedcm_with_balanced_sampler,
+    fedcm_with_focal,
+)
+
+__all__ = ["MethodBundle", "make_method", "METHOD_NAMES"]
+
+
+@dataclass
+class MethodBundle:
+    """An algorithm together with its per-client loss/sampler factories."""
+
+    algorithm: object
+    loss_builder: Callable | None = None
+    sampler_builder: Callable | None = None
+
+    @property
+    def name(self) -> str:
+        return self.algorithm.name
+
+
+_SIMPLE = {
+    "fedavg": FedAvg,
+    "fedprox": FedProx,
+    "fedavgm": FedAvgM,
+    "scaffold": Scaffold,
+    "feddyn": FedDyn,
+    "fedcm": FedCM,
+    "fedsam": FedSAM,
+    "mofedsam": MoFedSAM,
+    "fedspeed": FedSpeed,
+    "fedsmoo": FedSMOO,
+    "fedlesam": FedLESAM,
+    "fedwcm": FedWCM,
+    "fedwcm-x": FedWCMX,
+    "fedwcm-he": FedWCMEncrypted,
+    "fedadam": FedAdam,
+    "fedyogi": FedYogi,
+    "fednova": FedNova,
+    "balancefl": BalanceFL,
+    "fedgrab": FedGraB,
+    "creff": CReFF,
+}
+
+_VARIANTS = {
+    "fedcm+focal": fedcm_with_focal,
+    "fedcm+balance_loss": fedcm_with_balance_loss,
+    "fedcm+balance_sampler": fedcm_with_balanced_sampler,
+}
+
+METHOD_NAMES = sorted(list(_SIMPLE) + list(_VARIANTS))
+
+
+def make_method(name: str, **kwargs) -> MethodBundle:
+    """Instantiate a method bundle by table name.
+
+    Args:
+        name: one of :data:`METHOD_NAMES` (case-insensitive).
+        kwargs: forwarded to the algorithm constructor (or variant factory).
+    """
+    key = name.lower()
+    if key in _SIMPLE:
+        return MethodBundle(algorithm=_SIMPLE[key](**kwargs))
+    if key in _VARIANTS:
+        algo, loss_b, sampler_b = _VARIANTS[key](**kwargs)
+        return MethodBundle(algorithm=algo, loss_builder=loss_b, sampler_builder=sampler_b)
+    raise KeyError(f"unknown method {name!r}; available: {METHOD_NAMES}")

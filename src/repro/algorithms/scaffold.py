@@ -1,0 +1,59 @@
+"""SCAFFOLD (Karimireddy et al. 2020): stochastic controlled averaging.
+
+Clients correct their local gradients with control variates:
+
+    direction = g - c_i + c
+
+After local training, each client refreshes its control variate with
+option II of the paper: ``c_i^+ = c_i - c + (x_global - x_local) / (K * lr)``,
+and the server updates ``c`` with the participation-weighted average of the
+(c_i^+ - c_i) deltas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import ClientUpdate, FederatedAlgorithm, LocalSGDMixin
+from repro.simulation.context import SimulationContext
+
+__all__ = ["Scaffold"]
+
+
+class Scaffold(LocalSGDMixin, FederatedAlgorithm):
+    name = "scaffold"
+
+    def setup(self, ctx: SimulationContext) -> None:
+        self._c = np.zeros(ctx.dim, dtype=np.float64)
+        self._ci = np.zeros((ctx.num_clients, ctx.dim), dtype=np.float64)
+
+    def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
+        c, ci = self._c, self._ci[client_id]
+        correction = c - ci  # added to every local gradient
+
+        def direction(g: np.ndarray, x: np.ndarray) -> np.ndarray:
+            return g + correction
+
+        x_local, nb = self._local_sgd(
+            ctx, round_idx, client_id, x_global, direction_fn=direction
+        )
+        disp = x_global - x_local
+        lr = ctx.lr_at(round_idx)
+        ci_new = ci - c + disp / (max(nb, 1) * lr)
+        delta_ci = ci_new - ci
+        self._ci[client_id] = ci_new
+        return ClientUpdate(
+            client_id=client_id,
+            displacement=disp,
+            n_samples=len(ctx.client_xy(client_id)[1]),
+            n_batches=nb,
+            extras={"delta_ci": delta_ci},
+        )
+
+    def aggregate(self, ctx, round_idx, selected, updates, x_global) -> np.ndarray:
+        m = len(updates)
+        disp = np.stack([u.displacement for u in updates])
+        x_new = x_global - ctx.config.lr_global * disp.mean(axis=0)
+        dci = np.stack([u.extras["delta_ci"] for u in updates])
+        self._c += (m / ctx.num_clients) * dci.mean(axis=0)
+        return x_new

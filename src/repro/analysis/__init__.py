@@ -1,0 +1,34 @@
+"""Analysis substrate: neuron concentration, neural/minority collapse,
+per-label accuracy (paper Figures 4, 8, 13-17)."""
+
+from repro.analysis.concentration import (
+    neuron_concentration,
+    capture_relu_activations,
+    layer_concentrations,
+    ConcentrationTracker,
+)
+from repro.analysis.collapse import (
+    within_between_ratio,
+    classifier_angles,
+    minority_collapse_index,
+    feature_class_means,
+)
+from repro.analysis.perclass import per_label_accuracy, head_tail_accuracy, PerClassTracker
+from repro.analysis.fairness import per_client_accuracy, fairness_report, gini_coefficient
+
+__all__ = [
+    "neuron_concentration",
+    "capture_relu_activations",
+    "layer_concentrations",
+    "ConcentrationTracker",
+    "within_between_ratio",
+    "classifier_angles",
+    "minority_collapse_index",
+    "feature_class_means",
+    "per_label_accuracy",
+    "head_tail_accuracy",
+    "PerClassTracker",
+    "per_client_accuracy",
+    "fairness_report",
+    "gini_coefficient",
+]

@@ -1,0 +1,96 @@
+"""Neural-collapse / minority-collapse statistics (paper appendix B).
+
+Fang et al. 2021 show that balanced training drives the penultimate features
+and classifier rows toward a simplex equiangular tight frame (ETF); under
+imbalance, minority classifier rows collapse toward each other ("minority
+collapse").  These metrics quantify both effects:
+
+* ``within_between_ratio`` — within-class feature variance over between-class
+  variance (decreases toward 0 under neural collapse, "NC1").
+* ``classifier_angles`` — pairwise cosine matrix of classifier rows; under an
+  ETF all off-diagonal cosines equal -1/(C-1); under minority collapse the
+  tail-tail cosines rise toward +1.
+* ``minority_collapse_index`` — mean cosine among the tail half's classifier
+  rows minus the ETF target (0 = healthy, ~1+1/(C-1) = fully collapsed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "within_between_ratio",
+    "classifier_angles",
+    "minority_collapse_index",
+    "feature_class_means",
+]
+
+
+def feature_class_means(
+    features: np.ndarray, labels: np.ndarray, num_classes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-class feature means and the global mean.
+
+    Returns:
+        ``(class_means, global_mean)``; absent classes get the global mean
+        (contributing zero between-class scatter).
+    """
+    f = np.asarray(features, dtype=np.float64)
+    if f.ndim != 2:
+        raise ValueError(f"features must be 2-D, got shape {f.shape}")
+    mu_g = f.mean(axis=0)
+    means = np.tile(mu_g, (num_classes, 1))
+    for c in range(num_classes):
+        mask = labels == c
+        if mask.any():
+            means[c] = f[mask].mean(axis=0)
+    return means, mu_g
+
+
+def within_between_ratio(features: np.ndarray, labels: np.ndarray, num_classes: int) -> float:
+    """NC1 statistic: tr(Sigma_W) / tr(Sigma_B)."""
+    f = np.asarray(features, dtype=np.float64)
+    means, mu_g = feature_class_means(f, labels, num_classes)
+    sw = 0.0
+    sb = 0.0
+    n = f.shape[0]
+    for c in range(num_classes):
+        mask = labels == c
+        if not mask.any():
+            continue
+        diff = f[mask] - means[c]
+        sw += float((diff**2).sum())
+        nc = int(mask.sum())
+        sb += nc * float(((means[c] - mu_g) ** 2).sum())
+    if sb <= 1e-12:
+        return float("inf")
+    return (sw / n) / (sb / n)
+
+
+def classifier_angles(classifier_rows: np.ndarray) -> np.ndarray:
+    """Pairwise cosine matrix of classifier weight rows (C, d)."""
+    w = np.asarray(classifier_rows, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError(f"classifier_rows must be 2-D, got shape {w.shape}")
+    norms = np.linalg.norm(w, axis=1, keepdims=True)
+    wn = w / np.maximum(norms, 1e-12)
+    return wn @ wn.T
+
+
+def minority_collapse_index(classifier_rows: np.ndarray, tail_classes: np.ndarray) -> float:
+    """Mean pairwise cosine among tail classifier rows, relative to the ETF.
+
+    Under a healthy simplex ETF the expected cosine is -1/(C-1); the index is
+    the excess above that target, so 0 means no collapse and values near
+    ``1 + 1/(C-1)`` mean the tail rows point the same way (full collapse).
+    """
+    w = np.asarray(classifier_rows, dtype=np.float64)
+    tail = np.asarray(tail_classes, dtype=np.int64)
+    if tail.size < 2:
+        raise ValueError("need at least two tail classes")
+    cos = classifier_angles(w)
+    sub = cos[np.ix_(tail, tail)]
+    iu = np.triu_indices(tail.size, k=1)
+    mean_cos = float(sub[iu].mean())
+    etf_target = -1.0 / (w.shape[0] - 1)
+    return mean_cos - etf_target

@@ -1,0 +1,133 @@
+"""Neuron concentration analysis (paper Figure 4 and appendix B).
+
+The paper tracks how concentrated each neuron's activations are on specific
+classes: under balanced data, concentration evolves smoothly (neural
+collapse); under long-tailed data with momentum, concentration spikes as
+majority-class neurons occupy the representational space of others
+("minority collapse").
+
+Definition used here (the paper gives the concept, not a formula): for a
+probe set with labels, let ``a_c(j)`` be the mean activation of neuron ``j``
+on class ``c`` (post-ReLU, hence nonnegative).  Normalising over classes
+gives a distribution ``p_c(j)``; the neuron's concentration is
+
+    conc(j) = (max_c p_c(j) - 1/C) / (1 - 1/C)   in [0, 1]
+
+(0 = class-agnostic neuron, 1 = fires for a single class).  Layer
+concentration averages over neurons; the network-level series averages over
+layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.container import BasicBlock, Sequential
+from repro.nn.layers import ReLU
+from repro.nn.module import Module
+
+__all__ = [
+    "neuron_concentration",
+    "capture_relu_activations",
+    "layer_concentrations",
+    "ConcentrationTracker",
+]
+
+
+def neuron_concentration(activations: np.ndarray, labels: np.ndarray, num_classes: int) -> float:
+    """Mean concentration of a layer's neurons (see module docstring).
+
+    Args:
+        activations: (n, units) nonnegative activation matrix (conv maps are
+            averaged over spatial positions by the caller).
+        labels: (n,) integer labels of the probe samples.
+        num_classes: number of classes C.
+    """
+    acts = np.asarray(activations, dtype=np.float64)
+    if acts.ndim != 2:
+        raise ValueError(f"activations must be 2-D, got shape {acts.shape}")
+    labels = np.asarray(labels)
+    c = num_classes
+    means = np.zeros((c, acts.shape[1]))
+    for cls in range(c):
+        mask = labels == cls
+        if mask.any():
+            means[cls] = acts[mask].mean(axis=0)
+    total = means.sum(axis=0)
+    alive = total > 1e-12
+    if not alive.any():
+        return 0.0
+    p = means[:, alive] / total[alive]
+    conc = (p.max(axis=0) - 1.0 / c) / (1.0 - 1.0 / c)
+    return float(conc.mean())
+
+
+def capture_relu_activations(model: Sequential, x: np.ndarray) -> list[np.ndarray]:
+    """Forward ``x`` and collect each ReLU output (conv maps spatially pooled).
+
+    Residual blocks contribute their two internal ReLU outputs.
+    """
+    outs: list[np.ndarray] = []
+
+    def record(a: np.ndarray) -> None:
+        if a.ndim == 4:
+            outs.append(a.mean(axis=(2, 3)))
+        else:
+            outs.append(a)
+
+    h = x
+    for m in model.children_:
+        if isinstance(m, BasicBlock):
+            skip = h if m.project is None else m.project.forward(h, train=False)
+            t = m.conv1.forward(h, train=False)
+            t = m.norm1.forward(t, train=False)
+            t = m.relu1.forward(t, train=False)
+            record(t)
+            t = m.conv2.forward(t, train=False)
+            t = m.norm2.forward(t, train=False)
+            h = m.relu2.forward(t + skip, train=False)
+            record(h)
+        else:
+            h = m.forward(h, train=False)
+            if isinstance(m, ReLU):
+                record(h)
+    return outs
+
+
+def layer_concentrations(
+    model: Sequential, x: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Concentration of every ReLU layer on a probe set."""
+    acts = capture_relu_activations(model, x)
+    return np.array(
+        [neuron_concentration(a, labels, num_classes) for a in acts], dtype=np.float64
+    )
+
+
+class ConcentrationTracker:
+    """Metric hook recording per-layer neuron concentration each evaluation.
+
+    Use as a ``metric_hooks`` entry of
+    :class:`repro.simulation.FederatedSimulation`; results accumulate in
+    ``self.rounds`` / ``self.per_layer`` (list of arrays) and each round's
+    mean is stored into the history record's extras under
+    ``"neuron_concentration"``.
+    """
+
+    def __init__(self, probe_x: np.ndarray, probe_y: np.ndarray, num_classes: int, max_samples: int = 256) -> None:
+        self.x = probe_x[:max_samples]
+        self.y = probe_y[:max_samples]
+        self.c = num_classes
+        self.rounds: list[int] = []
+        self.per_layer: list[np.ndarray] = []
+
+    def __call__(self, ctx, round_idx: int, x_flat: np.ndarray, extras: dict) -> None:
+        ctx.load_params(x_flat)
+        concs = layer_concentrations(ctx.model, self.x, self.y, self.c)
+        self.rounds.append(round_idx)
+        self.per_layer.append(concs)
+        extras["neuron_concentration"] = float(concs.mean())
+
+    @property
+    def mean_series(self) -> np.ndarray:
+        return np.array([c.mean() for c in self.per_layer])

@@ -1,0 +1,64 @@
+"""Cross-client fairness metrics.
+
+Long-tailed FL papers increasingly report not just global accuracy but its
+*distribution over clients* — a method that sacrifices tail-holding clients
+can still look good on average.  These metrics evaluate the global model on
+each client's local data distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.train import evaluate
+
+__all__ = ["per_client_accuracy", "fairness_report", "gini_coefficient"]
+
+
+def per_client_accuracy(model: Module, dataset, batch_size: int = 256) -> np.ndarray:
+    """Global-model accuracy on each client's local training data."""
+    out = np.empty(dataset.num_clients)
+    for k in range(dataset.num_clients):
+        x, y = dataset.client_data(k)
+        out[k] = evaluate(model, x, y, batch_size=batch_size)["accuracy"] if len(y) else np.nan
+    return out
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini inequality index of nonnegative values (0 = perfectly equal)."""
+    v = np.asarray(values, dtype=np.float64)
+    v = v[~np.isnan(v)]
+    if v.size == 0:
+        return float("nan")
+    if np.any(v < 0):
+        raise ValueError("gini_coefficient requires nonnegative values")
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    v = np.sort(v)
+    n = v.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * v).sum() / (n * total)) - (n + 1.0) / n)
+
+
+def fairness_report(model: Module, dataset) -> dict[str, float]:
+    """Summary of the cross-client accuracy distribution.
+
+    Returns:
+        dict with ``mean``, ``std``, ``worst`` (minimum client accuracy),
+        ``best``, ``gini`` and ``spread`` (best - worst).
+    """
+    acc = per_client_accuracy(model, dataset)
+    finite = acc[~np.isnan(acc)]
+    if finite.size == 0:
+        nan = float("nan")
+        return {"mean": nan, "std": nan, "worst": nan, "best": nan, "gini": nan, "spread": nan}
+    return {
+        "mean": float(finite.mean()),
+        "std": float(finite.std()),
+        "worst": float(finite.min()),
+        "best": float(finite.max()),
+        "gini": gini_coefficient(finite),
+        "spread": float(finite.max() - finite.min()),
+    }

@@ -1,0 +1,66 @@
+"""Per-label accuracy utilities (paper Figure 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import per_class_accuracy
+from repro.nn.module import Module
+
+__all__ = ["per_label_accuracy", "head_tail_accuracy", "PerClassTracker"]
+
+
+def per_label_accuracy(
+    model: Module, x: np.ndarray, y: np.ndarray, num_classes: int, batch: int = 256
+) -> np.ndarray:
+    """Per-class top-1 accuracy of a model on a labelled set."""
+    logits = np.concatenate(
+        [model.forward(x[lo : lo + batch], train=False) for lo in range(0, len(x), batch)]
+    )
+    return per_class_accuracy(logits, y, num_classes)
+
+
+def head_tail_accuracy(
+    per_class: np.ndarray, class_counts: np.ndarray, head_fraction: float = 0.5
+) -> dict[str, float]:
+    """Split per-class accuracies into head/tail groups by training frequency.
+
+    Args:
+        per_class: per-class accuracy vector (NaN allowed for absent classes).
+        class_counts: global training counts per class.
+        head_fraction: fraction of classes (by rank) treated as head.
+
+    Returns:
+        dict with ``head`` and ``tail`` mean accuracies.
+    """
+    counts = np.asarray(class_counts, dtype=np.float64)
+    acc = np.asarray(per_class, dtype=np.float64)
+    if counts.shape != acc.shape:
+        raise ValueError("per_class and class_counts must have equal length")
+    order = np.argsort(-counts)
+    n_head = max(1, int(round(head_fraction * counts.size)))
+    head_idx, tail_idx = order[:n_head], order[n_head:]
+
+    def safe_mean(v: np.ndarray) -> float:
+        v = v[~np.isnan(v)]
+        return float(v.mean()) if v.size else float("nan")
+
+    return {"head": safe_mean(acc[head_idx]), "tail": safe_mean(acc[tail_idx])}
+
+
+class PerClassTracker:
+    """Metric hook recording the per-class accuracy trajectory."""
+
+    def __init__(self, num_classes: int) -> None:
+        self.c = num_classes
+        self.rounds: list[int] = []
+        self.series: list[np.ndarray] = []
+
+    def __call__(self, ctx, round_idx: int, x_flat: np.ndarray, extras: dict) -> None:
+        ctx.load_params(x_flat)
+        acc = per_label_accuracy(
+            ctx.model, ctx.dataset.x_test, ctx.dataset.y_test, self.c
+        )
+        self.rounds.append(round_idx)
+        self.series.append(acc)
+        extras["per_class_accuracy"] = acc

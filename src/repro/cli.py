@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      — one federated run (method x dataset x hyper-parameters),
+                 prints the learning curve and optionally saves history/
+                 checkpoint files.
+* ``compare``  — race several methods on one problem, ASCII plot + table.
+* ``methods``  — list available algorithms.
+* ``datasets`` — list available -lite datasets.
+
+Examples::
+
+    python -m repro run --method fedwcm --dataset cifar10-lite --if 0.1 --rounds 30
+    python -m repro compare --methods fedavg,fedcm,fedwcm --if 0.05
+    python -m repro methods
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.algorithms import METHOD_NAMES, make_method
+from repro.data import DATASET_REGISTRY, load_federated_dataset
+from repro.nn import build_model, make_mlp
+from repro.simulation import FederatedSimulation, FLConfig, save_checkpoint, save_history
+from repro.viz import ascii_barchart, history_plot
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="fashion-mnist-lite", choices=sorted(DATASET_REGISTRY))
+        p.add_argument("--if", dest="imbalance_factor", type=float, default=0.1,
+                       help="imbalance factor IF in (0, 1]")
+        p.add_argument("--beta", type=float, default=0.1, help="Dirichlet concentration")
+        p.add_argument("--clients", type=int, default=20)
+        p.add_argument("--rounds", type=int, default=30)
+        p.add_argument("--batch-size", type=int, default=10)
+        p.add_argument("--participation", type=float, default=0.25)
+        p.add_argument("--local-epochs", type=int, default=5)
+        p.add_argument("--lr-local", type=float, default=0.1)
+        p.add_argument("--lr-global", type=float, default=1.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--model", choices=("mlp", "conv"), default="mlp")
+        p.add_argument("--partition", choices=("balanced", "fedgrab"), default="balanced")
+        p.add_argument("--eval-every", type=int, default=5)
+
+    run_p = sub.add_parser("run", help="run one federated experiment")
+    run_p.add_argument("--method", default="fedwcm", choices=METHOD_NAMES)
+    add_common(run_p)
+    run_p.add_argument("--save-history", metavar="PATH", default=None)
+    run_p.add_argument("--save-checkpoint", metavar="PATH", default=None)
+
+    cmp_p = sub.add_parser("compare", help="race several methods")
+    cmp_p.add_argument("--methods", default="fedavg,fedcm,fedwcm",
+                       help="comma-separated method names")
+    add_common(cmp_p)
+
+    sub.add_parser("methods", help="list available algorithms")
+    sub.add_parser("datasets", help="list available datasets")
+    return parser
+
+
+def _build_problem(args):
+    ds = load_federated_dataset(
+        args.dataset,
+        imbalance_factor=args.imbalance_factor,
+        beta=args.beta,
+        num_clients=args.clients,
+        seed=args.seed,
+        partition=args.partition,
+    )
+    if args.model == "mlp":
+        ds = ds.flat_view()
+        model = make_mlp(ds.x_train.shape[1], ds.num_classes, seed=args.seed)
+    else:
+        shape = ds.info.shape
+        model = build_model(
+            "resnet-lite-18",
+            in_channels=shape[0],
+            image_size=shape[1],
+            num_classes=ds.num_classes,
+            width=4,
+            seed=args.seed,
+        )
+    cfg = FLConfig(
+        rounds=args.rounds,
+        batch_size=args.batch_size,
+        local_epochs=args.local_epochs,
+        lr_local=args.lr_local,
+        lr_global=args.lr_global,
+        participation=args.participation,
+        eval_every=args.eval_every,
+        seed=args.seed,
+    )
+    return ds, model, cfg
+
+
+def _run_one(method: str, args, verbose: bool = True):
+    ds, model, cfg = _build_problem(args)
+    bundle = make_method(method)
+    sim = FederatedSimulation(
+        bundle.algorithm, model, ds, cfg,
+        loss_builder=bundle.loss_builder, sampler_builder=bundle.sampler_builder,
+    )
+    history = sim.run(verbose=verbose)
+    return sim, history
+
+
+def cmd_run(args) -> int:
+    sim, history = _run_one(args.method, args)
+    print(f"\nfinal accuracy: {history.final_accuracy:.4f}")
+    print(f"best accuracy:  {history.best_accuracy:.4f}")
+    if args.save_history:
+        save_history(args.save_history, history)
+        print(f"history -> {args.save_history}")
+    if args.save_checkpoint:
+        save_checkpoint(args.save_checkpoint, sim.final_params, sim.ctx.spec,
+                        round_idx=args.rounds - 1)
+        print(f"checkpoint -> {args.save_checkpoint}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    unknown = [m for m in methods if m not in METHOD_NAMES]
+    if unknown:
+        print(f"unknown methods: {unknown}; see `python -m repro methods`", file=sys.stderr)
+        return 2
+    histories = {}
+    for m in methods:
+        _, histories[m] = _run_one(m, args, verbose=False)
+        print(f"{m:24s} final={histories[m].final_accuracy:.4f}")
+    print()
+    print(history_plot(histories, title=(
+        f"{args.dataset}  IF={args.imbalance_factor}  beta={args.beta}"
+    )))
+    print()
+    print(ascii_barchart(
+        {m: h.final_accuracy for m, h in histories.items()}, title="final accuracy"
+    ))
+    return 0
+
+
+def cmd_methods(_args) -> int:
+    for name in METHOD_NAMES:
+        print(name)
+    return 0
+
+
+def cmd_datasets(_args) -> int:
+    for name, info in sorted(DATASET_REGISTRY.items()):
+        print(f"{name:20s} classes={info.num_classes:<4d} shape={info.shape} "
+              f"({info.paper_counterpart})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return {
+            "run": cmd_run,
+            "compare": cmd_compare,
+            "methods": cmd_methods,
+            "datasets": cmd_datasets,
+        }[args.command](args)
+    except BrokenPipeError:  # e.g. `repro methods | head`
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""FedWCM core: the paper's contribution.
+
+Scoring (Eq. 3), temperature-softmax client weighting (Eq. 4), adaptive
+momentum (Eq. 5) and the server-side momentum state.  The federated drivers
+that assemble these into Algorithms 1 (FedWCM) and 3 (FedWCM-X) live in
+:mod:`repro.algorithms.fedwcm`.
+"""
+
+from repro.core.scoring import global_distribution, scarcity_weights, client_scores
+from repro.core.weighting import l1_discrepancy, compute_temperature, softmax_weights
+from repro.core.momentum import score_ratio, adaptive_alpha, GlobalMomentum
+
+__all__ = [
+    "global_distribution",
+    "scarcity_weights",
+    "client_scores",
+    "l1_discrepancy",
+    "compute_temperature",
+    "softmax_weights",
+    "score_ratio",
+    "adaptive_alpha",
+    "GlobalMomentum",
+]

@@ -1,0 +1,146 @@
+"""Adaptive momentum (paper section 5.2, Eq. 5) and the global momentum state.
+
+Equation (5):
+
+    alpha_{r+1} = 0.1 + 0.9 * (1 - e^{-||T/K||_1}) * q_r
+
+* ``alpha`` is the weight on the *current gradient* in the local update
+  ``v = alpha * g + (1 - alpha) * Delta``; alpha = 0.1 (FedCM's fixed value)
+  means heavy reliance on global momentum, alpha -> 1 disables momentum.
+* The ``(1 - e^{-||T/K||_1})`` term measures global imbalance: it vanishes for
+  a balanced global distribution (recovering FedCM) and grows with the
+  discrepancy between global and target distributions.  We realise
+  ``||T/K||_1`` as ``C * D`` where ``D`` is the total-variation discrepancy
+  and ``C`` the class count, matching the paper's "scaled appropriately by
+  the number of classes".
+* ``q_r`` is the ratio between the mean score of the *sampled* clients and
+  the mean score over *all* clients — when this round's cohort is rich in
+  scarce data, momentum incorporates more of its (informative) gradient.
+  Scores may be negative (signed mode), so the ratio is computed on
+  min-shifted scores and clipped to [0, q_max].
+
+The result is clipped to [alpha_min, alpha_max] ⊂ [0.1, 1), the range assumed
+by the convergence analysis (section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.weighting import l1_discrepancy
+
+__all__ = ["score_ratio", "adaptive_alpha", "GlobalMomentum"]
+
+
+def score_ratio(
+    all_scores: np.ndarray,
+    selected: np.ndarray,
+    q_max: float = 2.0,
+) -> float:
+    """q_r of Eq. (5): sampled-cohort mean score over population mean score.
+
+    Scores are shifted to be nonnegative first (signed-mode scores may be
+    negative); a degenerate population (all equal scores) yields q = 1.
+    """
+    s = np.asarray(all_scores, dtype=np.float64)
+    if s.ndim != 1 or s.size == 0:
+        raise ValueError("all_scores must be a non-empty 1-D vector")
+    sel = np.asarray(selected, dtype=np.int64)
+    if sel.size == 0:
+        return 1.0
+    if sel.min() < 0 or sel.max() >= s.size:
+        raise IndexError("selected contains out-of-range client ids")
+    shifted = s - s.min()
+    denom = shifted.mean()
+    if denom <= 1e-12:
+        return 1.0
+    q = float(shifted[sel].mean() / denom)
+    return float(np.clip(q, 0.0, q_max))
+
+
+def adaptive_alpha(
+    discrepancy: float,
+    num_classes: int,
+    q_r: float,
+    alpha_min: float = 0.1,
+    alpha_max: float = 0.999,
+) -> float:
+    """Equation (5): the next round's momentum mixing coefficient.
+
+    Args:
+        discrepancy: total-variation discrepancy D between global and target
+            distributions (see :func:`repro.core.weighting.l1_discrepancy`).
+        num_classes: class count C (the K in the paper's ``||T/K||_1``).
+        q_r: cohort score ratio from :func:`score_ratio`.
+        alpha_min / alpha_max: clipping range; defaults to the paper's
+            [0.1, 1).
+
+    Returns:
+        alpha_{r+1} in [alpha_min, alpha_max].
+    """
+    if num_classes < 1:
+        raise ValueError(f"num_classes must be >= 1, got {num_classes}")
+    if not 0.0 <= discrepancy <= 1.0:
+        raise ValueError(f"discrepancy must lie in [0, 1], got {discrepancy}")
+    if q_r < 0:
+        raise ValueError(f"q_r must be nonnegative, got {q_r}")
+    if not 0.0 < alpha_min <= alpha_max < 1.0:
+        raise ValueError("require 0 < alpha_min <= alpha_max < 1")
+    imbalance_term = 1.0 - np.exp(-float(num_classes) * float(discrepancy))
+    alpha = 0.1 + 0.9 * imbalance_term * q_r
+    return float(np.clip(alpha, alpha_min, alpha_max))
+
+
+@dataclass
+class GlobalMomentum:
+    """Server-side global momentum Delta_r and its per-round alpha schedule.
+
+    ``delta`` is a flat parameter-sized vector holding the gradient-scale
+    momentum direction (average of clients' applied update directions); it is
+    broadcast to clients each round and refreshed from their weighted
+    pseudo-gradients.
+    """
+
+    dim: int
+    alpha: float = 0.1
+    delta: np.ndarray = field(default=None)  # type: ignore[assignment]
+    history: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise ValueError(f"dim must be positive, got {self.dim}")
+        if self.delta is None:
+            self.delta = np.zeros(self.dim, dtype=np.float64)
+        elif self.delta.shape != (self.dim,):
+            raise ValueError(f"delta shape {self.delta.shape} != ({self.dim},)")
+        self.history.append(self.alpha)
+
+    def update(self, pseudo_grads: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Refresh Delta from client pseudo-gradients.
+
+        Args:
+            pseudo_grads: (m, dim) matrix, one gradient-scale direction per
+                sampled client.
+            weights: length-m aggregation weights summing to 1.
+
+        Returns:
+            The new delta vector (also stored on the state).
+        """
+        g = np.asarray(pseudo_grads, dtype=np.float64)
+        w = np.asarray(weights, dtype=np.float64)
+        if g.ndim != 2 or g.shape[1] != self.dim:
+            raise ValueError(f"pseudo_grads must be (m, {self.dim}), got {g.shape}")
+        if w.shape != (g.shape[0],):
+            raise ValueError(f"weights shape {w.shape} != ({g.shape[0]},)")
+        if not np.isclose(w.sum(), 1.0, atol=1e-6):
+            raise ValueError(f"weights must sum to 1, got {w.sum()}")
+        self.delta = w @ g
+        return self.delta
+
+    def set_alpha(self, alpha: float) -> None:
+        if not 0.0 < alpha < 1.0 + 1e-12:
+            raise ValueError(f"alpha must lie in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self.history.append(self.alpha)

@@ -1,0 +1,79 @@
+"""Long-tailed class-frequency profiles.
+
+The paper (section 3.2) defines the imbalance factor as the ratio between the
+least- and most-frequent class: ``IF = 1`` is balanced, ``IF = 0.01`` puts the
+rarest class at 1% of the most common one ("smaller IF means a longer tail").
+The standard exponential profile (Cao et al. 2019) interpolates between them:
+
+    n_c = n_max * IF^(c / (C - 1)),  c = 0..C-1
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["longtail_counts", "imbalance_factor_of", "apply_longtail"]
+
+
+def longtail_counts(n_max: int, num_classes: int, imbalance_factor: float) -> np.ndarray:
+    """Exponential long-tail class counts.
+
+    Args:
+        n_max: sample count of the most frequent class (class 0).
+        num_classes: number of classes.
+        imbalance_factor: IF in (0, 1]; 1 gives a balanced profile.
+
+    Returns:
+        Integer counts per class, descending, each at least 1.
+    """
+    check_positive(n_max, "n_max")
+    if num_classes < 1:
+        raise ValueError(f"num_classes must be >= 1, got {num_classes}")
+    if not 0.0 < imbalance_factor <= 1.0:
+        raise ValueError(
+            f"imbalance_factor must lie in (0, 1], got {imbalance_factor}"
+        )
+    if num_classes == 1:
+        return np.array([int(n_max)])
+    exponents = np.arange(num_classes) / (num_classes - 1)
+    counts = n_max * np.power(imbalance_factor, exponents)
+    return np.maximum(counts.astype(np.int64), 1)
+
+
+def imbalance_factor_of(class_counts: np.ndarray) -> float:
+    """Empirical IF of a count vector: min(count) / max(count)."""
+    counts = np.asarray(class_counts, dtype=np.float64)
+    if counts.size == 0 or counts.max() <= 0:
+        raise ValueError("class_counts must contain positive entries")
+    return float(counts.min() / counts.max())
+
+
+def apply_longtail(
+    labels: np.ndarray,
+    imbalance_factor: float,
+    rng: np.random.Generator,
+    num_classes: int | None = None,
+) -> np.ndarray:
+    """Subsample a balanced dataset's indices into a long-tailed subset.
+
+    Classes are ranked by label id (class 0 becomes the head).  Returns the
+    selected indices (shuffled).
+    """
+    labels = np.asarray(labels)
+    c = int(num_classes if num_classes is not None else labels.max() + 1)
+    per_class = np.bincount(labels, minlength=c)
+    n_max = int(per_class.max())
+    target = longtail_counts(n_max, c, imbalance_factor)
+    target = np.minimum(target, per_class)
+    keep: list[np.ndarray] = []
+    for cls in range(c):
+        idx = np.flatnonzero(labels == cls)
+        take = int(target[cls])
+        if take < idx.size:
+            idx = rng.choice(idx, size=take, replace=False)
+        keep.append(idx)
+    out = np.concatenate(keep)
+    rng.shuffle(out)
+    return out

@@ -1,0 +1,209 @@
+"""Client data partitioning strategies.
+
+Two first-class strategies, mirroring the paper's Figure 2:
+
+* :func:`partition_balanced_dirichlet` — the paper's partition (following
+  BalanceFL): every client receives (approximately) the **same number of
+  samples**, while class proportions per client follow Dir(beta).  This is
+  the IoT-motivated setting where device storage is comparable across
+  clients.
+* :func:`partition_by_class_dirichlet` — FedGraB/CReFF-style: for each class,
+  a Dir(beta) draw splits that class's samples across clients, which induces
+  **heavy quantity skew** (appendix A).  Every client is guaranteed at least
+  one sample.
+
+Both return a list of index arrays (one per client), partitioning the input
+labels exactly (no sample dropped or duplicated).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "partition_balanced_dirichlet",
+    "partition_by_class_dirichlet",
+    "client_class_counts",
+    "quantity_skew_of",
+]
+
+
+def partition_balanced_dirichlet(
+    labels: np.ndarray,
+    num_clients: int,
+    beta: float,
+    rng: int | np.random.Generator = 0,
+    num_classes: int | None = None,
+) -> list[np.ndarray]:
+    """Quantity-balanced Dirichlet partition (the paper's default).
+
+    Greedy water-filling: each client draws target proportions p_k ~ Dir(beta)
+    and a quota of ``n_total / num_clients`` samples; clients then claim
+    samples class by class, capped by the remaining pool of each class, and
+    any shortfall is refilled from the classes with the most remaining
+    samples.  The result keeps client sizes within one sample of each other
+    while class mixtures follow the Dirichlet draw as far as the long-tailed
+    pool allows.
+
+    Args:
+        labels: integer labels of the (already long-tailed) training set.
+        num_clients: number of clients K.
+        beta: Dirichlet concentration; smaller = more skew.
+        rng: seed or generator.
+        num_classes: override the inferred class count.
+
+    Returns:
+        ``num_clients`` index arrays forming an exact partition of ``labels``.
+    """
+    check_positive(beta, "beta")
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    rng = as_generator(rng)
+    labels = np.asarray(labels)
+    n = labels.shape[0]
+    if n < num_clients:
+        raise ValueError(f"cannot split {n} samples across {num_clients} clients")
+    c = int(num_classes if num_classes is not None else labels.max() + 1)
+
+    # per-class pools, shuffled once
+    pools = [list(rng.permutation(np.flatnonzero(labels == cls))) for cls in range(c)]
+    remaining = np.array([len(p) for p in pools])
+
+    base = n // num_clients
+    quotas = np.full(num_clients, base, dtype=np.int64)
+    quotas[: n - base * num_clients] += 1  # distribute the remainder
+
+    proportions = rng.dirichlet(np.full(c, beta), size=num_clients)
+    out: list[np.ndarray] = []
+    order = rng.permutation(num_clients)  # serve clients in random order
+    assignments: dict[int, list[int]] = {k: [] for k in range(num_clients)}
+
+    for k in order:
+        quota = int(quotas[k])
+        want = proportions[k] * quota
+        take = np.minimum(np.floor(want).astype(np.int64), remaining)
+        # fill the remainder greedily by fractional part, then by pool size
+        short = quota - int(take.sum())
+        if short > 0:
+            frac_order = np.argsort(-(want - np.floor(want)))
+            for cls in frac_order:
+                if short == 0:
+                    break
+                extra = min(short, int(remaining[cls] - take[cls]))
+                if extra > 0:
+                    take[cls] += 1 if extra >= 1 else 0
+                    short -= 1 if extra >= 1 else 0
+        if short > 0:
+            # refill from the largest remaining pools
+            while short > 0:
+                cls = int(np.argmax(remaining - take))
+                room = int(remaining[cls] - take[cls])
+                if room <= 0:
+                    break
+                grab = min(short, room)
+                take[cls] += grab
+                short -= grab
+        for cls in range(c):
+            t = int(take[cls])
+            if t:
+                assignments[k].extend(pools[cls][:t])
+                del pools[cls][:t]
+                remaining[cls] -= t
+
+    # any leftovers (rounding) go to the smallest clients
+    leftovers = [i for p in pools for i in p]
+    if leftovers:
+        sizes = np.array([len(assignments[k]) for k in range(num_clients)])
+        for i, idx in enumerate(leftovers):
+            k = int(np.argmin(sizes))
+            assignments[k].append(idx)
+            sizes[k] += 1
+
+    for k in range(num_clients):
+        arr = np.array(assignments[k], dtype=np.int64)
+        rng.shuffle(arr)
+        out.append(arr)
+    return out
+
+
+def partition_by_class_dirichlet(
+    labels: np.ndarray,
+    num_clients: int,
+    beta: float,
+    rng: int | np.random.Generator = 0,
+    num_classes: int | None = None,
+    min_samples: int = 1,
+) -> list[np.ndarray]:
+    """FedGraB-style per-class Dirichlet partition (quantity-skewed).
+
+    For each class, a Dir(beta) draw over clients splits that class's pool.
+    Clients left with fewer than ``min_samples`` samples steal one sample from
+    the largest client until everyone meets the floor (the FedGraB "at least
+    one data point" rule).
+    """
+    check_positive(beta, "beta")
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    rng = as_generator(rng)
+    labels = np.asarray(labels)
+    n = labels.shape[0]
+    if n < num_clients * min_samples:
+        raise ValueError(
+            f"{n} samples cannot give {num_clients} clients >= {min_samples} each"
+        )
+    c = int(num_classes if num_classes is not None else labels.max() + 1)
+
+    assignments: list[list[int]] = [[] for _ in range(num_clients)]
+    for cls in range(c):
+        idx = rng.permutation(np.flatnonzero(labels == cls))
+        if idx.size == 0:
+            continue
+        p = rng.dirichlet(np.full(num_clients, beta))
+        counts = np.floor(p * idx.size).astype(np.int64)
+        # distribute the rounding remainder to the largest shares
+        rem = idx.size - int(counts.sum())
+        if rem:
+            counts[np.argsort(-p)[:rem]] += 1
+        lo = 0
+        for k in range(num_clients):
+            assignments[k].extend(idx[lo : lo + counts[k]])
+            lo += counts[k]
+
+    sizes = np.array([len(a) for a in assignments])
+    while sizes.min() < min_samples:
+        k_small = int(np.argmin(sizes))
+        k_big = int(np.argmax(sizes))
+        if k_small == k_big or sizes[k_big] <= min_samples:
+            break
+        assignments[k_small].append(assignments[k_big].pop())
+        sizes[k_small] += 1
+        sizes[k_big] -= 1
+
+    out = []
+    for a in assignments:
+        arr = np.array(a, dtype=np.int64)
+        rng.shuffle(arr)
+        out.append(arr)
+    return out
+
+
+def client_class_counts(
+    partitions: list[np.ndarray], labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Matrix of per-client class counts, shape ``(K, C)``."""
+    labels = np.asarray(labels)
+    out = np.zeros((len(partitions), num_classes), dtype=np.int64)
+    for k, idx in enumerate(partitions):
+        out[k] = np.bincount(labels[idx], minlength=num_classes)
+    return out
+
+
+def quantity_skew_of(partitions: list[np.ndarray]) -> float:
+    """Coefficient of variation of client sizes (0 = perfectly balanced)."""
+    sizes = np.array([len(p) for p in partitions], dtype=np.float64)
+    if sizes.size == 0 or sizes.mean() == 0:
+        return 0.0
+    return float(sizes.std() / sizes.mean())

@@ -1,0 +1,203 @@
+"""Toy BFV (Brakerski/Fan–Vercauteren) scheme over the negacyclic ring.
+
+The paper's appendix C uses the BFV scheme (via TenSEAL) to aggregate
+integer class-distribution vectors under encryption.  This module implements
+the scheme from scratch:
+
+* ring R_q = Z_q[x] / (x^n + 1), q an NTT-friendly prime;
+* plaintext space R_t with coefficient packing (one vector slot per
+  coefficient — enough for exact additive aggregation of count vectors);
+* encryption ct = (c0, c1) = (b*u + e1 + Δ·m, a*u + e2) with Δ = floor(q/t);
+* additive homomorphism by coefficient-wise ciphertext addition;
+* exact decryption while the accumulated noise stays below Δ/2.
+
+Polynomial multiplication uses an exact negacyclic number-theoretic
+transform (O(n log n), pure Python integers — no overflow).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.he.primes import find_ntt_prime, primitive_root_of_unity
+
+__all__ = ["BFVParams", "BFVPublicKey", "BFVSecretKey", "BFVCiphertext", "bfv_keygen"]
+
+
+# --------------------------------------------------------------------------
+# negacyclic NTT over Z_q
+# --------------------------------------------------------------------------
+class _NegacyclicNTT:
+    """Exact negacyclic convolution via the 2n-th root-of-unity trick."""
+
+    def __init__(self, n: int, q: int) -> None:
+        if n & (n - 1):
+            raise ValueError(f"n must be a power of two, got {n}")
+        if (q - 1) % (2 * n):
+            raise ValueError("q must satisfy q ≡ 1 (mod 2n)")
+        self.n, self.q = n, q
+        psi = primitive_root_of_unity(q, 2 * n)  # psi^n = -1
+        self.psi = [pow(psi, i, q) for i in range(n)]
+        psi_inv = pow(psi, -1, q)
+        self.psi_inv = [pow(psi_inv, i, q) for i in range(n)]
+        self.w = pow(psi, 2, q)
+        self.w_inv = pow(self.w, -1, q)
+        self.n_inv = pow(n, -1, q)
+
+    def _ntt(self, a: list[int], root: int) -> list[int]:
+        """Iterative Cooley–Tukey NTT (bit-reversal ordering)."""
+        n, q = self.n, self.q
+        a = a[:]
+        # bit reversal permutation
+        j = 0
+        for i in range(1, n):
+            bit = n >> 1
+            while j & bit:
+                j ^= bit
+                bit >>= 1
+            j |= bit
+            if i < j:
+                a[i], a[j] = a[j], a[i]
+        length = 2
+        while length <= n:
+            w_len = pow(root, n // length, q)
+            for start in range(0, n, length):
+                w = 1
+                half = length // 2
+                for k in range(start, start + half):
+                    u, v = a[k], a[k + half] * w % q
+                    a[k] = (u + v) % q
+                    a[k + half] = (u - v) % q
+                    w = w * w_len % q
+            length <<= 1
+        return a
+
+    def multiply(self, a: list[int], b: list[int]) -> list[int]:
+        """Negacyclic product a(x) * b(x) mod (x^n + 1, q)."""
+        n, q = self.n, self.q
+        at = self._ntt([x * p % q for x, p in zip(a, self.psi)], self.w)
+        bt = self._ntt([x * p % q for x, p in zip(b, self.psi)], self.w)
+        ct = [x * y % q for x, y in zip(at, bt)]
+        c = self._ntt(ct, self.w_inv)
+        return [x * self.n_inv % q * pinv % q for x, pinv in zip(c, self.psi_inv)]
+
+
+# --------------------------------------------------------------------------
+# scheme
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BFVParams:
+    """Ring and modulus parameters.
+
+    Defaults give exact aggregation of >=100-client count vectors with
+    comfortably sub-Δ noise: n = 1024, t = 2^20, q ≈ 2^50.
+    """
+
+    n: int = 1024
+    t: int = 1 << 20
+    q_bits: int = 50
+    noise_bound: int = 4  # uniform ternary-ish noise in [-B, B]
+
+    def __post_init__(self) -> None:
+        if self.n & (self.n - 1):
+            raise ValueError("n must be a power of two")
+        if self.t < 2 or self.q_bits < 20 or self.noise_bound < 1:
+            raise ValueError("invalid BFV parameters")
+
+
+class BFVSecretKey:
+    def __init__(self, s: list[int]):
+        self.s = s
+
+
+class BFVPublicKey:
+    """Public key (b, a) = (-(a*s + e), a) plus scheme parameters."""
+
+    def __init__(self, params: BFVParams, q: int, b: list[int], a: list[int], ntt: _NegacyclicNTT):
+        self.params = params
+        self.q = q
+        self.b = b
+        self.a = a
+        self._ntt = ntt
+        self.delta = q // params.t
+
+    # -- helpers ----------------------------------------------------------
+    def _small_poly(self, rng: random.Random) -> list[int]:
+        bound = self.params.noise_bound
+        return [rng.randint(-bound, bound) % self.q for _ in range(self.params.n)]
+
+    def _ternary_poly(self, rng: random.Random) -> list[int]:
+        return [rng.choice((-1, 0, 1)) % self.q for _ in range(self.params.n)]
+
+    def encrypt(self, message: list[int], rng: random.Random) -> "BFVCiphertext":
+        """Encrypt an integer vector packed into polynomial coefficients."""
+        n, t, q = self.params.n, self.params.t, self.q
+        if len(message) > n:
+            raise ValueError(f"message length {len(message)} exceeds ring degree {n}")
+        m = [int(v) % t for v in message] + [0] * (n - len(message))
+        u = self._ternary_poly(rng)
+        e1 = self._small_poly(rng)
+        e2 = self._small_poly(rng)
+        c0 = self._ntt.multiply(self.b, u)
+        c0 = [(x + e + self.delta * mm) % q for x, e, mm in zip(c0, e1, m)]
+        c1 = self._ntt.multiply(self.a, u)
+        c1 = [(x + e) % q for x, e in zip(c1, e2)]
+        return BFVCiphertext(self, c0, c1)
+
+    def decrypt(self, ct: "BFVCiphertext", sk: BFVSecretKey, length: int | None = None) -> list[int]:
+        """Exact decryption (valid while noise < Δ/2)."""
+        q, t = self.q, self.params.t
+        inner = self._ntt.multiply(ct.c1, sk.s)
+        raw = [(c0 + x) % q for c0, x in zip(ct.c0, inner)]
+        out = [((v * t + q // 2) // q) % t for v in raw]
+        return out[: length if length is not None else self.params.n]
+
+    def ciphertext_bytes(self) -> int:
+        """Serialized ciphertext size: 2 polynomials of n coefficients mod q."""
+        per_coef = (self.q.bit_length() + 7) // 8
+        return 2 * self.params.n * per_coef
+
+
+class BFVCiphertext:
+    """A (c0, c1) pair supporting additive homomorphism."""
+
+    def __init__(self, pk: BFVPublicKey, c0: list[int], c1: list[int]):
+        self.pk = pk
+        self.c0 = c0
+        self.c1 = c1
+
+    def __add__(self, other: "BFVCiphertext") -> "BFVCiphertext":
+        if other.pk is not self.pk:
+            raise ValueError("ciphertexts under different keys cannot be added")
+        q = self.pk.q
+        return BFVCiphertext(
+            self.pk,
+            [(x + y) % q for x, y in zip(self.c0, other.c0)],
+            [(x + y) % q for x, y in zip(self.c1, other.c1)],
+        )
+
+    def add_plain(self, values: list[int]) -> "BFVCiphertext":
+        """Add a plaintext vector (scaled by Δ) without encryption."""
+        q, t, d = self.pk.q, self.pk.params.t, self.pk.delta
+        m = [int(v) % t for v in values] + [0] * (self.pk.params.n - len(values))
+        c0 = [(x + d * mm) % q for x, mm in zip(self.c0, m)]
+        return BFVCiphertext(self.pk, c0, self.c1[:])
+
+    def serialized_bytes(self) -> int:
+        return self.pk.ciphertext_bytes()
+
+
+def bfv_keygen(params: BFVParams | None = None, seed: int = 0) -> tuple[BFVPublicKey, BFVSecretKey]:
+    """Generate a BFV key pair (deterministic given ``seed``)."""
+    params = params or BFVParams()
+    q = find_ntt_prime(params.q_bits, params.n)
+    ntt = _NegacyclicNTT(params.n, q)
+    rng = random.Random(seed)
+    s = [rng.choice((-1, 0, 1)) % q for _ in range(params.n)]
+    a = [rng.randrange(q) for _ in range(params.n)]
+    e = [rng.randint(-params.noise_bound, params.noise_bound) % q for _ in range(params.n)]
+    as_prod = ntt.multiply(a, s)
+    b = [(-(x + ee)) % q for x, ee in zip(as_prod, e)]
+    pk = BFVPublicKey(params, q, b, a, ntt)
+    return pk, BFVSecretKey(s)

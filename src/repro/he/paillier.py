@@ -1,0 +1,94 @@
+"""Paillier additively homomorphic encryption (from scratch).
+
+Used as the simple/reference additive-HE backend for the FedWCM
+class-distribution aggregation protocol: ``E(m1) * E(m2) mod n^2 =
+E(m1 + m2)``.  The BFV backend (:mod:`repro.he.bfv`) is the
+paper-matching scheme (packed integer vectors); Paillier encrypts one
+integer per ciphertext.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from math import gcd
+
+from repro.he.primes import random_prime
+
+__all__ = ["PaillierPublicKey", "PaillierPrivateKey", "paillier_keygen"]
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public key (n, g) with the standard g = n + 1 choice."""
+
+    n: int
+
+    @property
+    def n_sq(self) -> int:
+        return self.n * self.n
+
+    def encrypt(self, m: int, rng: random.Random) -> int:
+        """Encrypt integer ``m`` in [0, n)."""
+        if not 0 <= m < self.n:
+            raise ValueError(f"plaintext must lie in [0, n), got {m}")
+        n, n2 = self.n, self.n_sq
+        while True:
+            r = rng.randrange(1, n)
+            if gcd(r, n) == 1:
+                break
+        # (1 + n)^m = 1 + m*n (mod n^2)
+        return ((1 + m * n) % n2) * pow(r, n, n2) % n2
+
+    def add(self, c1: int, c2: int) -> int:
+        """Homomorphic addition: E(m1) (+) E(m2) = E(m1 + m2 mod n)."""
+        return (c1 * c2) % self.n_sq
+
+    def add_plain(self, c: int, k: int) -> int:
+        """Homomorphic plaintext addition: E(m) (+) k = E(m + k mod n)."""
+        return (c * ((1 + (k % self.n) * self.n) % self.n_sq)) % self.n_sq
+
+    def mul_plain(self, c: int, k: int) -> int:
+        """Homomorphic scalar multiplication: E(m) (*) k = E(k * m mod n)."""
+        return pow(c, k % self.n, self.n_sq)
+
+    def ciphertext_bytes(self) -> int:
+        """Serialized size of one ciphertext (an element of Z_{n^2})."""
+        return (self.n_sq.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private key (lambda, mu) for the matching public key."""
+
+    public: PaillierPublicKey
+    lam: int
+    mu: int
+
+    def decrypt(self, c: int) -> int:
+        n, n2 = self.public.n, self.public.n_sq
+        u = pow(c, self.lam, n2)
+        l_val = (u - 1) // n
+        return (l_val * self.mu) % n
+
+
+def paillier_keygen(bits: int = 512, seed: int = 0) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
+    """Generate a Paillier key pair with an n of roughly ``bits`` bits.
+
+    Deterministic given ``seed`` (tests and benchmarks are reproducible).
+    """
+    if bits < 32:
+        raise ValueError(f"bits must be >= 32, got {bits}")
+    rng = random.Random(seed)
+    half = bits // 2
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(half, rng)
+        if p != q:
+            break
+    n = p * q
+    lam = (p - 1) * (q - 1)  # Carmichael simplification for p, q of equal size
+    public = PaillierPublicKey(n=n)
+    # mu = lam^{-1} mod n for the g = n + 1 variant
+    mu = pow(lam, -1, n)
+    return public, PaillierPrivateKey(public=public, lam=lam, mu=mu)

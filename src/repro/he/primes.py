@@ -1,0 +1,82 @@
+"""Prime generation for the homomorphic-encryption substrate.
+
+Pure-Python Miller–Rabin plus helpers to find NTT-friendly primes
+(q ≡ 1 mod 2n) used by the BFV scheme's negacyclic number-theoretic
+transform.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["is_probable_prime", "random_prime", "find_ntt_prime"]
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test (error probability <= 4^-rounds)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random(0xC0FFEE ^ n)
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """Random prime with exactly ``bits`` bits."""
+    if bits < 4:
+        raise ValueError(f"bits must be >= 4, got {bits}")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def find_ntt_prime(bits: int, n: int) -> int:
+    """Smallest prime >= 2^(bits-1) with q ≡ 1 (mod 2n).
+
+    Such primes admit a primitive 2n-th root of unity, enabling the
+    negacyclic NTT over Z_q[x]/(x^n + 1).
+    """
+    if n & (n - 1):
+        raise ValueError(f"n must be a power of two, got {n}")
+    m = 2 * n
+    q = (1 << (bits - 1)) + 1
+    q += (-(q - 1)) % m  # align q ≡ 1 (mod 2n)
+    while True:
+        if is_probable_prime(q):
+            return q
+        q += m
+
+
+def primitive_root_of_unity(q: int, order: int, seed: int = 0) -> int:
+    """A primitive ``order``-th root of unity modulo prime ``q``."""
+    if (q - 1) % order:
+        raise ValueError(f"order {order} does not divide q-1")
+    rng = random.Random(seed)
+    exponent = (q - 1) // order
+    while True:
+        g = rng.randrange(2, q - 1)
+        w = pow(g, exponent, q)
+        if pow(w, order // 2, q) != 1:  # primitive iff w^(order/2) == -1
+            return w

@@ -1,0 +1,77 @@
+"""Pure-NumPy neural-network engine with manual backprop.
+
+Substitutes for the paper's PyTorch substrate (see DESIGN.md).  Public
+surface: modules/layers, the model zoo, losses, training helpers and
+flat-vector optimizers.
+"""
+
+from repro.nn.module import Module
+from repro.nn.layers import Dense, ReLU, Flatten, Dropout
+from repro.nn.conv import Conv2d, MaxPool2d, AvgPool2d, GlobalAvgPool2d
+from repro.nn.norm import GroupNorm, BatchNorm2d, LayerNorm
+from repro.nn.container import Sequential, BasicBlock
+from repro.nn.models import (
+    make_mlp,
+    make_resnet_lite,
+    make_linear,
+    build_model,
+    MODEL_REGISTRY,
+)
+from repro.nn.losses import (
+    CrossEntropyLoss,
+    FocalLoss,
+    PriorCELoss,
+    LDAMLoss,
+    ClassBalancedLoss,
+    make_loss,
+)
+from repro.nn.optim import SGD, MomentumInjectedSGD
+from repro.nn.train import forward_backward, flat_grad, evaluate, iterate_minibatches
+from repro.nn.schedules import (
+    ConstantSchedule,
+    StepSchedule,
+    CosineSchedule,
+    WarmupSchedule,
+    make_schedule,
+)
+from repro.nn import functional
+
+__all__ = [
+    "Module",
+    "Dense",
+    "ReLU",
+    "Flatten",
+    "Dropout",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "GroupNorm",
+    "BatchNorm2d",
+    "LayerNorm",
+    "Sequential",
+    "BasicBlock",
+    "make_mlp",
+    "make_resnet_lite",
+    "make_linear",
+    "build_model",
+    "MODEL_REGISTRY",
+    "CrossEntropyLoss",
+    "FocalLoss",
+    "PriorCELoss",
+    "LDAMLoss",
+    "ClassBalancedLoss",
+    "make_loss",
+    "SGD",
+    "MomentumInjectedSGD",
+    "forward_backward",
+    "flat_grad",
+    "evaluate",
+    "iterate_minibatches",
+    "functional",
+    "ConstantSchedule",
+    "StepSchedule",
+    "CosineSchedule",
+    "WarmupSchedule",
+    "make_schedule",
+]

@@ -1,0 +1,231 @@
+"""Convolution and pooling layers (im2col-based, NCHW layout).
+
+The im2col transform turns convolution into a single large GEMM — the
+canonical "vectorize the inner loop" move from the HPC guides.  Patch
+extraction itself is done with stride tricks (a view, not a copy) and a
+single reshape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.nn import init as init_mod
+from repro.nn.module import Module
+
+__all__ = ["Conv2d", "MaxPool2d", "GlobalAvgPool2d", "AvgPool2d"]
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Extract sliding patches from ``x`` (n, c, h, w) already padded.
+
+    Returns an array of shape ``(n, out_h, out_w, c, kh, kw)`` that is a
+    strided *view* of ``x`` — zero-copy until the caller reshapes.
+    """
+    n, c, h, w = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    sn, sc, sh, sw = x.strides
+    view = as_strided(
+        x,
+        shape=(n, out_h, out_w, c, kh, kw),
+        strides=(sn, sh * stride, sw * stride, sc, sh, sw),
+        writeable=False,
+    )
+    return view
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+) -> np.ndarray:
+    """Scatter-add column gradients back to image layout (inverse of im2col)."""
+    n, c, h, w = x_shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    dx = np.zeros(x_shape, dtype=cols.dtype)
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride] += (
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    return dx
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs.
+
+    Args:
+        in_channels / out_channels: channel counts.
+        kernel_size: square kernel side.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        rng: generator for He initialization.
+        bias: include per-channel bias.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0 or padding < 0:
+            raise ValueError("invalid Conv2d geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.use_bias = bias
+        fan_in = in_channels * kernel_size * kernel_size
+        self.params["W"] = init_mod.he_normal(
+            rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in
+        )
+        if bias:
+            self.params["b"] = init_mod.zeros((out_channels,))
+        self.init_grads()
+        self._cache: tuple | None = None
+
+    def _pad(self, x: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return x
+        p = self.padding
+        return np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected (n, {self.in_channels}, h, w), got {x.shape}"
+            )
+        xp = self._pad(x)
+        k, s = self.kernel_size, self.stride
+        patches = _im2col(xp, k, k, s)  # (n, oh, ow, c, kh, kw)
+        n, oh, ow = patches.shape[:3]
+        cols = patches.reshape(n * oh * ow, -1)  # copy happens here
+        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        out = cols @ w_mat.T
+        if self.use_bias:
+            out += self.params["b"]
+        out = out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+        if train:
+            self._cache = (cols, xp.shape, (n, oh, ow))
+        return np.ascontiguousarray(out)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        cols, xp_shape, (n, oh, ow) = self._cache
+        k, s = self.kernel_size, self.stride
+        dout_mat = dout.transpose(0, 2, 3, 1).reshape(n * oh * ow, self.out_channels)
+        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        self.grads["W"] += (dout_mat.T @ cols).reshape(self.params["W"].shape)
+        if self.use_bias:
+            self.grads["b"] += dout_mat.sum(axis=0)
+        dcols = dout_mat @ w_mat  # (n*oh*ow, c*k*k)
+        dxp = _col2im(
+            dcols.reshape(n, oh, ow, self.in_channels, k, k).reshape(n, oh, ow, -1),
+            xp_shape,
+            k,
+            k,
+            s,
+        )
+        if self.padding:
+            p = self.padding
+            return dxp[:, :, p:-p, p:-p]
+        return dxp
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+        self.k = kernel_size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.k
+        if h % k or w % k:
+            raise ValueError(f"spatial dims {h}x{w} not divisible by pool {k}")
+        xr = x.reshape(n, c, h // k, k, w // k, k)
+        out = xr.max(axis=(3, 5))
+        if train:
+            # ties share the gradient equally (counts divisor in backward)
+            mask = xr == out[:, :, :, None, :, None]
+            self._cache = (mask, x.shape)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        mask, x_shape = self._cache
+        n, c, h, w = x_shape
+        k = self.k
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        dx = mask * (dout[:, :, :, None, :, None] / counts)
+        return dx.reshape(n, c, h // k, k, w // k, k).reshape(x_shape)
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+        self.k = kernel_size
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.k
+        if h % k or w % k:
+            raise ValueError(f"spatial dims {h}x{w} not divisible by pool {k}")
+        if train:
+            self._shape = x.shape
+        return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        n, c, h, w = self._shape
+        k = self.k
+        dx = np.broadcast_to(
+            dout[:, :, :, None, :, None] / (k * k), (n, c, h // k, k, w // k, k)
+        )
+        return dx.reshape(self._shape).copy()
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions, yielding (n, c)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected NCHW input, got shape {x.shape}")
+        if train:
+            self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        n, c, h, w = self._shape
+        return np.broadcast_to(dout[:, :, None, None] / (h * w), self._shape).copy()

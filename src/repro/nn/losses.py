@@ -1,0 +1,167 @@
+"""Classification losses, each returning ``(mean_loss, dlogits)``.
+
+All gradients already include the ``1/n`` batch-mean factor, so callers can
+feed ``dlogits`` straight into ``model.backward``.
+
+Implemented (paper section 2.2 / 7.2):
+
+* :class:`CrossEntropyLoss` — baseline.
+* :class:`FocalLoss` — Lin et al. 2017, used for the "FedCM + Focal Loss" rows.
+* :class:`PriorCELoss` — logit-adjusted / balanced-softmax loss (Hong et al.
+  2021), the paper's "Balance Loss".
+* :class:`LDAMLoss` — label-distribution-aware margin (Cao et al. 2019).
+* :class:`ClassBalancedLoss` — effective-number reweighted CE (Cui et al. 2019).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import one_hot, softmax
+
+__all__ = [
+    "CrossEntropyLoss",
+    "FocalLoss",
+    "PriorCELoss",
+    "LDAMLoss",
+    "ClassBalancedLoss",
+    "make_loss",
+]
+
+
+class CrossEntropyLoss:
+    """Mean softmax cross-entropy."""
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        n, c = logits.shape
+        p = softmax(logits)
+        y = one_hot(labels, c)
+        eps = 1e-12
+        loss = float(-np.mean(np.log(p[np.arange(n), labels] + eps)))
+        dlogits = (p - y) / n
+        return loss, dlogits
+
+
+class FocalLoss:
+    """Focal loss ``-(1 - p_t)^gamma log p_t`` with exact softmax gradient."""
+
+    def __init__(self, gamma: float = 2.0) -> None:
+        if gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {gamma}")
+        self.gamma = gamma
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        n, c = logits.shape
+        g = self.gamma
+        p = softmax(logits)
+        idx = np.arange(n)
+        pt = np.clip(p[idx, labels], 1e-12, 1.0)
+        log_pt = np.log(pt)
+        loss = float(np.mean(-((1.0 - pt) ** g) * log_pt))
+        # dL/dz_j = (1-pt)^(g-1) * (g*pt*log(pt) - (1-pt)) * (1[j==y] - p_j)
+        coef = ((1.0 - pt) ** (g - 1.0)) * (g * pt * log_pt - (1.0 - pt))
+        y = one_hot(labels, c)
+        dlogits = coef[:, None] * (y - p) / n
+        return loss, dlogits
+
+
+class PriorCELoss:
+    """Logit-adjusted CE: cross-entropy on ``logits + log(prior)``.
+
+    Adding the log class prior to the logits makes the minimized objective the
+    balanced error — the "Balance Loss" of the paper's Table 1.
+    """
+
+    def __init__(self, class_prior: np.ndarray) -> None:
+        prior = np.asarray(class_prior, dtype=np.float64)
+        if prior.ndim != 1 or np.any(prior < 0):
+            raise ValueError("class_prior must be a nonnegative 1-D vector")
+        total = prior.sum()
+        if total <= 0:
+            raise ValueError("class_prior must have positive mass")
+        self.log_prior = np.log(prior / total + 1e-12)
+        self._ce = CrossEntropyLoss()
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        return self._ce(logits + self.log_prior, labels)
+
+
+class LDAMLoss:
+    """Label-distribution-aware margin loss.
+
+    Enforces per-class margins ``Delta_c = max_margin / n_c^{1/4}`` (normalised
+    so the largest margin equals ``max_margin``), then applies scaled CE.
+    """
+
+    def __init__(self, class_counts: np.ndarray, max_margin: float = 0.5, scale: float = 10.0) -> None:
+        counts = np.asarray(class_counts, dtype=np.float64)
+        if counts.ndim != 1 or np.any(counts < 0):
+            raise ValueError("class_counts must be a nonnegative 1-D vector")
+        if max_margin <= 0 or scale <= 0:
+            raise ValueError("max_margin and scale must be positive")
+        margins = 1.0 / np.sqrt(np.sqrt(np.maximum(counts, 1.0)))
+        margins = margins * (max_margin / margins.max())
+        self.margins = margins
+        self.scale = scale
+        self._ce = CrossEntropyLoss()
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        n, c = logits.shape
+        adjusted = logits.copy()
+        adjusted[np.arange(n), labels] -= self.margins[labels]
+        loss, dadj = self._ce(self.scale * adjusted, labels)
+        return loss, self.scale * dadj
+
+
+class ClassBalancedLoss:
+    """Effective-number class-balanced CE (Cui et al. 2019).
+
+    Weight for class ``c`` is ``(1 - beta) / (1 - beta^{n_c})``, normalised to
+    mean 1 across classes present in ``class_counts``.
+    """
+
+    def __init__(self, class_counts: np.ndarray, beta: float = 0.999) -> None:
+        counts = np.asarray(class_counts, dtype=np.float64)
+        if counts.ndim != 1 or np.any(counts < 0):
+            raise ValueError("class_counts must be a nonnegative 1-D vector")
+        if not 0.0 <= beta < 1.0:
+            raise ValueError(f"beta must be in [0, 1), got {beta}")
+        eff = 1.0 - np.power(beta, np.maximum(counts, 1.0))
+        w = (1.0 - beta) / eff
+        self.weights = w * (len(w) / w.sum())
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        n, c = logits.shape
+        p = softmax(logits)
+        y = one_hot(labels, c)
+        w = self.weights[labels]
+        eps = 1e-12
+        loss = float(np.mean(-w * np.log(p[np.arange(n), labels] + eps)))
+        dlogits = w[:, None] * (p - y) / n
+        return loss, dlogits
+
+
+def make_loss(name: str, class_counts: np.ndarray | None = None, **kwargs):
+    """Loss factory keyed by the names used in the paper's tables.
+
+    Args:
+        name: one of ``ce``, ``focal``, ``prior_ce`` (a.k.a. balance loss),
+            ``ldam``, ``class_balanced``.
+        class_counts: global per-class sample counts; required by the
+            distribution-aware losses.
+    """
+    name = name.lower().replace("-", "_")
+    if name == "ce":
+        return CrossEntropyLoss()
+    if name == "focal":
+        return FocalLoss(**kwargs)
+    if class_counts is None:
+        raise ValueError(f"loss {name!r} requires class_counts")
+    counts = np.asarray(class_counts, dtype=np.float64)
+    if name in ("prior_ce", "balance", "balance_loss"):
+        return PriorCELoss(counts / counts.sum(), **kwargs)
+    if name == "ldam":
+        return LDAMLoss(counts, **kwargs)
+    if name == "class_balanced":
+        return ClassBalancedLoss(counts, **kwargs)
+    raise KeyError(f"unknown loss {name!r}")

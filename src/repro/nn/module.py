@@ -1,0 +1,105 @@
+"""Module base class for the manual-backprop NN engine.
+
+Design: each :class:`Module` owns
+
+* ``params``  — ordered ``dict[str, np.ndarray]`` of trainable arrays,
+* ``grads``   — same-keyed dict of gradient accumulators,
+* ``buffers`` — non-trainable state (e.g. BatchNorm running stats) that is
+  *not* part of the flattened parameter vector and therefore never enters
+  the momentum algebra.
+
+``forward(x, train)`` caches whatever ``backward(dout)`` needs; ``backward``
+returns the gradient w.r.t. the input and writes parameter gradients into
+``grads``.  Composite modules namespace child entries as ``"child.param"``.
+
+This mirrors the structure of a PyTorch module but with explicit, inspectable
+NumPy state — the momentum-based FL algorithms in :mod:`repro.algorithms`
+only ever touch the flattened view produced by
+:func:`repro.utils.flatten_params`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.buffers: dict[str, np.ndarray] = {}
+
+    # -- forward / backward -------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        return self.forward(x, train=train)
+
+    # -- gradient bookkeeping ------------------------------------------------
+    def zero_grad(self) -> None:
+        """Reset all gradient accumulators to zero, in place."""
+        for g in self.grads.values():
+            g.fill(0.0)
+
+    def init_grads(self) -> None:
+        """(Re)allocate gradient buffers matching ``params``."""
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+
+    # -- state management ----------------------------------------------------
+    def get_params(self, copy: bool = True) -> dict[str, np.ndarray]:
+        """Return the parameter tree (copied by default)."""
+        if copy:
+            return {k: v.copy() for k, v in self.params.items()}
+        return dict(self.params)
+
+    def set_params(self, tree: dict[str, np.ndarray]) -> None:
+        """Load a parameter tree, copying values into existing arrays."""
+        if tree.keys() != self.params.keys():
+            missing = self.params.keys() - tree.keys()
+            extra = tree.keys() - self.params.keys()
+            raise KeyError(f"param keys mismatch: missing={missing} extra={extra}")
+        for k, v in tree.items():
+            if v.shape != self.params[k].shape:
+                raise ValueError(
+                    f"param {k!r}: shape {v.shape} != expected {self.params[k].shape}"
+                )
+            np.copyto(self.params[k], v)
+
+    def get_buffers(self, copy: bool = True) -> dict[str, np.ndarray]:
+        if copy:
+            return {k: v.copy() for k, v in self.buffers.items()}
+        return dict(self.buffers)
+
+    def set_buffers(self, tree: dict[str, np.ndarray]) -> None:
+        for k, v in tree.items():
+            np.copyto(self.buffers[k], v)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def num_params(self) -> int:
+        return int(sum(v.size for v in self.params.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(params={self.num_params})"
+
+
+def adopt_child(parent: Module, name: str, child: Module) -> None:
+    """Merge a child's params/grads/buffers into ``parent`` under a prefix.
+
+    The merged entries *alias* the child's arrays, so updating the parent's
+    ``params[name + '.' + k]`` in place updates the child.
+    """
+    for k, v in child.params.items():
+        parent.params[f"{name}.{k}"] = v
+    for k, v in child.grads.items():
+        parent.grads[f"{name}.{k}"] = v
+    for k, v in child.buffers.items():
+        parent.buffers[f"{name}.{k}"] = v

@@ -1,0 +1,159 @@
+"""Normalization layers.
+
+GroupNorm is the library default: it has no cross-client state, so federated
+aggregation of parameters is exact and runs are seed-deterministic.
+BatchNorm2d is provided for fidelity with the paper's ResNet-18/34 backbones;
+its running statistics live in ``buffers`` and never enter the flattened
+parameter vector (hence never the momentum algebra).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["GroupNorm", "BatchNorm2d", "LayerNorm"]
+
+_EPS = 1e-5
+
+
+class GroupNorm(Module):
+    """Group normalization over NCHW inputs.
+
+    Args:
+        num_groups: number of channel groups; must divide ``num_channels``.
+        num_channels: channel count of the input.
+    """
+
+    def __init__(self, num_groups: int, num_channels: int) -> None:
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(
+                f"num_channels {num_channels} not divisible by num_groups {num_groups}"
+            )
+        self.g = num_groups
+        self.c = num_channels
+        self.params["gamma"] = np.ones(num_channels, dtype=np.float64)
+        self.params["beta"] = np.zeros(num_channels, dtype=np.float64)
+        self.init_grads()
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.c:
+            raise ValueError(f"GroupNorm expected (n, {self.c}, h, w), got {x.shape}")
+        n, c, h, w = x.shape
+        xg = x.reshape(n, self.g, -1)
+        mu = xg.mean(axis=2, keepdims=True)
+        var = xg.var(axis=2, keepdims=True)
+        xhat = ((xg - mu) / np.sqrt(var + _EPS)).reshape(n, c, h, w)
+        out = xhat * self.params["gamma"][None, :, None, None]
+        out += self.params["beta"][None, :, None, None]
+        if train:
+            self._cache = (xhat, var, x.shape)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        xhat, var, x_shape = self._cache
+        n, c, h, w = x_shape
+        self.grads["gamma"] += (dout * xhat).sum(axis=(0, 2, 3))
+        self.grads["beta"] += dout.sum(axis=(0, 2, 3))
+        dxhat = dout * self.params["gamma"][None, :, None, None]
+        dxg = dxhat.reshape(n, self.g, -1)
+        xg = xhat.reshape(n, self.g, -1)
+        m = dxg.shape[2]
+        istd = 1.0 / np.sqrt(var + _EPS)
+        dx = istd * (
+            dxg - dxg.mean(axis=2, keepdims=True) - xg * (dxg * xg).mean(axis=2, keepdims=True)
+        )
+        return dx.reshape(x_shape)
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over NCHW inputs with running statistics."""
+
+    def __init__(self, num_channels: int, momentum: float = 0.1) -> None:
+        super().__init__()
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError(f"momentum must be in (0, 1], got {momentum}")
+        self.c = num_channels
+        self.momentum = momentum
+        self.params["gamma"] = np.ones(num_channels, dtype=np.float64)
+        self.params["beta"] = np.zeros(num_channels, dtype=np.float64)
+        self.buffers["running_mean"] = np.zeros(num_channels, dtype=np.float64)
+        self.buffers["running_var"] = np.ones(num_channels, dtype=np.float64)
+        self.init_grads()
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.c:
+            raise ValueError(f"BatchNorm2d expected (n, {self.c}, h, w), got {x.shape}")
+        if train:
+            mu = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            m = self.momentum
+            self.buffers["running_mean"] *= 1 - m
+            self.buffers["running_mean"] += m * mu
+            self.buffers["running_var"] *= 1 - m
+            self.buffers["running_var"] += m * var
+        else:
+            mu = self.buffers["running_mean"]
+            var = self.buffers["running_var"]
+        xhat = (x - mu[None, :, None, None]) / np.sqrt(var + _EPS)[None, :, None, None]
+        out = xhat * self.params["gamma"][None, :, None, None]
+        out += self.params["beta"][None, :, None, None]
+        if train:
+            self._cache = (xhat, var, x.shape)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        xhat, var, x_shape = self._cache
+        n, c, h, w = x_shape
+        m = n * h * w
+        self.grads["gamma"] += (dout * xhat).sum(axis=(0, 2, 3))
+        self.grads["beta"] += dout.sum(axis=(0, 2, 3))
+        dxhat = dout * self.params["gamma"][None, :, None, None]
+        istd = (1.0 / np.sqrt(var + _EPS))[None, :, None, None]
+        mean_dxhat = dxhat.mean(axis=(0, 2, 3), keepdims=True)
+        mean_dxhat_xhat = (dxhat * xhat).mean(axis=(0, 2, 3), keepdims=True)
+        return istd * (dxhat - mean_dxhat - xhat * mean_dxhat_xhat)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis of (n, d) inputs."""
+
+    def __init__(self, dim: int) -> None:
+        super().__init__()
+        self.dim = dim
+        self.params["gamma"] = np.ones(dim, dtype=np.float64)
+        self.params["beta"] = np.zeros(dim, dtype=np.float64)
+        self.init_grads()
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.dim:
+            raise ValueError(f"LayerNorm expected (n, {self.dim}), got {x.shape}")
+        mu = x.mean(axis=1, keepdims=True)
+        var = x.var(axis=1, keepdims=True)
+        xhat = (x - mu) / np.sqrt(var + _EPS)
+        if train:
+            self._cache = (xhat, var)
+        return xhat * self.params["gamma"] + self.params["beta"]
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        xhat, var = self._cache
+        self.grads["gamma"] += (dout * xhat).sum(axis=0)
+        self.grads["beta"] += dout.sum(axis=0)
+        dxhat = dout * self.params["gamma"]
+        istd = 1.0 / np.sqrt(var + _EPS)
+        return istd * (
+            dxhat
+            - dxhat.mean(axis=1, keepdims=True)
+            - xhat * (dxhat * xhat).mean(axis=1, keepdims=True)
+        )

@@ -1,0 +1,76 @@
+"""Optimizers over flattened parameter vectors.
+
+Federated algorithms own the outer loop; these helpers implement the inner
+(local) step rules.  :class:`MomentumInjectedSGD` is the FedCM/FedWCM local
+rule from the paper's Eq. (6):
+
+    v = alpha * g + (1 - alpha) * Delta
+    x <- x - eta * v
+
+where ``Delta`` is the *global* momentum broadcast by the server.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "MomentumInjectedSGD"]
+
+
+class SGD:
+    """Plain SGD on a flat vector with optional weight decay and momentum."""
+
+    def __init__(self, lr: float, momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._buf: np.ndarray | None = None
+
+    def step(self, x: np.ndarray, g: np.ndarray) -> None:
+        """Update ``x`` in place given gradient ``g``."""
+        if self.weight_decay:
+            g = g + self.weight_decay * x
+        if self.momentum:
+            if self._buf is None:
+                self._buf = np.zeros_like(x)
+            self._buf *= self.momentum
+            self._buf += g
+            g = self._buf
+        x -= self.lr * g
+
+    def reset(self) -> None:
+        self._buf = None
+
+
+class MomentumInjectedSGD:
+    """FedCM/FedWCM local update: ``x <- x - eta * (alpha*g + (1-alpha)*Delta)``.
+
+    ``Delta`` (the global momentum direction) and ``alpha`` are set per round
+    by the server; the same instance is reused across batches of a round.
+    """
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+        self.alpha = 1.0
+        self.delta: np.ndarray | None = None
+
+    def configure(self, alpha: float, delta: np.ndarray | None) -> None:
+        """Install the round's momentum coefficient and global direction."""
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.delta = delta
+
+    def step(self, x: np.ndarray, g: np.ndarray) -> None:
+        if self.delta is None:
+            x -= self.lr * self.alpha * g
+        else:
+            x -= self.lr * (self.alpha * g + (1.0 - self.alpha) * self.delta)

@@ -1,0 +1,92 @@
+"""Learning-rate schedules over communication rounds.
+
+The paper trains with a constant local lr; long-horizon federated runs
+commonly decay it.  Schedules map ``round_idx -> multiplier`` applied to the
+configured base ``lr_local`` (the engine consults
+:meth:`repro.simulation.SimulationContext.lr_at`).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ConstantSchedule", "StepSchedule", "CosineSchedule", "WarmupSchedule", "make_schedule"]
+
+
+class ConstantSchedule:
+    """Multiplier 1 forever (the paper's setting)."""
+
+    def __call__(self, round_idx: int) -> float:
+        return 1.0
+
+
+class StepSchedule:
+    """Multiply by ``gamma`` every ``step_size`` rounds."""
+
+    def __init__(self, step_size: int, gamma: float = 0.5) -> None:
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must lie in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def __call__(self, round_idx: int) -> float:
+        return self.gamma ** (round_idx // self.step_size)
+
+
+class CosineSchedule:
+    """Cosine annealing from 1 to ``floor`` over ``total_rounds``."""
+
+    def __init__(self, total_rounds: int, floor: float = 0.0) -> None:
+        if total_rounds < 1:
+            raise ValueError(f"total_rounds must be >= 1, got {total_rounds}")
+        if not 0.0 <= floor < 1.0:
+            raise ValueError(f"floor must lie in [0, 1), got {floor}")
+        self.total = total_rounds
+        self.floor = floor
+
+    def __call__(self, round_idx: int) -> float:
+        t = min(round_idx, self.total) / self.total
+        return self.floor + (1.0 - self.floor) * 0.5 * (1.0 + math.cos(math.pi * t))
+
+
+class WarmupSchedule:
+    """Linear ramp from ``start`` to 1 over ``warmup_rounds``, then delegate.
+
+    Useful with momentum methods whose Delta estimate is noisy in the first
+    rounds.
+    """
+
+    def __init__(self, warmup_rounds: int, after=None, start: float = 0.1) -> None:
+        if warmup_rounds < 1:
+            raise ValueError(f"warmup_rounds must be >= 1, got {warmup_rounds}")
+        if not 0.0 < start <= 1.0:
+            raise ValueError(f"start must lie in (0, 1], got {start}")
+        self.warmup = warmup_rounds
+        self.after = after or ConstantSchedule()
+        self.start = start
+
+    def __call__(self, round_idx: int) -> float:
+        if round_idx < self.warmup:
+            frac = round_idx / self.warmup
+            return self.start + (1.0 - self.start) * frac
+        return self.after(round_idx - self.warmup)
+
+
+def make_schedule(name: str, total_rounds: int, **kwargs):
+    """Schedule factory: ``constant``, ``step``, ``cosine`` or ``warmup-cosine``."""
+    name = name.lower()
+    if name == "constant":
+        return ConstantSchedule()
+    if name == "step":
+        return StepSchedule(step_size=kwargs.pop("step_size", max(total_rounds // 3, 1)), **kwargs)
+    if name == "cosine":
+        return CosineSchedule(total_rounds=total_rounds, **kwargs)
+    if name == "warmup-cosine":
+        warmup = kwargs.pop("warmup_rounds", max(total_rounds // 10, 1))
+        return WarmupSchedule(
+            warmup_rounds=warmup,
+            after=CosineSchedule(total_rounds=max(total_rounds - warmup, 1), **kwargs),
+        )
+    raise KeyError(f"unknown schedule {name!r}")

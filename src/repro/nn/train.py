@@ -1,0 +1,80 @@
+"""Training helpers bridging the NN engine and the federated algorithms.
+
+The algorithms in :mod:`repro.algorithms` operate on flattened parameter
+vectors; this module provides the glue: compute a flat gradient at the current
+parameters, evaluate in minibatches, iterate shuffled epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.nn.functional import accuracy
+from repro.nn.module import Module
+from repro.utils.pytree import ParamSpec, flatten_params
+
+__all__ = ["forward_backward", "flat_grad", "evaluate", "iterate_minibatches"]
+
+LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
+
+
+def forward_backward(model: Module, x: np.ndarray, y: np.ndarray, loss_fn: LossFn) -> float:
+    """One fused forward/backward pass; leaves gradients in ``model.grads``."""
+    model.zero_grad()
+    logits = model.forward(x, train=True)
+    loss, dlogits = loss_fn(logits, y)
+    model.backward(dlogits)
+    return loss
+
+
+def flat_grad(
+    model: Module, spec: ParamSpec, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Flatten ``model.grads`` into a contiguous vector (reusing ``out``)."""
+    flat, _ = flatten_params(model.grads, spec=spec, out=out)
+    return flat
+
+
+def evaluate(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    loss_fn: LossFn | None = None,
+    batch_size: int = 256,
+) -> dict[str, float]:
+    """Batched evaluation returning accuracy (and loss when ``loss_fn`` given)."""
+    n = x.shape[0]
+    if n == 0:
+        return {"accuracy": 0.0, "loss": float("nan"), "n": 0}
+    correct = 0
+    loss_sum = 0.0
+    for lo in range(0, n, batch_size):
+        xb = x[lo : lo + batch_size]
+        yb = y[lo : lo + batch_size]
+        logits = model.forward(xb, train=False)
+        correct += int((logits.argmax(axis=1) == yb).sum())
+        if loss_fn is not None:
+            loss, _ = loss_fn(logits, yb)
+            loss_sum += loss * xb.shape[0]
+    out = {"accuracy": correct / n, "n": n}
+    out["loss"] = loss_sum / n if loss_fn is not None else float("nan")
+    return out
+
+
+def iterate_minibatches(
+    rng: np.random.Generator, n: int, batch_size: int, epochs: int = 1
+) -> Iterator[np.ndarray]:
+    """Yield shuffled index batches for ``epochs`` passes over ``n`` samples.
+
+    The final batch of each epoch may be smaller than ``batch_size``.
+    """
+    if n <= 0:
+        return
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        for lo in range(0, n, batch_size):
+            yield order[lo : lo + batch_size]

@@ -1,0 +1,135 @@
+"""Process-pool client execution.
+
+FL client updates within a round are embarrassingly parallel — the paper's
+4-GPU workstation trains clients concurrently; we mirror that with a
+fork-based process pool.  Each worker process lazily builds its own model
+replica (models are not picklable across processes cheaply, and must not be
+shared), so the pool amortises construction across rounds.
+
+Determinism: client RNG streams are derived from ``(seed, round, client)``
+(see :meth:`repro.simulation.SimulationContext.client_rng`), so results are
+identical regardless of scheduling order or worker count — verified by
+``tests/test_parallel.py``.
+
+Note: only stateless-per-client algorithms (FedAvg/FedProx/FedCM/FedWCM
+families, i.e. those whose ``client_update`` reads only broadcast state) are
+supported; stateful-per-client methods (SCAFFOLD, FedDyn) must run serially.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro.data.registry import FederatedDataset
+from repro.simulation.config import FLConfig
+from repro.simulation.context import SimulationContext
+
+__all__ = ["ParallelClientRunner", "parallel_map"]
+
+# worker-global cache: (context, algorithm) built once per process
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(model_builder, dataset, config, loss_builder, sampler_builder, algo_builder):
+    ctx = SimulationContext(
+        model_builder(),
+        dataset,
+        config,
+        loss_builder=loss_builder,
+        sampler_builder=sampler_builder,
+    )
+    algo = algo_builder()
+    algo.setup(ctx)
+    _WORKER_STATE["ctx"] = ctx
+    _WORKER_STATE["algo"] = algo
+
+
+def _worker_run(args):
+    round_idx, client_id, x_global, algo_state = args
+    ctx = _WORKER_STATE["ctx"]
+    algo = _WORKER_STATE["algo"]
+    if algo_state is not None:
+        for k, v in algo_state.items():
+            setattr(algo, k, v)
+    return algo.client_update(ctx, round_idx, client_id, x_global)
+
+
+class ParallelClientRunner:
+    """Run one round's client updates across worker processes.
+
+    Args:
+        model_builder: zero-arg callable creating a model replica.
+        dataset / config: the shared problem definition.
+        algo_builder: zero-arg callable creating the algorithm (workers need
+            their own instance; per-round broadcast state is shipped via
+            ``broadcast_state``).
+        loss_builder / sampler_builder: per-client factories.
+        workers: process count (default: CPU count capped at 8).
+    """
+
+    def __init__(
+        self,
+        model_builder: Callable,
+        dataset: FederatedDataset,
+        config: FLConfig,
+        algo_builder: Callable,
+        loss_builder=None,
+        sampler_builder=None,
+        workers: int | None = None,
+    ) -> None:
+        self.workers = workers or min(os.cpu_count() or 1, 8)
+        ctx_builder = (
+            model_builder,
+            dataset,
+            config,
+            loss_builder,
+            sampler_builder,
+            algo_builder,
+        )
+        self._pool = mp.get_context("fork").Pool(
+            processes=self.workers, initializer=_worker_init, initargs=ctx_builder
+        )
+
+    def run_round(
+        self,
+        round_idx: int,
+        selected: np.ndarray,
+        x_global: np.ndarray,
+        broadcast_state: dict | None = None,
+    ) -> list:
+        """Execute the selected clients' updates in parallel.
+
+        Args:
+            broadcast_state: attribute dict applied to each worker's
+                algorithm before the update (e.g. FedCM's ``_delta`` or
+                FedWCM's ``momentum``).
+        """
+        jobs = [(round_idx, int(k), x_global, broadcast_state) for k in selected]
+        return self._pool.map(_worker_run, jobs)
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "ParallelClientRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def parallel_map(fn: Callable, items: list, workers: int | None = None) -> list:
+    """Order-preserving multiprocessing map with a fork pool.
+
+    For coarse-grained jobs (full federated runs in a parameter sweep —
+    the benchmark harnesses use this to mirror the paper's multi-GPU grid).
+    """
+    workers = workers or min(os.cpu_count() or 1, 8)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(it) for it in items]
+    with mp.get_context("fork").Pool(processes=min(workers, len(items))) as pool:
+        return pool.map(fn, items)

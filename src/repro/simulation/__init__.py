@@ -1,0 +1,30 @@
+"""Federated simulation engine: configs, context, round loop, history."""
+
+from repro.simulation.config import FLConfig
+from repro.simulation.context import SimulationContext
+from repro.simulation.engine import FederatedSimulation, History, RoundRecord
+from repro.simulation.sampling import UniformSampler, ScoreBiasedSampler, RoundRobinSampler
+from repro.simulation.communication import CommunicationModel, CostBreakdown
+from repro.simulation.serialization import (
+    save_checkpoint,
+    load_checkpoint,
+    save_history,
+    load_history,
+)
+
+__all__ = [
+    "FLConfig",
+    "SimulationContext",
+    "FederatedSimulation",
+    "History",
+    "RoundRecord",
+    "UniformSampler",
+    "ScoreBiasedSampler",
+    "RoundRobinSampler",
+    "CommunicationModel",
+    "CostBreakdown",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_history",
+    "load_history",
+]

@@ -1,0 +1,141 @@
+"""Communication-cost accounting.
+
+FL papers report accuracy *per communication round*; a library should also
+expose the bytes behind each round.  The model estimates per-round traffic
+from first principles:
+
+* downlink: broadcast parameters (+ the momentum vector for FedCM/FedWCM);
+* uplink: one displacement per sampled client (+ algorithm extras such as
+  SCAFFOLD's control-variate delta, CReFF's feature statistics);
+* one-time: FedWCM's (optionally encrypted) distribution gathering.
+
+All sizes assume float64 parameters (this library's dtype); pass
+``bytes_per_param=4`` for a float32 deployment estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CommunicationModel", "CostBreakdown"]
+
+# per-algorithm multipliers: (downlink vectors, uplink vectors per client)
+_PROFILES: dict[str, tuple[float, float]] = {
+    "fedavg": (1.0, 1.0),
+    "fedprox": (1.0, 1.0),
+    "fedavgm": (1.0, 1.0),
+    "fednova": (1.0, 1.0),
+    "fedadam": (1.0, 1.0),
+    "fedyogi": (1.0, 1.0),
+    "fedsam": (1.0, 1.0),
+    "balancefl": (1.0, 1.0),
+    "fedgrab": (1.0, 1.0),
+    "creff": (1.0, 1.0),  # + feature stats, added separately
+    "scaffold": (2.0, 2.0),  # server c + client delta-c_i
+    "fedcm": (2.0, 1.0),  # params + Delta down; displacement up
+    "mofedsam": (2.0, 1.0),
+    "fedwcm": (2.0, 1.0),
+    "fedwcm-x": (2.0, 1.0),
+    "fedwcm-he": (2.0, 1.0),
+}
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Bytes moved by one federated run."""
+
+    downlink_per_round: int
+    uplink_per_round: int
+    one_time: int
+    rounds: int
+
+    @property
+    def per_round(self) -> int:
+        return self.downlink_per_round + self.uplink_per_round
+
+    @property
+    def total(self) -> int:
+        return self.per_round * self.rounds + self.one_time
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "downlink_per_round": self.downlink_per_round,
+            "uplink_per_round": self.uplink_per_round,
+            "one_time": self.one_time,
+            "per_round": self.per_round,
+            "total": self.total,
+            "rounds": self.rounds,
+        }
+
+
+class CommunicationModel:
+    """Estimate traffic for a method on a given problem size.
+
+    Args:
+        num_params: model parameter count.
+        clients_per_round: sampled cohort size.
+        bytes_per_param: 8 for float64 (library default), 4 for float32.
+    """
+
+    def __init__(
+        self, num_params: int, clients_per_round: int, bytes_per_param: int = 8
+    ) -> None:
+        if num_params < 1 or clients_per_round < 1 or bytes_per_param < 1:
+            raise ValueError("num_params, clients_per_round, bytes_per_param must be >= 1")
+        self.p = num_params
+        self.m = clients_per_round
+        self.bpp = bytes_per_param
+
+    def estimate(
+        self,
+        method: str,
+        rounds: int,
+        num_classes: int = 10,
+        feature_dim: int = 0,
+        he_ciphertext_bytes: int = 0,
+        total_clients: int | None = None,
+    ) -> CostBreakdown:
+        """Cost breakdown for ``method`` over ``rounds`` rounds.
+
+        Args:
+            num_classes: for distribution vectors / feature statistics.
+            feature_dim: penultimate width (CReFF feature stats).
+            he_ciphertext_bytes: ciphertext size when the method gathers the
+                distribution under encryption (``fedwcm-he``).
+            total_clients: federation size (for one-time gathering).
+        """
+        key = method.lower()
+        if key.startswith("fedcm+"):
+            key = "fedcm"
+        if key not in _PROFILES:
+            raise KeyError(f"unknown method {method!r}")
+        down_mult, up_mult = _PROFILES[key]
+        vec = self.p * self.bpp
+        downlink = int(down_mult * vec * self.m)
+        uplink = int(up_mult * vec * self.m)
+
+        if key == "creff" and feature_dim > 0:
+            # per class: mean + variance + count
+            stats = num_classes * (2 * feature_dim + 1) * self.bpp
+            uplink += stats * self.m
+
+        one_time = 0
+        k_total = total_clients or self.m
+        if key in ("fedwcm", "fedwcm-x"):
+            # plaintext count vectors up, global distribution down
+            one_time = (k_total + k_total) * num_classes * 8
+        elif key == "fedwcm-he":
+            ct = he_ciphertext_bytes or 0
+            one_time = k_total * ct + k_total * num_classes * 8
+        return CostBreakdown(
+            downlink_per_round=downlink,
+            uplink_per_round=uplink,
+            one_time=one_time,
+            rounds=rounds,
+        )
+
+    def compare(self, methods: list[str], rounds: int, **kwargs) -> dict[str, dict[str, int]]:
+        """Tabulate cost breakdowns for several methods."""
+        return {m: self.estimate(m, rounds, **kwargs).as_dict() for m in methods}

@@ -1,0 +1,61 @@
+"""Experiment configuration for federated simulations.
+
+Defaults mirror the paper's section 7.1 (batch 50, local lr 0.1, global lr 1,
+local epochs 5, participation 10%), with round counts left to each benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["FLConfig"]
+
+
+@dataclass
+class FLConfig:
+    """Hyper-parameters of one federated run.
+
+    Attributes:
+        rounds: communication rounds R.
+        batch_size: local minibatch size.
+        local_epochs: passes over each client's data per round.
+        lr_local: client learning rate eta_l.
+        lr_global: server learning rate eta_g.
+        participation: fraction of clients sampled each round.
+        eval_every: evaluate the global model every this many rounds.
+        eval_per_class: also record per-class test accuracy.
+        seed: master seed for client sampling and local shuffling.
+        max_batches_per_round: optional hard cap on local batches (speed knob
+            for tests; None = no cap).
+        lr_schedule: optional callable ``round_idx -> multiplier`` applied to
+            ``lr_local`` (see :mod:`repro.nn.schedules`); None = constant.
+    """
+
+    rounds: int = 50
+    batch_size: int = 50
+    local_epochs: int = 5
+    lr_local: float = 0.1
+    lr_global: float = 1.0
+    participation: float = 0.1
+    eval_every: int = 1
+    eval_per_class: bool = False
+    seed: int = 0
+    max_batches_per_round: int | None = None
+    lr_schedule: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.local_epochs < 1:
+            raise ValueError(f"local_epochs must be >= 1, got {self.local_epochs}")
+        check_positive(self.lr_local, "lr_local")
+        check_positive(self.lr_global, "lr_global")
+        check_fraction(self.participation, "participation")
+        if self.eval_every < 1:
+            raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
+        if self.max_batches_per_round is not None and self.max_batches_per_round < 1:
+            raise ValueError("max_batches_per_round must be >= 1 or None")

@@ -1,0 +1,131 @@
+"""Shared state handed to algorithms during a simulation.
+
+The context owns the single model instance (reused across clients — the
+engine serialises client execution; :mod:`repro.parallel` provides the
+process-pool variant), the flattened parameter layout, per-client data and
+deterministic per-(round, client) RNG streams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data.registry import FederatedDataset
+from repro.data.sampler import UniformBatchSampler
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.simulation.config import FLConfig
+from repro.utils.pytree import ParamSpec, flatten_params, unflatten_params
+
+__all__ = ["SimulationContext"]
+
+LossBuilder = Callable[["SimulationContext", int], object]
+SamplerBuilder = Callable[[np.ndarray, int], object]
+
+
+def _default_loss_builder(ctx: "SimulationContext", client_id: int) -> object:
+    return CrossEntropyLoss()
+
+
+def _default_sampler_builder(labels: np.ndarray, batch_size: int) -> object:
+    return UniformBatchSampler(labels, batch_size)
+
+
+class SimulationContext:
+    """Everything an algorithm needs to run client updates and aggregation."""
+
+    def __init__(
+        self,
+        model: Module,
+        dataset: FederatedDataset,
+        config: FLConfig,
+        loss_builder: LossBuilder | None = None,
+        sampler_builder: SamplerBuilder | None = None,
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.config = config
+        self.loss_builder = loss_builder or _default_loss_builder
+        self.sampler_builder = sampler_builder or _default_sampler_builder
+
+        flat, spec = flatten_params(model.params)
+        self.spec: ParamSpec = spec
+        self.x0: np.ndarray = flat  # initial parameters (copy retained)
+        self.dim: int = spec.size
+
+        self._client_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._loss_cache: dict[int, object] = {}
+        self._sampler_cache: dict[int, object] = {}
+        self._grad_buf = np.empty(self.dim, dtype=np.float64)
+
+    # -- data access ---------------------------------------------------------
+    @property
+    def num_clients(self) -> int:
+        return self.dataset.num_clients
+
+    @property
+    def num_classes(self) -> int:
+        return self.dataset.num_classes
+
+    def client_xy(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cached (features, labels) of client ``k``."""
+        if k not in self._client_cache:
+            self._client_cache[k] = self.dataset.client_data(k)
+        return self._client_cache[k]
+
+    def client_sizes(self) -> np.ndarray:
+        return np.array([len(p) for p in self.dataset.partitions], dtype=np.int64)
+
+    def loss_for(self, k: int) -> object:
+        if k not in self._loss_cache:
+            self._loss_cache[k] = self.loss_builder(self, k)
+        return self._loss_cache[k]
+
+    def sampler_for(self, k: int) -> object:
+        if k not in self._sampler_cache:
+            _, y = self.client_xy(k)
+            self._sampler_cache[k] = self.sampler_builder(y, self.config.batch_size)
+        return self._sampler_cache[k]
+
+    # -- model parameter plumbing ---------------------------------------------
+    def load_params(self, flat: np.ndarray) -> None:
+        """Write a flat vector into the live model (copies into the arrays)."""
+        tree = unflatten_params(flat, self.spec)
+        self.model.set_params(tree)
+
+    def flat_gradient(self) -> np.ndarray:
+        """Flatten the model's current gradients into the reusable buffer."""
+        flatten_params(self.model.grads, spec=self.spec, out=self._grad_buf)
+        return self._grad_buf
+
+    def lr_at(self, round_idx: int) -> float:
+        """Local learning rate for a round (base lr x optional schedule)."""
+        lr = self.config.lr_local
+        if self.config.lr_schedule is not None:
+            lr *= float(self.config.lr_schedule(round_idx))
+        return lr
+
+    # -- determinism ------------------------------------------------------------
+    def round_rng(self, round_idx: int) -> np.random.Generator:
+        """Server-side stream for round ``round_idx`` (client sampling etc.)."""
+        return np.random.default_rng((self.config.seed, 0xA5, round_idx))
+
+    def client_rng(self, round_idx: int, client_id: int) -> np.random.Generator:
+        """Client-local stream, independent of execution order."""
+        return np.random.default_rng((self.config.seed, 0xC1, round_idx, client_id))
+
+    # -- client sampling --------------------------------------------------------
+    def sample_clients(self, round_idx: int) -> np.ndarray:
+        """Sample the round's cohort: ceil(participation * K) distinct clients."""
+        k = self.num_clients
+        m = max(1, int(round(self.config.participation * k)))
+        rng = self.round_rng(round_idx)
+        return np.sort(rng.choice(k, size=min(m, k), replace=False))
+
+    def nominal_batches(self) -> int:
+        """B̂: local batches per round under a perfectly even data split."""
+        n_avg = max(1, len(self.dataset.y_train) // max(1, self.num_clients))
+        per_epoch = max(1, int(np.ceil(n_avg / self.config.batch_size)))
+        return per_epoch * self.config.local_epochs

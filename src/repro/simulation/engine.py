@@ -1,0 +1,174 @@
+"""The federated round loop.
+
+``FederatedSimulation`` owns the outer loop: sample a cohort, run each
+client's local update through the algorithm, aggregate, evaluate, log.
+Algorithms implement the :class:`FederatedAlgorithm` protocol
+(:mod:`repro.algorithms.base`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.registry import FederatedDataset
+from repro.nn.functional import per_class_accuracy
+from repro.nn.module import Module
+from repro.nn.train import evaluate
+from repro.simulation.config import FLConfig
+from repro.simulation.context import SimulationContext
+
+__all__ = ["RoundRecord", "History", "FederatedSimulation"]
+
+MetricHook = Callable[[SimulationContext, int, np.ndarray, dict], None]
+
+
+@dataclass
+class RoundRecord:
+    """Metrics of one communication round."""
+
+    round: int
+    test_accuracy: float = float("nan")
+    test_loss: float = float("nan")
+    per_class_accuracy: np.ndarray | None = None
+    selected: np.ndarray | None = None
+    wall_time: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class History:
+    """Full trajectory of a federated run."""
+
+    algorithm: str
+    records: list[RoundRecord] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> np.ndarray:
+        """Test accuracy series (NaN for non-evaluated rounds)."""
+        return np.array([r.test_accuracy for r in self.records])
+
+    @property
+    def final_accuracy(self) -> float:
+        vals = self.accuracy
+        vals = vals[~np.isnan(vals)]
+        return float(vals[-1]) if vals.size else float("nan")
+
+    @property
+    def best_accuracy(self) -> float:
+        vals = self.accuracy
+        vals = vals[~np.isnan(vals)]
+        return float(vals.max()) if vals.size else float("nan")
+
+    def rounds_to_accuracy(self, threshold: float) -> int | None:
+        """First round index whose test accuracy reaches ``threshold``."""
+        for r in self.records:
+            if not np.isnan(r.test_accuracy) and r.test_accuracy >= threshold:
+                return r.round
+        return None
+
+    def tail_accuracy(self, k: int = 5) -> float:
+        """Mean of the last ``k`` evaluated accuracies (stability-robust)."""
+        vals = self.accuracy
+        vals = vals[~np.isnan(vals)]
+        if vals.size == 0:
+            return float("nan")
+        return float(vals[-k:].mean())
+
+
+class FederatedSimulation:
+    """Run a federated algorithm over a dataset.
+
+    Args:
+        algorithm: object implementing the FederatedAlgorithm protocol.
+        model: the global model instance (its initial parameters seed x^0).
+        dataset: a :class:`repro.data.FederatedDataset`.
+        config: run hyper-parameters.
+        loss_builder / sampler_builder: optional per-client factories (see
+            :class:`SimulationContext`).
+        metric_hooks: callables invoked after each evaluation with
+            ``(ctx, round_idx, x_flat, extras_dict)`` — used by the analysis
+            benches to record e.g. neuron concentration.
+    """
+
+    def __init__(
+        self,
+        algorithm,
+        model: Module,
+        dataset: FederatedDataset,
+        config: FLConfig,
+        loss_builder=None,
+        sampler_builder=None,
+        metric_hooks: Sequence[MetricHook] = (),
+        client_sampler=None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.ctx = SimulationContext(
+            model, dataset, config, loss_builder=loss_builder, sampler_builder=sampler_builder
+        )
+        self.metric_hooks = list(metric_hooks)
+        self.client_sampler = client_sampler  # see repro.simulation.sampling
+
+    def run(self, verbose: bool = False) -> History:
+        ctx = self.ctx
+        cfg = ctx.config
+        algo = self.algorithm
+        algo.setup(ctx)
+
+        x = ctx.x0.copy()
+        history = History(algorithm=getattr(algo, "name", type(algo).__name__))
+
+        has_buffers = bool(ctx.model.buffers)
+        for r in range(cfg.rounds):
+            t0 = time.perf_counter()
+            if self.client_sampler is None:
+                selected = ctx.sample_clients(r)
+            else:
+                selected = np.asarray(self.client_sampler(ctx, r))
+            updates = []
+            if has_buffers:
+                # BatchNorm-style running statistics: each client starts from
+                # the server's buffers; the server averages them afterwards
+                # (the standard FedAvg-with-BN treatment).
+                buf0 = ctx.model.get_buffers(copy=True)
+                buf_acc = {k: np.zeros_like(v) for k, v in buf0.items()}
+            for k in selected:
+                if has_buffers:
+                    ctx.model.set_buffers(buf0)
+                updates.append(algo.client_update(ctx, r, int(k), x))
+                if has_buffers:
+                    for name, v in ctx.model.buffers.items():
+                        buf_acc[name] += v
+            if has_buffers:
+                inv = 1.0 / max(len(selected), 1)
+                ctx.model.set_buffers({k: v * inv for k, v in buf_acc.items()})
+            x = algo.aggregate(ctx, r, selected, updates, x)
+
+            rec = RoundRecord(round=r, selected=selected, wall_time=time.perf_counter() - t0)
+            if (r % cfg.eval_every == 0) or (r == cfg.rounds - 1):
+                ctx.load_params(x)
+                res = evaluate(ctx.model, ctx.dataset.x_test, ctx.dataset.y_test)
+                rec.test_accuracy = res["accuracy"]
+                if cfg.eval_per_class:
+                    logits = _batched_logits(ctx.model, ctx.dataset.x_test)
+                    rec.per_class_accuracy = per_class_accuracy(
+                        logits, ctx.dataset.y_test, ctx.num_classes
+                    )
+                for hook in self.metric_hooks:
+                    hook(ctx, r, x, rec.extras)
+            rec.extras.update(algo.round_extras())
+            history.records.append(rec)
+            if verbose and not np.isnan(rec.test_accuracy):
+                print(
+                    f"[{history.algorithm}] round {r:4d}  acc={rec.test_accuracy:.4f}"
+                )
+        self.final_params = x
+        return history
+
+
+def _batched_logits(model: Module, x: np.ndarray, batch: int = 256) -> np.ndarray:
+    outs = [model.forward(x[lo : lo + batch], train=False) for lo in range(0, len(x), batch)]
+    return np.concatenate(outs, axis=0)

@@ -1,0 +1,74 @@
+"""Client-sampling strategies.
+
+The paper's related work highlights client-selection approaches for
+long-tailed FL ([15, 58]); this module makes the engine's cohort selection
+pluggable:
+
+* :class:`UniformSampler` — the default (paper setting): uniform without
+  replacement.
+* :class:`ScoreBiasedSampler` — oversamples scarce-data clients with
+  probability ``softmax(s_k / T)``; combines with any algorithm.
+* :class:`RoundRobinSampler` — deterministic full coverage (useful in
+  debugging and fairness studies).
+
+Install via ``FederatedSimulation(..., client_sampler=...)``; the engine
+falls back to the context's built-in uniform sampling when None.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scoring import client_scores
+from repro.core.weighting import softmax_weights
+
+__all__ = ["UniformSampler", "ScoreBiasedSampler", "RoundRobinSampler"]
+
+
+class UniformSampler:
+    """Uniform-without-replacement cohort sampling (the paper's default)."""
+
+    def __call__(self, ctx, round_idx: int) -> np.ndarray:
+        return ctx.sample_clients(round_idx)
+
+
+class ScoreBiasedSampler:
+    """Cohort sampling biased toward clients with globally scarce data.
+
+    Sampling probabilities are ``softmax(s_k / temperature)`` over all
+    clients, drawn without replacement.  With a large temperature this
+    degrades gracefully to uniform sampling.
+    """
+
+    def __init__(self, temperature: float = 0.05, score_mode: str = "signed") -> None:
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self.temperature = temperature
+        self.score_mode = score_mode
+        self._probs: np.ndarray | None = None
+
+    def _ensure_probs(self, ctx) -> np.ndarray:
+        if self._probs is None:
+            scores = client_scores(
+                ctx.dataset.client_counts.astype(np.float64), mode=self.score_mode
+            )
+            self._probs = softmax_weights(scores, self.temperature)
+        return self._probs
+
+    def __call__(self, ctx, round_idx: int) -> np.ndarray:
+        p = self._ensure_probs(ctx)
+        k = ctx.num_clients
+        m = max(1, int(round(ctx.config.participation * k)))
+        rng = ctx.round_rng(round_idx)
+        return np.sort(rng.choice(k, size=min(m, k), replace=False, p=p))
+
+
+class RoundRobinSampler:
+    """Deterministic rotation through all clients."""
+
+    def __call__(self, ctx, round_idx: int) -> np.ndarray:
+        k = ctx.num_clients
+        m = max(1, int(round(ctx.config.participation * k)))
+        start = (round_idx * m) % k
+        idx = (start + np.arange(m)) % k
+        return np.sort(np.unique(idx))

@@ -1,0 +1,129 @@
+"""Checkpointing and result persistence.
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` — flat parameter vector
+  plus layout metadata (round-trips across sessions; the layout is verified
+  on load so a checkpoint can never be silently written into a mismatched
+  model).
+* :func:`save_history` / :func:`load_history` — JSON round records, the
+  exchange format the benchmark harness and examples use for regenerated
+  table rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.simulation.engine import History, RoundRecord
+from repro.utils.pytree import ParamSpec
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_history", "load_history"]
+
+
+def save_checkpoint(
+    path: str,
+    x_flat: np.ndarray,
+    spec: ParamSpec,
+    round_idx: int | None = None,
+    extras: dict | None = None,
+) -> None:
+    """Persist a flattened model state with its layout metadata (.npz)."""
+    if x_flat.shape != (spec.size,):
+        raise ValueError(f"x_flat shape {x_flat.shape} != spec size ({spec.size},)")
+    meta = {
+        "names": list(spec.names),
+        "shapes": [list(s) for s in spec.shapes],
+        "round": round_idx,
+        "extras": extras or {},
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez_compressed(path, x=x_flat, meta=json.dumps(meta))
+
+
+def load_checkpoint(path: str, spec: ParamSpec | None = None) -> tuple[np.ndarray, dict]:
+    """Load a checkpoint; verifies layout when ``spec`` is given.
+
+    Returns:
+        ``(x_flat, meta)``.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        x = np.asarray(data["x"], dtype=np.float64)
+        meta = json.loads(str(data["meta"]))
+    if spec is not None:
+        if list(spec.names) != meta["names"] or [list(s) for s in spec.shapes] != meta["shapes"]:
+            raise ValueError(
+                f"checkpoint layout does not match the target model: "
+                f"{path} holds {len(meta['names'])} params"
+            )
+        if x.shape != (spec.size,):
+            raise ValueError(f"checkpoint vector size {x.shape} != ({spec.size},)")
+    return x, meta
+
+
+def save_history(path: str, history: History) -> None:
+    """Persist a run history as JSON (arrays are converted to lists)."""
+    payload = {"algorithm": history.algorithm, "records": []}
+    for r in history.records:
+        rec = {
+            "round": r.round,
+            "test_accuracy": _jsonable(r.test_accuracy),
+            "test_loss": _jsonable(r.test_loss),
+            "wall_time": r.wall_time,
+            "selected": r.selected.tolist() if r.selected is not None else None,
+            "per_class_accuracy": (
+                _nan_list(r.per_class_accuracy) if r.per_class_accuracy is not None else None
+            ),
+            "extras": {k: _jsonable(v) for k, v in r.extras.items()},
+        }
+        payload["records"].append(rec)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1)
+
+
+def load_history(path: str) -> History:
+    """Load a JSON history saved by :func:`save_history`."""
+    with open(path) as f:
+        payload = json.load(f)
+    h = History(algorithm=payload["algorithm"])
+    for rec in payload["records"]:
+        h.records.append(
+            RoundRecord(
+                round=rec["round"],
+                test_accuracy=_denan(rec["test_accuracy"]),
+                test_loss=_denan(rec["test_loss"]),
+                wall_time=rec.get("wall_time", 0.0),
+                selected=(
+                    np.asarray(rec["selected"]) if rec.get("selected") is not None else None
+                ),
+                per_class_accuracy=(
+                    np.array([_denan(v) for v in rec["per_class_accuracy"]])
+                    if rec.get("per_class_accuracy") is not None
+                    else None
+                ),
+                extras=rec.get("extras", {}),
+            )
+        )
+    return h
+
+
+def _jsonable(v):
+    if isinstance(v, np.ndarray):
+        return _nan_list(v)
+    if isinstance(v, (np.floating, float)):
+        v = float(v)
+        return None if np.isnan(v) else v
+    if isinstance(v, np.integer):
+        return int(v)
+    return v
+
+
+def _nan_list(arr: np.ndarray) -> list:
+    return [None if (isinstance(v, float) and np.isnan(v)) else float(v) for v in arr.tolist()]
+
+
+def _denan(v):
+    return float("nan") if v is None else float(v)

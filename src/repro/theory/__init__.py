@@ -1,0 +1,37 @@
+"""Theory substrate: Theorem 6.1 rate bounds and the quadratic testbed."""
+
+from repro.theory.bounds import (
+    RateConstants,
+    convergence_rate_bound,
+    beta_upper_bound,
+    lr_condition,
+)
+from repro.theory.quadratic import (
+    QuadraticProblem,
+    make_longtail_quadratic,
+    run_quadratic_fl,
+)
+from repro.theory.stability import (
+    round_map,
+    spectral_radius,
+    stability_margin,
+    noise_amplification,
+    critical_alpha,
+    bias_forgetting_time,
+)
+
+__all__ = [
+    "RateConstants",
+    "convergence_rate_bound",
+    "beta_upper_bound",
+    "lr_condition",
+    "QuadraticProblem",
+    "make_longtail_quadratic",
+    "run_quadratic_fl",
+    "round_map",
+    "spectral_radius",
+    "stability_margin",
+    "noise_amplification",
+    "critical_alpha",
+    "bias_forgetting_time",
+]

@@ -1,0 +1,92 @@
+"""Convergence-rate bounds of Theorem 6.1.
+
+FedWCM inherits FedAvg-M's rate:
+
+    (1/R) sum_r E ||grad f(x_r)||^2  <~  sqrt(L*Delta*sigma^2 / (N*K*R)) + L*Delta / R
+
+with the adaptive momentum coefficient constrained by
+``beta <= sqrt(N*K*L*Delta / (sigma^2 * R))`` and the step-size conditions of
+the theorem.  These helpers evaluate the bound, the admissible coefficient
+range and the learning-rate conditions so experiments (and property tests)
+can check hyper-parameters against the theory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["RateConstants", "convergence_rate_bound", "beta_upper_bound", "lr_condition"]
+
+
+@dataclass(frozen=True)
+class RateConstants:
+    """Problem constants entering Theorem 6.1.
+
+    Attributes:
+        L: smoothness constant of the local objectives.
+        delta: initial optimality gap f(x0) - f*.
+        sigma: stochastic-gradient noise level.
+        n_clients: N, participating clients per round.
+        k_steps: K, local steps per round.
+        g0: mean squared client gradient norm at x0 (enters the lr condition).
+    """
+
+    L: float
+    delta: float
+    sigma: float
+    n_clients: int
+    k_steps: int
+    g0: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.L, self.delta) < 0 or self.sigma < 0:
+            raise ValueError("L, delta must be >= 0 and sigma >= 0")
+        if self.n_clients < 1 or self.k_steps < 1:
+            raise ValueError("n_clients and k_steps must be >= 1")
+
+
+def convergence_rate_bound(c: RateConstants, rounds: int) -> float:
+    """Right-hand side of Eq. (10) (up to the absorbed constant)."""
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    term1 = math.sqrt(c.L * c.delta * c.sigma**2 / (c.n_clients * c.k_steps * rounds))
+    term2 = c.L * c.delta / rounds
+    return term1 + term2
+
+
+def beta_upper_bound(c: RateConstants, rounds: int) -> float:
+    """Maximum admissible momentum coefficient sqrt(N*K*L*Delta / (sigma^2*R)).
+
+    Returns ``inf`` when sigma == 0 (no stochastic noise restriction).
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if c.sigma == 0:
+        return float("inf")
+    return math.sqrt(c.n_clients * c.k_steps * c.L * c.delta / (c.sigma**2 * rounds))
+
+
+def lr_condition(
+    c: RateConstants, rounds: int, eta: float, beta: float, gamma: float | None = None
+) -> dict[str, float | bool]:
+    """Evaluate the theorem's step-size conditions for (eta, beta).
+
+    Returns a dict with each bound, the binding minimum and whether
+    ``eta * K * L`` satisfies it (up to the theorem's absorbed constants —
+    callers compare against ``min_bound`` directly).
+    """
+    if eta <= 0 or not 0 < beta < 1:
+        raise ValueError("require eta > 0 and beta in (0, 1)")
+    if gamma is None:
+        gamma = min(1.0 / (24.0 * c.L), beta / (6.0 * c.L)) if c.L > 0 else float("inf")
+    bounds = {
+        "one": 1.0,
+        "momentum": 1.0 / (beta * gamma * c.L * rounds) if c.L > 0 else float("inf"),
+        "g0": math.sqrt(c.L * c.delta / (c.g0 * beta**3 * rounds)) if c.g0 > 0 else float("inf"),
+        "noise_n": 1.0 / math.sqrt(beta * c.n_clients),
+        "noise_nk": 1.0 / (beta**3 * c.n_clients * c.k_steps) ** 0.25,
+    }
+    min_bound = min(bounds.values())
+    value = eta * c.k_steps * c.L
+    return {**bounds, "min_bound": min_bound, "eta_k_l": value, "satisfied": value <= min_bound}

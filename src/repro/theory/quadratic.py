@@ -1,0 +1,198 @@
+"""Distributed quadratic testbed with known constants.
+
+This is the controlled environment where the paper's qualitative claims can
+be demonstrated *exactly*:
+
+* each client's objective is ``f_i(x) = 0.5 * (x - b_i)^T A (x - b_i)`` with
+  a shared curvature spectrum (so ``L`` is known);
+* long-tailed heterogeneity is modelled by placing most clients' minimisers
+  ``b_i`` near a shared "head" anchor and a few at distinct "tail" anchors —
+  the cohort-average gradient then carries a persistent head-ward bias,
+  exactly the distortion the paper attributes to long-tailed data;
+* stochastic gradients add Gaussian noise with known ``sigma``.
+
+On quadratics, FedCM's client-momentum recursion has a closed-form round map
+whose eigenvalues have modulus ``~sqrt(1 - alpha)``; with alpha = 0.1 the
+dynamics are near-marginally stable, so cohort-bias excitation produces the
+large, slowly-decaying oscillations the paper reports as non-convergence.
+Raising alpha (FedWCM's response to imbalance) restores damping — see
+``benchmarks/bench_theorem61_rate.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["QuadraticProblem", "make_longtail_quadratic", "run_quadratic_fl"]
+
+
+@dataclass
+class QuadraticProblem:
+    """N-client quadratic federated problem.
+
+    Attributes:
+        curvature: per-coordinate eigenvalues of A (shared across clients).
+        minimizers: (N, d) per-client minimisers b_i.
+        sigma: stochastic gradient noise standard deviation.
+        weights: client weights in the global objective (uniform if None).
+    """
+
+    curvature: np.ndarray
+    minimizers: np.ndarray
+    sigma: float = 0.0
+    weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.curvature = np.asarray(self.curvature, dtype=np.float64)
+        self.minimizers = np.asarray(self.minimizers, dtype=np.float64)
+        if self.curvature.ndim != 1 or np.any(self.curvature <= 0):
+            raise ValueError("curvature must be a positive 1-D vector")
+        if self.minimizers.ndim != 2 or self.minimizers.shape[1] != self.curvature.size:
+            raise ValueError("minimizers must be (N, d) matching curvature dim")
+        if self.sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        n = self.minimizers.shape[0]
+        if self.weights is None:
+            self.weights = np.full(n, 1.0 / n)
+        else:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+            if self.weights.shape != (n,) or not np.isclose(self.weights.sum(), 1.0):
+                raise ValueError("weights must be length-N and sum to 1")
+
+    @property
+    def num_clients(self) -> int:
+        return self.minimizers.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.curvature.size
+
+    @property
+    def L(self) -> float:
+        """Smoothness constant (largest curvature eigenvalue)."""
+        return float(self.curvature.max())
+
+    @property
+    def x_star(self) -> np.ndarray:
+        """Global minimiser: the weight-averaged client minimiser."""
+        return self.weights @ self.minimizers
+
+    def grad(self, i: int, x: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        """(Stochastic) gradient of client ``i`` at ``x``."""
+        g = self.curvature * (x - self.minimizers[i])
+        if self.sigma > 0 and rng is not None:
+            g = g + rng.normal(0.0, self.sigma, size=g.shape)
+        return g
+
+    def global_grad(self, x: np.ndarray) -> np.ndarray:
+        return self.curvature * (x - self.x_star)
+
+    def global_loss(self, x: np.ndarray) -> float:
+        diffs = x[None, :] - self.minimizers
+        per = 0.5 * (diffs**2 * self.curvature[None, :]).sum(axis=1)
+        return float(self.weights @ per)
+
+
+def make_longtail_quadratic(
+    num_clients: int = 50,
+    dim: int = 20,
+    head_fraction: float = 0.8,
+    bias_strength: float = 3.0,
+    sigma: float = 0.5,
+    curvature_range: tuple[float, float] = (0.5, 2.0),
+    seed: int | np.random.Generator = 0,
+) -> QuadraticProblem:
+    """Quadratic problem with a long-tail-style head-ward gradient bias.
+
+    ``head_fraction`` of the clients share (noisy copies of) a head anchor at
+    distance ``bias_strength`` from the origin along a fixed direction; the
+    rest have independent tail anchors.  The cohort-average gradient is then
+    persistently biased toward the head anchor — the quadratic analogue of
+    majority-class gradient domination.
+    """
+    rng = as_generator(seed)
+    if not 0.0 < head_fraction < 1.0:
+        raise ValueError("head_fraction must lie in (0, 1)")
+    lo, hi = curvature_range
+    curv = rng.uniform(lo, hi, size=dim)
+    head_dir = rng.normal(size=dim)
+    head_dir /= np.linalg.norm(head_dir)
+    n_head = max(1, int(round(head_fraction * num_clients)))
+    b = np.empty((num_clients, dim))
+    b[:n_head] = bias_strength * head_dir + 0.2 * rng.normal(size=(n_head, dim))
+    n_tail = num_clients - n_head
+    b[n_head:] = -bias_strength * head_dir + 1.5 * rng.normal(size=(n_tail, dim))
+    return QuadraticProblem(curvature=curv, minimizers=b, sigma=sigma)
+
+
+def run_quadratic_fl(
+    problem: QuadraticProblem,
+    method: str = "fedavg",
+    rounds: int = 200,
+    local_steps: int = 10,
+    lr_local: float = 0.05,
+    lr_global: float = 1.0,
+    participation: float = 0.2,
+    alpha: float = 0.1,
+    adaptive_alpha_fn=None,
+    seed: int | np.random.Generator = 0,
+    x0: np.ndarray | None = None,
+) -> dict[str, np.ndarray]:
+    """Run FedAvg / FedCM / FedWCM-style dynamics on a quadratic problem.
+
+    Args:
+        method: ``"fedavg"``, ``"fedcm"`` or ``"fedwcm"`` (``fedwcm`` uses
+            ``adaptive_alpha_fn(round_idx, selected) -> alpha`` when given,
+            else a fixed damped alpha of 0.5).
+        rounds / local_steps / lr_local / lr_global / participation: FL knobs.
+        alpha: momentum mixing coefficient for fedcm.
+        seed: RNG seed.
+        x0: starting point (zeros by default).
+
+    Returns:
+        dict with per-round ``grad_norm_sq``, ``loss`` and ``distance``
+        (to the global minimiser) arrays.
+    """
+    if method not in ("fedavg", "fedcm", "fedwcm"):
+        raise ValueError(f"unknown method {method!r}")
+    rng = as_generator(seed)
+    n, d = problem.num_clients, problem.dim
+    m = max(1, int(round(participation * n)))
+    x = np.zeros(d) if x0 is None else x0.astype(np.float64).copy()
+    delta = np.zeros(d)
+    a = alpha if method != "fedavg" else 1.0
+
+    grad_norms = np.empty(rounds)
+    losses = np.empty(rounds)
+    dists = np.empty(rounds)
+    xstar = problem.x_star
+
+    for r in range(rounds):
+        if method == "fedwcm":
+            if adaptive_alpha_fn is not None:
+                a = float(adaptive_alpha_fn(r, None))
+            else:
+                a = 0.5
+        selected = rng.choice(n, size=m, replace=False)
+        disps = np.empty((m, d))
+        for j, i in enumerate(selected):
+            xi = x.copy()
+            for _ in range(local_steps):
+                g = problem.grad(int(i), xi, rng)
+                v = g if method == "fedavg" else a * g + (1.0 - a) * delta
+                xi -= lr_local * v
+            disps[j] = x - xi
+        avg_disp = disps.mean(axis=0)
+        if method != "fedavg":
+            delta = avg_disp / (lr_local * local_steps)
+        x = x - lr_global * avg_disp
+
+        grad_norms[r] = float(np.sum(problem.global_grad(x) ** 2))
+        losses[r] = problem.global_loss(x)
+        dists[r] = float(np.linalg.norm(x - xstar))
+
+    return {"grad_norm_sq": grad_norms, "loss": losses, "distance": dists}

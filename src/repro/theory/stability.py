@@ -1,0 +1,116 @@
+"""Linear stability analysis of the FedCM round map.
+
+On a quadratic objective with curvature eigenvalue ``lam``, one FedCM round
+(client momentum ``v = alpha*g + (1-alpha)*Delta``, displacement-averaged
+server step with effective step size ``s = lr_local * local_steps``) acts on
+the state ``(error e, momentum Delta)`` as the 2x2 map
+
+    e'     = e - s * (alpha * lam * e + (1 - alpha) * Delta)
+    Delta' = alpha * lam * e + (1 - alpha) * Delta
+
+    M(lam) = [[1 - s*alpha*lam,  -s*(1 - alpha)],
+              [alpha*lam,         1 - alpha   ]]
+
+Its eigenvalues determine convergence: ``det M = (1 - alpha)`` independently
+of ``lam``, so with FedCM's alpha = 0.1 the product of the eigenvalues has
+modulus 0.9 — the dynamics are *near-marginally damped*, and any persistent
+excitation (the long-tail cohort bias of section 4) produces large,
+slowly-decaying oscillations.  Raising alpha (FedWCM's Eq. 5 response to
+imbalance) shrinks ``det M`` and restores damping.  This module computes the
+spectral radius, damping margins and the steady-state noise amplification so
+that the mechanism can be quantified exactly (see
+``benchmarks/bench_stability_analysis.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "round_map",
+    "spectral_radius",
+    "stability_margin",
+    "noise_amplification",
+    "critical_alpha",
+]
+
+
+def round_map(lam: float, alpha: float, step: float) -> np.ndarray:
+    """The 2x2 FedCM round map for curvature eigenvalue ``lam``."""
+    if lam <= 0 or step <= 0:
+        raise ValueError("lam and step must be positive")
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must lie in (0, 1], got {alpha}")
+    return np.array(
+        [
+            [1.0 - step * alpha * lam, -step * (1.0 - alpha)],
+            [alpha * lam, 1.0 - alpha],
+        ]
+    )
+
+
+def spectral_radius(lam: float, alpha: float, step: float) -> float:
+    """Modulus of the dominant eigenvalue of the round map."""
+    eig = np.linalg.eigvals(round_map(lam, alpha, step))
+    return float(np.abs(eig).max())
+
+
+def stability_margin(lam: float, alpha: float, step: float) -> float:
+    """``1 - spectral_radius``; positive means asymptotically stable."""
+    return 1.0 - spectral_radius(lam, alpha, step)
+
+
+def noise_amplification(lam: float, alpha: float, step: float, horizon: int = 2000) -> float:
+    """Steady-state variance gain of the round map under unit white noise.
+
+    Sums ``||M^t B||_F^2`` where ``B`` injects gradient noise into both the
+    error and momentum coordinates — the discrete Lyapunov series, truncated
+    at ``horizon`` (or until the spectral radius guarantees convergence).
+    Larger values mean cohort-composition noise is amplified more strongly
+    in steady state.
+    """
+    m = round_map(lam, alpha, step)
+    rho = float(np.abs(np.linalg.eigvals(m)).max())
+    if rho >= 1.0:
+        return float("inf")
+    b = np.array([[-step * alpha], [alpha]])  # unit gradient-noise injection
+    total = 0.0
+    cur = b.copy()
+    for _ in range(horizon):
+        total += float((cur**2).sum())
+        cur = m @ cur
+        if (cur**2).sum() < 1e-18:
+            break
+    return total
+
+
+def bias_forgetting_time(lam: float, alpha: float, step: float) -> float:
+    """Rounds needed to forget a stale bias direction: ``1 / (1 - rho)``.
+
+    A persistent head-class bias that *changes* (e.g. when a tail-rich
+    cohort is finally sampled) keeps influencing the updates for about this
+    many rounds.  FedCM's alpha = 0.1 gives ~20 rounds of stale-direction
+    memory; FedWCM's raised alpha under imbalance cuts it to a few rounds.
+    """
+    rho = spectral_radius(lam, alpha, step)
+    if rho >= 1.0:
+        return float("inf")
+    return 1.0 / (1.0 - rho)
+
+
+def critical_alpha(lam: float, step: float, target_margin: float = 0.05) -> float:
+    """Smallest alpha in (0, 1] whose stability margin reaches the target.
+
+    Bisection over alpha; returns 1.0 if even alpha = 1 (no momentum) misses
+    the target margin (i.e. the step size itself is too large).
+    """
+    if stability_margin(lam, 1.0, step) < target_margin:
+        return 1.0
+    lo, hi = 1e-4, 1.0
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if stability_margin(lam, mid, step) >= target_margin:
+            hi = mid
+        else:
+            lo = mid
+    return float(hi)

@@ -1,0 +1,133 @@
+"""Flat-vector views of model parameters.
+
+FedCM/FedWCM momentum algebra (``v = alpha * g + (1 - alpha) * Delta``) is
+architecture-agnostic: it operates on the concatenation of all trainable
+arrays.  Keeping that concatenation a single contiguous ``float64`` vector
+is the main performance lever in this library (see the HPC guides: contiguous
+memory, in-place ops, no copies in the hot loop).
+
+A "param tree" here is an ordered ``dict[str, np.ndarray]``.  ``ParamSpec``
+records the name/shape/offset layout so flatten/unflatten round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ParamSpec",
+    "flatten_params",
+    "unflatten_params",
+    "tree_map",
+    "tree_zeros_like",
+    "tree_add",
+    "tree_scale",
+    "num_params",
+]
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Layout of a flattened parameter vector.
+
+    Attributes:
+        names: parameter names in flattening order.
+        shapes: shape of each parameter.
+        offsets: start offset of each parameter in the flat vector.
+        size: total number of scalar parameters.
+    """
+
+    names: tuple[str, ...]
+    shapes: tuple[tuple[int, ...], ...]
+    offsets: tuple[int, ...]
+    size: int
+
+    @classmethod
+    def from_tree(cls, tree: dict[str, np.ndarray]) -> "ParamSpec":
+        names = tuple(tree.keys())
+        shapes = tuple(tuple(tree[n].shape) for n in names)
+        sizes = [int(np.prod(s)) if s else 1 for s in shapes]
+        offsets = tuple(int(o) for o in np.concatenate([[0], np.cumsum(sizes)[:-1]]))
+        return cls(names=names, shapes=shapes, offsets=offsets, size=int(sum(sizes)))
+
+    def slices(self) -> dict[str, slice]:
+        """Per-parameter slices into the flat vector."""
+        out: dict[str, slice] = {}
+        for name, shape, off in zip(self.names, self.shapes, self.offsets):
+            n = int(np.prod(shape)) if shape else 1
+            out[name] = slice(off, off + n)
+        return out
+
+
+def flatten_params(
+    tree: dict[str, np.ndarray],
+    spec: ParamSpec | None = None,
+    out: np.ndarray | None = None,
+) -> tuple[np.ndarray, ParamSpec]:
+    """Concatenate a param tree into one contiguous float64 vector.
+
+    Args:
+        tree: ordered name -> array mapping.
+        spec: reuse a previously computed layout (skips re-deriving it and
+            validates consistency).
+        out: optional pre-allocated destination vector (avoids an allocation
+            in the round loop).
+
+    Returns:
+        ``(flat, spec)``.
+    """
+    if spec is None:
+        spec = ParamSpec.from_tree(tree)
+    if out is None:
+        out = np.empty(spec.size, dtype=np.float64)
+    elif out.shape != (spec.size,):
+        raise ValueError(f"out has shape {out.shape}, expected ({spec.size},)")
+    for name, shape, off in zip(spec.names, spec.shapes, spec.offsets):
+        arr = tree[name]
+        n = int(np.prod(shape)) if shape else 1
+        out[off : off + n] = arr.reshape(-1)
+    return out, spec
+
+
+def unflatten_params(flat: np.ndarray, spec: ParamSpec) -> dict[str, np.ndarray]:
+    """Rebuild a param tree from a flat vector (views where possible)."""
+    if flat.shape != (spec.size,):
+        raise ValueError(f"flat has shape {flat.shape}, expected ({spec.size},)")
+    tree: dict[str, np.ndarray] = {}
+    for name, shape, off in zip(spec.names, spec.shapes, spec.offsets):
+        n = int(np.prod(shape)) if shape else 1
+        tree[name] = flat[off : off + n].reshape(shape)
+    return tree
+
+
+def write_into_tree(flat: np.ndarray, spec: ParamSpec, tree: dict[str, np.ndarray]) -> None:
+    """Copy a flat vector back into an existing tree's arrays, in place."""
+    for name, shape, off in zip(spec.names, spec.shapes, spec.offsets):
+        n = int(np.prod(shape)) if shape else 1
+        np.copyto(tree[name], flat[off : off + n].reshape(shape))
+
+
+def tree_map(fn, tree: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Apply ``fn`` leaf-wise, preserving key order."""
+    return {k: fn(v) for k, v in tree.items()}
+
+
+def tree_zeros_like(tree: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    return {k: np.zeros_like(v) for k, v in tree.items()}
+
+
+def tree_add(a: dict[str, np.ndarray], b: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    if a.keys() != b.keys():
+        raise KeyError("param trees have mismatched keys")
+    return {k: a[k] + b[k] for k in a}
+
+
+def tree_scale(tree: dict[str, np.ndarray], c: float) -> dict[str, np.ndarray]:
+    return {k: v * c for k, v in tree.items()}
+
+
+def num_params(tree: dict[str, np.ndarray]) -> int:
+    """Total scalar parameter count of a tree."""
+    return int(sum(v.size for v in tree.values()))

@@ -1,0 +1,94 @@
+"""Dependency-free ASCII visualisation for run histories.
+
+No matplotlib in this environment, so the examples and benchmark reports
+render learning curves and bar charts as terminal text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_lineplot", "ascii_barchart", "history_plot"]
+
+
+def ascii_lineplot(
+    series: dict[str, tuple[list, list]],
+    width: int = 68,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "acc",
+) -> str:
+    """Render multiple (x, y) series as an ASCII line plot.
+
+    Each series is assigned a marker character; points are nearest-cell
+    rasterised onto a ``height`` x ``width`` grid.
+    """
+    if not series:
+        return title
+    markers = "ox+*#@%&"
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    ys_all = ys_all[np.isfinite(ys_all)]
+    if xs_all.size == 0 or ys_all.size == 0:
+        return title
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for i, (name, (x, y)) in enumerate(series.items()):
+        m = markers[i % len(markers)]
+        legend.append(f"{m}={name}")
+        for xv, yv in zip(x, y):
+            if not np.isfinite(yv):
+                continue
+            col = int(round((float(xv) - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((float(yv) - y_lo) / y_span * (height - 1)))
+            grid[row][col] = m
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        y_val = y_hi - r * y_span / (height - 1)
+        lines.append(f"{y_val:7.3f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(" " * 9 + f"{x_lo:<10.0f}{y_label} vs round{x_hi:>{max(width - 25, 1)}.0f}")
+    lines.append("  " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_barchart(
+    values: dict[str, float], width: int = 50, title: str = "", fmt: str = "{:.3f}"
+) -> str:
+    """Horizontal bar chart of name -> value."""
+    if not values:
+        return title
+    finite = [v for v in values.values() if np.isfinite(v)]
+    vmax = max(finite) if finite else 1.0
+    vmax = vmax if vmax > 0 else 1.0
+    name_w = max(len(n) for n in values)
+    lines = [title] if title else []
+    for name, v in values.items():
+        if not np.isfinite(v):
+            bar, label = "", "nan"
+        else:
+            bar = "#" * max(int(round(v / vmax * width)), 0)
+            label = fmt.format(v)
+        lines.append(f"{name:<{name_w}} |{bar} {label}")
+    return "\n".join(lines)
+
+
+def history_plot(histories: dict[str, "History"], title: str = "") -> str:  # noqa: F821
+    """Plot several :class:`repro.simulation.History` accuracy curves."""
+    series = {}
+    for name, h in histories.items():
+        xs, ys = [], []
+        for r in h.records:
+            if not np.isnan(r.test_accuracy):
+                xs.append(r.round)
+                ys.append(r.test_accuracy)
+        series[name] = (xs, ys)
+    return ascii_lineplot(series, title=title)

@@ -1,0 +1,175 @@
+"""Tests for the analysis substrate (concentration, collapse, per-class)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConcentrationTracker,
+    PerClassTracker,
+    capture_relu_activations,
+    classifier_angles,
+    feature_class_means,
+    head_tail_accuracy,
+    layer_concentrations,
+    minority_collapse_index,
+    neuron_concentration,
+    per_label_accuracy,
+    within_between_ratio,
+)
+from repro.algorithms import FedAvg
+from repro.data import load_federated_dataset
+from repro.nn import make_mlp, make_resnet_lite
+from repro.simulation import FLConfig, FederatedSimulation
+
+
+class TestNeuronConcentration:
+    def test_one_hot_neurons_are_fully_concentrated(self):
+        # neuron j fires only for class j
+        labels = np.repeat(np.arange(3), 10)
+        acts = np.zeros((30, 3))
+        for c in range(3):
+            acts[labels == c, c] = 1.0
+        assert neuron_concentration(acts, labels, 3) == pytest.approx(1.0)
+
+    def test_uniform_neurons_have_zero_concentration(self):
+        labels = np.repeat(np.arange(4), 25)
+        acts = np.ones((100, 8))
+        assert neuron_concentration(acts, labels, 4) == pytest.approx(0.0, abs=1e-9)
+
+    def test_dead_neurons_ignored(self):
+        labels = np.repeat(np.arange(2), 5)
+        acts = np.zeros((10, 4))
+        acts[labels == 0, 0] = 1.0  # only one alive neuron, fully class-0
+        assert neuron_concentration(acts, labels, 2) == pytest.approx(1.0)
+
+    def test_all_dead_returns_zero(self):
+        labels = np.zeros(4, dtype=int)
+        assert neuron_concentration(np.zeros((4, 3)), labels, 2) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            neuron_concentration(np.zeros(5), np.zeros(5, dtype=int), 2)
+
+
+class TestActivationCapture:
+    def test_mlp_relu_count(self):
+        m = make_mlp(8, 3, hidden=(6, 4), seed=0)
+        acts = capture_relu_activations(m, np.random.default_rng(0).normal(size=(5, 8)))
+        assert len(acts) == 2  # one per hidden layer
+        assert acts[0].shape == (5, 6)
+        assert acts[1].shape == (5, 4)
+
+    def test_resnet_blocks_contribute_two_each(self):
+        m = make_resnet_lite(3, 8, 4, depth="micro", width=4, seed=0)
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        acts = capture_relu_activations(m, x)
+        # stem ReLU + 3 blocks x 2 ReLUs
+        assert len(acts) == 1 + 3 * 2
+        assert all(a.ndim == 2 for a in acts)
+
+    def test_capture_matches_forward(self):
+        # capturing must not change the model's prediction path
+        m = make_resnet_lite(3, 8, 4, depth="micro", width=4, seed=0)
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        before = m.forward(x, train=False)
+        capture_relu_activations(m, x)
+        after = m.forward(x, train=False)
+        np.testing.assert_array_equal(before, after)
+
+    def test_layer_concentrations_vector(self):
+        m = make_mlp(8, 3, hidden=(6, 4), seed=0)
+        x = np.random.default_rng(0).normal(size=(30, 8))
+        y = np.random.default_rng(1).integers(0, 3, 30)
+        concs = layer_concentrations(m, x, y, 3)
+        assert concs.shape == (2,)
+        assert np.all((0 <= concs) & (concs <= 1))
+
+
+class TestCollapseMetrics:
+    def test_within_between_ratio_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        f0 = rng.normal(0, 0.1, size=(50, 4)) + np.array([10, 0, 0, 0])
+        f1 = rng.normal(0, 0.1, size=(50, 4)) - np.array([10, 0, 0, 0])
+        feats = np.concatenate([f0, f1])
+        labels = np.array([0] * 50 + [1] * 50)
+        assert within_between_ratio(feats, labels, 2) < 0.01
+
+    def test_within_between_ratio_mixed(self):
+        rng = np.random.default_rng(0)
+        feats = rng.normal(size=(100, 4))
+        labels = rng.integers(0, 2, 100)
+        assert within_between_ratio(feats, labels, 2) > 1.0
+
+    def test_classifier_angles_etf(self):
+        # a 2-class "ETF": opposite vectors -> cosine -1
+        w = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        cos = classifier_angles(w)
+        assert cos[0, 1] == pytest.approx(-1.0)
+
+    def test_minority_collapse_index_zero_for_etf(self):
+        # simplex ETF for C=3 in 2D: vectors at 120 degrees
+        ang = np.array([0, 2 * np.pi / 3, 4 * np.pi / 3])
+        w = np.stack([np.cos(ang), np.sin(ang)], axis=1)
+        idx = minority_collapse_index(w, np.array([1, 2]))
+        assert idx == pytest.approx(0.0, abs=1e-9)
+
+    def test_minority_collapse_index_positive_when_collapsed(self):
+        w = np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 1.0]])  # tail rows identical
+        idx = minority_collapse_index(w, np.array([1, 2]))
+        assert idx > 1.0
+
+    def test_feature_class_means_absent_class(self):
+        feats = np.ones((4, 2))
+        labels = np.zeros(4, dtype=int)
+        means, mu = feature_class_means(feats, labels, 3)
+        np.testing.assert_array_equal(means[1], mu)
+
+    def test_tail_size_validation(self):
+        with pytest.raises(ValueError):
+            minority_collapse_index(np.eye(3), np.array([0]))
+
+
+class TestPerClass:
+    def test_per_label_accuracy_shape(self):
+        m = make_mlp(8, 3, seed=0)
+        x = np.random.default_rng(0).normal(size=(30, 8))
+        y = np.random.default_rng(1).integers(0, 3, 30)
+        acc = per_label_accuracy(m, x, y, 3)
+        assert acc.shape == (3,)
+
+    def test_head_tail_split(self):
+        per_class = np.array([0.9, 0.8, 0.2, 0.1])
+        counts = np.array([100, 50, 10, 5])
+        out = head_tail_accuracy(per_class, counts, head_fraction=0.5)
+        assert out["head"] == pytest.approx(0.85)
+        assert out["tail"] == pytest.approx(0.15)
+
+    def test_head_tail_handles_nan(self):
+        per_class = np.array([0.9, np.nan])
+        counts = np.array([10, 1])
+        out = head_tail_accuracy(per_class, counts, head_fraction=0.5)
+        assert out["head"] == pytest.approx(0.9)
+        assert np.isnan(out["tail"])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            head_tail_accuracy(np.zeros(3), np.zeros(4))
+
+
+class TestTrackers:
+    def test_trackers_record_via_engine(self):
+        ds = load_federated_dataset(
+            "fashion-mnist-lite", imbalance_factor=0.2, beta=0.3, num_clients=4, seed=0, scale=0.3
+        )
+        model = make_mlp(32, 10, seed=0)
+        conc = ConcentrationTracker(ds.x_test, ds.y_test, 10)
+        pc = PerClassTracker(10)
+        cfg = FLConfig(rounds=3, participation=0.5, local_epochs=1, eval_every=1,
+                       seed=0, max_batches_per_round=2)
+        h = FederatedSimulation(FedAvg(), model, ds, cfg, metric_hooks=[conc, pc]).run()
+        assert conc.rounds == [0, 1, 2]
+        assert conc.mean_series.shape == (3,)
+        assert len(pc.series) == 3
+        assert "neuron_concentration" in h.records[0].extras

@@ -1,0 +1,234 @@
+"""Unit + property tests for the FedWCM core (Eq. 3, 4, 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GlobalMomentum,
+    adaptive_alpha,
+    client_scores,
+    compute_temperature,
+    global_distribution,
+    l1_discrepancy,
+    scarcity_weights,
+    score_ratio,
+    softmax_weights,
+)
+
+
+class TestScoring:
+    def test_global_distribution(self):
+        counts = np.array([[10, 0], [0, 30]])
+        np.testing.assert_allclose(global_distribution(counts), [0.25, 0.75])
+
+    def test_global_distribution_validates(self):
+        with pytest.raises(ValueError):
+            global_distribution(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            global_distribution(np.zeros(3))
+
+    def test_signed_scores_rank_tail_clients_higher(self):
+        # global: class 0 head (90), class 1 tail (10); uniform target
+        counts = np.array(
+            [
+                [45, 0],  # head-only client
+                [45, 0],  # head-only client
+                [0, 10],  # tail-only client
+            ]
+        )
+        s = client_scores(counts, mode="signed")
+        assert s[2] > s[0]  # tail client scores higher (paper semantics)
+        assert s[0] == s[1]
+
+    def test_abs_mode_is_literal_eq3(self):
+        counts = np.array([[45, 0], [0, 10]])
+        p = global_distribution(counts)
+        w = np.abs(0.5 - p)
+        expected0 = w[0]  # all mass in class 0
+        s = client_scores(counts, mode="abs")
+        assert np.isclose(s[0], expected0)
+
+    def test_balanced_global_gives_zero_signed_scores(self):
+        counts = np.array([[10, 10], [10, 10]])
+        s = client_scores(counts, mode="signed")
+        np.testing.assert_allclose(s, 0.0, atol=1e-12)
+
+    def test_custom_target_dist(self):
+        counts = np.array([[10, 10], [10, 10]])
+        s = client_scores(counts, target_dist=np.array([0.9, 0.1]), mode="signed")
+        # target says class 0 should dominate; both clients are 50/50 so
+        # both deviate identically
+        assert np.isclose(s[0], s[1])
+        assert abs(s[0]) > 0
+
+    def test_empty_client_scores_zero(self):
+        counts = np.array([[10, 10], [0, 0]])
+        s = client_scores(counts)
+        assert s[1] == 0.0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            scarcity_weights(np.array([0.5, 0.5]), mode="bogus")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        counts=st.lists(
+            st.lists(st.integers(0, 100), min_size=3, max_size=3),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_scores_finite(self, counts):
+        m = np.array(counts)
+        if m.sum() == 0:
+            return
+        s = client_scores(m)
+        assert np.all(np.isfinite(s))
+
+
+class TestWeighting:
+    def test_l1_discrepancy_range(self):
+        assert l1_discrepancy(np.array([0.5, 0.5])) == 0.0
+        d = l1_discrepancy(np.array([0.99, 0.01]))
+        assert 0 < d < 1
+
+    def test_temperature_inverse_to_imbalance(self):
+        t_balanced = compute_temperature(np.full(10, 0.1))
+        skew = np.array([0.7] + [0.3 / 9] * 9)
+        t_skewed = compute_temperature(skew)
+        assert t_balanced > t_skewed  # more imbalance -> lower temperature
+
+    def test_temperature_clipping(self):
+        t = compute_temperature(np.full(10, 0.1), t_min=0.5, t_max=2.0)
+        assert 0.5 <= t <= 2.0
+
+    def test_softmax_weights_sum_to_one(self):
+        w = softmax_weights(np.array([0.1, -0.2, 0.5]), 1.0)
+        assert np.isclose(w.sum(), 1.0)
+        assert np.all(w > 0)
+
+    def test_low_temperature_sharpens(self):
+        s = np.array([0.0, 1.0])
+        w_hot = softmax_weights(s, 10.0)
+        w_cold = softmax_weights(s, 0.1)
+        assert w_cold[1] > w_hot[1]
+        assert w_cold[1] > 0.99
+
+    def test_uniform_scores_give_uniform_weights(self):
+        w = softmax_weights(np.full(5, 0.3), 0.5)
+        np.testing.assert_allclose(w, 0.2)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            softmax_weights(np.array([1.0]), 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        scores=st.lists(st.floats(-5, 5), min_size=1, max_size=20),
+        temp=st.floats(0.01, 50),
+    )
+    def test_softmax_weights_property(self, scores, temp):
+        w = softmax_weights(np.array(scores), temp)
+        assert np.isclose(w.sum(), 1.0)
+        assert np.all(w >= 0)
+        # order-preserving: higher score never gets lower weight
+        s = np.array(scores)
+        order = np.argsort(s)
+        assert np.all(np.diff(w[order]) >= -1e-12)
+
+
+class TestAdaptiveAlpha:
+    def test_balanced_recovers_fedcm(self):
+        # discrepancy 0 -> alpha = 0.1 regardless of q
+        assert adaptive_alpha(0.0, 10, 1.5) == pytest.approx(0.1)
+
+    def test_imbalance_raises_alpha(self):
+        a_low = adaptive_alpha(0.05, 10, 1.0)
+        a_high = adaptive_alpha(0.5, 10, 1.0)
+        assert a_high > a_low > 0.1
+
+    def test_q_scales_alpha(self):
+        a1 = adaptive_alpha(0.3, 10, 0.5)
+        a2 = adaptive_alpha(0.3, 10, 1.5)
+        assert a2 > a1
+
+    def test_clipping(self):
+        assert adaptive_alpha(1.0, 100, 2.0) <= 0.999
+        assert adaptive_alpha(0.0, 10, 0.0) >= 0.1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            adaptive_alpha(-0.1, 10, 1.0)
+        with pytest.raises(ValueError):
+            adaptive_alpha(0.5, 0, 1.0)
+        with pytest.raises(ValueError):
+            adaptive_alpha(0.5, 10, -1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        d=st.floats(0, 1),
+        c=st.integers(2, 100),
+        q=st.floats(0, 2),
+    )
+    def test_alpha_always_in_convergence_range(self, d, c, q):
+        a = adaptive_alpha(d, c, q)
+        assert 0.1 <= a < 1.0  # the range assumed by Theorem 6.1
+
+
+class TestScoreRatio:
+    def test_uniform_scores_give_one(self):
+        assert score_ratio(np.full(10, 0.5), np.array([0, 1])) == 1.0
+
+    def test_tail_cohort_scores_higher(self):
+        scores = np.array([0.0, 0.0, 0.0, 1.0, 1.0])
+        q_tail = score_ratio(scores, np.array([3, 4]))
+        q_head = score_ratio(scores, np.array([0, 1]))
+        assert q_tail > 1.0 > q_head
+
+    def test_clipping(self):
+        scores = np.array([0.0] * 99 + [100.0])
+        q = score_ratio(scores, np.array([99]))
+        assert q == 2.0  # clipped at q_max
+
+    def test_empty_selection(self):
+        assert score_ratio(np.array([1.0, 2.0]), np.array([], dtype=int)) == 1.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            score_ratio(np.array([1.0]), np.array([3]))
+
+
+class TestGlobalMomentum:
+    def test_update_weighted_average(self):
+        gm = GlobalMomentum(dim=3)
+        grads = np.array([[1.0, 0, 0], [0, 1.0, 0]])
+        w = np.array([0.25, 0.75])
+        out = gm.update(grads, w)
+        np.testing.assert_allclose(out, [0.25, 0.75, 0.0])
+
+    def test_alpha_history(self):
+        gm = GlobalMomentum(dim=2, alpha=0.1)
+        gm.set_alpha(0.5)
+        gm.set_alpha(0.9)
+        assert gm.history == [0.1, 0.5, 0.9]
+
+    def test_weights_must_sum_to_one(self):
+        gm = GlobalMomentum(dim=2)
+        with pytest.raises(ValueError):
+            gm.update(np.ones((2, 2)), np.array([0.5, 0.6]))
+
+    def test_shape_validation(self):
+        gm = GlobalMomentum(dim=2)
+        with pytest.raises(ValueError):
+            gm.update(np.ones((2, 3)), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            GlobalMomentum(dim=0)
+
+    def test_invalid_alpha(self):
+        gm = GlobalMomentum(dim=2)
+        with pytest.raises(ValueError):
+            gm.set_alpha(0.0)

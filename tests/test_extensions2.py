@@ -1,0 +1,365 @@
+"""Tests for schedules, augmentation, fairness, communication model and the
+stability analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import fairness_report, gini_coefficient, per_client_accuracy
+from repro.data import (
+    AugmentedSampler,
+    FeatureDropout,
+    GaussianJitter,
+    Mixup,
+    UniformBatchSampler,
+    load_federated_dataset,
+)
+from repro.data.augment import soft_cross_entropy
+from repro.nn import (
+    ConstantSchedule,
+    CosineSchedule,
+    StepSchedule,
+    WarmupSchedule,
+    make_mlp,
+    make_schedule,
+)
+from repro.simulation import CommunicationModel
+from repro.theory import (
+    bias_forgetting_time,
+    critical_alpha,
+    noise_amplification,
+    round_map,
+    spectral_radius,
+    stability_margin,
+)
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantSchedule()
+        assert s(0) == s(100) == 1.0
+
+    def test_step_decay(self):
+        s = StepSchedule(step_size=10, gamma=0.5)
+        assert s(0) == 1.0
+        assert s(10) == 0.5
+        assert s(25) == 0.25
+
+    def test_cosine_endpoints(self):
+        s = CosineSchedule(total_rounds=100, floor=0.1)
+        assert s(0) == pytest.approx(1.0)
+        assert s(100) == pytest.approx(0.1)
+        assert s(50) == pytest.approx(0.55)
+
+    def test_cosine_clamps_past_total(self):
+        s = CosineSchedule(total_rounds=10)
+        assert s(1000) == pytest.approx(0.0)
+
+    def test_warmup_then_after(self):
+        s = WarmupSchedule(warmup_rounds=10, start=0.2)
+        assert s(0) == pytest.approx(0.2)
+        assert s(5) == pytest.approx(0.6)
+        assert s(10) == 1.0
+
+    def test_factory(self):
+        assert isinstance(make_schedule("constant", 10), ConstantSchedule)
+        assert isinstance(make_schedule("cosine", 10), CosineSchedule)
+        assert isinstance(make_schedule("step", 30), StepSchedule)
+        w = make_schedule("warmup-cosine", 100)
+        assert isinstance(w, WarmupSchedule)
+        with pytest.raises(KeyError):
+            make_schedule("exotic", 10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(r=st.integers(0, 10_000))
+    def test_all_schedules_bounded(self, r):
+        for s in (ConstantSchedule(), StepSchedule(7, 0.7), CosineSchedule(500, 0.05),
+                  WarmupSchedule(20)):
+            v = s(r)
+            assert 0.0 <= v <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepSchedule(0)
+        with pytest.raises(ValueError):
+            CosineSchedule(0)
+        with pytest.raises(ValueError):
+            WarmupSchedule(0)
+
+
+class TestAugment:
+    def test_jitter_changes_features_not_labels(self):
+        rng = np.random.default_rng(0)
+        x = np.zeros((5, 4))
+        y = np.arange(5)
+        xa, ya = GaussianJitter(0.5)(x, y, rng)
+        assert not np.allclose(xa, x)
+        np.testing.assert_array_equal(ya, y)
+
+    def test_jitter_zero_sigma_identity(self):
+        x = np.ones((3, 2))
+        xa, _ = GaussianJitter(0.0)(x, np.zeros(3, dtype=int), np.random.default_rng(0))
+        assert xa is x
+
+    def test_feature_dropout_fraction(self):
+        rng = np.random.default_rng(0)
+        x = np.ones((100, 50))
+        xa, _ = FeatureDropout(0.3)(x, np.zeros(100, dtype=int), rng)
+        dropped = np.mean(xa == 0)
+        assert 0.25 < dropped < 0.35
+
+    def test_mixup_soft_targets_valid(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(8, 4))
+        y = rng.integers(0, 3, 8)
+        xm, ym = Mixup(3, alpha=0.4)(x, y, rng)
+        assert ym.shape == (8, 3)
+        np.testing.assert_allclose(ym.sum(axis=1), 1.0)
+        assert np.all(ym >= 0)
+
+    def test_soft_cross_entropy_matches_hard_ce(self):
+        from repro.nn import CrossEntropyLoss
+        from repro.nn.functional import one_hot
+
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(6, 4))
+        y = rng.integers(0, 4, 6)
+        l_hard, g_hard = CrossEntropyLoss()(logits, y)
+        l_soft, g_soft = soft_cross_entropy(logits, one_hot(y, 4))
+        assert l_hard == pytest.approx(l_soft, abs=1e-9)
+        np.testing.assert_allclose(g_hard, g_soft, atol=1e-12)
+
+    def test_augmented_sampler_materialize(self):
+        rng = np.random.default_rng(0)
+        x = np.ones((20, 4))
+        y = np.zeros(20, dtype=int)
+        s = AugmentedSampler(UniformBatchSampler(y, 5), [GaussianJitter(0.1)])
+        bidx = next(iter(s.epoch(rng)))
+        xb, yb = s.materialize(x, y, bidx, rng)
+        assert xb.shape == (5, 4)
+        assert not np.allclose(xb, 1.0)
+        assert s.batches_per_epoch() == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianJitter(-1)
+        with pytest.raises(ValueError):
+            FeatureDropout(1.0)
+        with pytest.raises(ValueError):
+            Mixup(1)
+
+
+class TestFairness:
+    def test_gini_equal_distribution(self):
+        assert gini_coefficient(np.full(10, 0.5)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_extreme_inequality(self):
+        v = np.zeros(100)
+        v[0] = 1.0
+        assert gini_coefficient(v) > 0.95
+
+    def test_gini_negative_raises(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 1.0]))
+
+    def test_fairness_report_fields(self):
+        ds = load_federated_dataset(
+            "fashion-mnist-lite", imbalance_factor=0.2, beta=0.2, num_clients=5,
+            seed=0, scale=0.2,
+        )
+        model = make_mlp(32, 10, seed=0)
+        rep = fairness_report(model, ds)
+        assert set(rep) == {"mean", "std", "worst", "best", "gini", "spread"}
+        assert rep["worst"] <= rep["mean"] <= rep["best"]
+        acc = per_client_accuracy(model, ds)
+        assert acc.shape == (5,)
+
+
+class TestCommunicationModel:
+    def test_momentum_methods_cost_more_downlink(self):
+        cm = CommunicationModel(num_params=1000, clients_per_round=10)
+        avg = cm.estimate("fedavg", rounds=10)
+        wcm = cm.estimate("fedwcm", rounds=10)
+        assert wcm.downlink_per_round == 2 * avg.downlink_per_round
+        assert wcm.uplink_per_round == avg.uplink_per_round
+
+    def test_scaffold_doubles_both_directions(self):
+        cm = CommunicationModel(num_params=1000, clients_per_round=4)
+        sc = cm.estimate("scaffold", rounds=1)
+        avg = cm.estimate("fedavg", rounds=1)
+        assert sc.per_round == 2 * avg.per_round
+
+    def test_fedwcm_one_time_cost(self):
+        cm = CommunicationModel(num_params=1000, clients_per_round=10)
+        c = cm.estimate("fedwcm", rounds=100, num_classes=10, total_clients=100)
+        assert c.one_time == 2 * 100 * 10 * 8
+        assert c.total == c.per_round * 100 + c.one_time
+
+    def test_he_one_time_cost_uses_ciphertext(self):
+        cm = CommunicationModel(num_params=1000, clients_per_round=10)
+        c = cm.estimate(
+            "fedwcm-he", rounds=10, num_classes=10, total_clients=50,
+            he_ciphertext_bytes=14336,
+        )
+        assert c.one_time == 50 * 14336 + 50 * 10 * 8
+
+    def test_creff_feature_stats(self):
+        cm = CommunicationModel(num_params=1000, clients_per_round=2)
+        plain = cm.estimate("fedavg", rounds=1)
+        creff = cm.estimate("creff", rounds=1, num_classes=10, feature_dim=32)
+        assert creff.uplink_per_round > plain.uplink_per_round
+
+    def test_fedcm_variants_resolve(self):
+        cm = CommunicationModel(num_params=10, clients_per_round=1)
+        assert cm.estimate("fedcm+focal", rounds=1).downlink_per_round == 2 * 10 * 8
+
+    def test_unknown_method(self):
+        cm = CommunicationModel(num_params=10, clients_per_round=1)
+        with pytest.raises(KeyError):
+            cm.estimate("gossip", rounds=1)
+
+    def test_compare_table(self):
+        cm = CommunicationModel(num_params=10, clients_per_round=1)
+        out = cm.compare(["fedavg", "fedwcm"], rounds=5)
+        assert set(out) == {"fedavg", "fedwcm"}
+
+
+class TestStabilityAnalysis:
+    def test_round_map_shape_and_det(self):
+        m = round_map(1.0, 0.1, 1.0)
+        assert m.shape == (2, 2)
+        # det M = 1 - alpha independent of lam and step
+        assert np.linalg.det(m) == pytest.approx(0.9)
+        assert np.linalg.det(round_map(3.0, 0.1, 0.5)) == pytest.approx(0.9)
+
+    def test_spectral_radius_monotone_in_alpha(self):
+        radii = [spectral_radius(1.0, a, 1.0) for a in (0.1, 0.3, 0.6, 0.9)]
+        assert all(np.diff(radii) < 0)
+
+    def test_alpha_one_recovers_gd(self):
+        # alpha=1: no momentum; radius = |1 - step*lam|
+        assert spectral_radius(1.0, 1.0, 0.5) == pytest.approx(0.5)
+
+    def test_bias_forgetting_time_scaling(self):
+        t_heavy = bias_forgetting_time(1.0, 0.1, 1.0)
+        t_light = bias_forgetting_time(1.0, 0.9, 1.0)
+        assert t_heavy > 10 * t_light
+
+    def test_noise_amplification_finite_when_stable(self):
+        assert np.isfinite(noise_amplification(1.0, 0.5, 1.0))
+
+    def test_noise_amplification_infinite_when_unstable(self):
+        # enormous step: unstable at any alpha -> infinite variance gain
+        assert noise_amplification(1.0, 1.0, 3.0) == float("inf")
+
+    def test_stability_margin_sign(self):
+        assert stability_margin(1.0, 0.5, 1.0) > 0
+        assert stability_margin(1.0, 1.0, 3.0) < 0
+
+    def test_critical_alpha_bisection(self):
+        a = critical_alpha(1.0, 1.0, target_margin=0.3)
+        assert 0 < a <= 1.0
+        assert stability_margin(1.0, a, 1.0) >= 0.3 - 1e-6
+
+    def test_critical_alpha_impossible_margin(self):
+        assert critical_alpha(1.0, 3.0, target_margin=0.5) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            round_map(-1.0, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            round_map(1.0, 0.0, 1.0)
+
+
+class TestScheduleEngineIntegration:
+    def test_lr_at_applies_schedule(self):
+        from repro.simulation import FLConfig, FederatedSimulation
+        from repro.algorithms import FedAvg
+        from repro.data import load_federated_dataset
+        from repro.nn import StepSchedule, make_mlp
+
+        ds = load_federated_dataset(
+            "fashion-mnist-lite", imbalance_factor=0.5, beta=0.5, num_clients=4,
+            seed=0, scale=0.2,
+        )
+        cfg = FLConfig(rounds=1, lr_local=0.2, seed=0,
+                       lr_schedule=StepSchedule(step_size=5, gamma=0.5))
+        sim = FederatedSimulation(FedAvg(), make_mlp(32, 10, seed=0), ds, cfg)
+        assert sim.ctx.lr_at(0) == pytest.approx(0.2)
+        assert sim.ctx.lr_at(5) == pytest.approx(0.1)
+        assert sim.ctx.lr_at(12) == pytest.approx(0.05)
+
+    def test_scheduled_run_differs_from_constant(self):
+        from repro.simulation import FLConfig, FederatedSimulation
+        from repro.algorithms import make_method
+        from repro.data import load_federated_dataset
+        from repro.nn import CosineSchedule, make_mlp
+
+        ds = load_federated_dataset(
+            "fashion-mnist-lite", imbalance_factor=0.5, beta=0.5, num_clients=4,
+            seed=0, scale=0.2,
+        )
+
+        def run(schedule):
+            cfg = FLConfig(rounds=4, participation=0.5, local_epochs=1,
+                           eval_every=4, seed=0, lr_schedule=schedule,
+                           max_batches_per_round=3)
+            sim = FederatedSimulation(
+                make_method("fedcm").algorithm, make_mlp(32, 10, seed=0), ds, cfg
+            )
+            sim.run()
+            return sim.final_params
+
+        x_const = run(None)
+        x_sched = run(CosineSchedule(total_rounds=4))
+        assert not np.allclose(x_const, x_sched)
+
+
+class TestSamFamily:
+    """FedSpeed / FedSMOO / FedLESAM — the remaining Fig 18/19 baselines."""
+
+    def _run(self, name, ds):
+        from repro.algorithms import make_method
+        from repro.simulation import FLConfig, FederatedSimulation
+
+        b = make_method(name)
+        cfg = FLConfig(rounds=3, participation=0.5, local_epochs=1, eval_every=3,
+                       seed=0, max_batches_per_round=3)
+        sim = FederatedSimulation(b.algorithm, make_mlp(32, 10, seed=0), ds, cfg)
+        return sim, sim.run()
+
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return load_federated_dataset(
+            "fashion-mnist-lite", imbalance_factor=0.3, beta=0.3, num_clients=6,
+            seed=0, scale=0.3,
+        )
+
+    @pytest.mark.parametrize("name", ["fedspeed", "fedsmoo", "fedlesam"])
+    def test_runs_and_finite(self, ds, name):
+        _, h = self._run(name, ds)
+        assert np.isfinite(h.final_accuracy)
+        assert h.final_accuracy > 0.1
+
+    def test_fedlesam_tracks_previous_global(self, ds):
+        sim, _ = self._run("fedlesam", ds)
+        # after a run, the stored previous model differs from the start
+        assert not np.allclose(sim.algorithm._x_prev, sim.ctx.x0)
+
+    def test_fedsmoo_duals_update(self, ds):
+        sim, _ = self._run("fedsmoo", ds)
+        assert np.any(np.linalg.norm(sim.algorithm._hi, axis=1) > 0)
+        assert np.linalg.norm(sim.algorithm._mu) > 0
+
+    def test_validation(self):
+        from repro.algorithms import FedSpeed, FedSMOO, FedLESAM
+
+        with pytest.raises(ValueError):
+            FedSpeed(rho=0)
+        with pytest.raises(ValueError):
+            FedSMOO(alpha=0)
+        with pytest.raises(ValueError):
+            FedLESAM(rho=-1)

@@ -1,0 +1,187 @@
+"""Failure-injection and edge-case tests.
+
+Degenerate federated configurations the library must survive gracefully:
+single-class clients, one-sample clients, single-client federations, extreme
+hyper-parameters, empty evaluation sets, and adversarially skewed scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedWCM, make_method
+from repro.core import adaptive_alpha, client_scores, score_ratio, softmax_weights
+from repro.data import load_federated_dataset
+from repro.data.partition import partition_balanced_dirichlet, partition_by_class_dirichlet
+from repro.data.registry import DatasetInfo, FederatedDataset
+from repro.data.sampler import BalancedBatchSampler
+from repro.nn import CrossEntropyLoss, evaluate, make_mlp
+from repro.simulation import FederatedSimulation, FLConfig
+
+
+def _manual_dataset(counts_per_client: list[np.ndarray], dim: int = 8, seed: int = 0):
+    """Hand-build a FederatedDataset with exact per-client class counts."""
+    rng = np.random.default_rng(seed)
+    num_classes = len(counts_per_client[0])
+    xs, ys, parts = [], [], []
+    pos = 0
+    protos = rng.normal(size=(num_classes, dim))
+    for counts in counts_per_client:
+        n = int(np.sum(counts))
+        labels = np.repeat(np.arange(num_classes), counts)
+        x = protos[labels] + rng.normal(0, 1.0, size=(n, dim))
+        xs.append(x)
+        ys.append(labels)
+        parts.append(np.arange(pos, pos + n))
+        pos += n
+    x_test = protos[np.arange(num_classes).repeat(10)] + rng.normal(
+        0, 1.0, size=(num_classes * 10, dim)
+    )
+    y_test = np.arange(num_classes).repeat(10)
+    info = DatasetInfo("manual", num_classes, (dim,), 10, 10, 1.0, 1.0, 1)
+    return FederatedDataset(
+        info=info,
+        x_train=np.concatenate(xs),
+        y_train=np.concatenate(ys),
+        x_test=x_test,
+        y_test=y_test,
+        partitions=parts,
+        imbalance_factor=1.0,
+        beta=1.0,
+        partition_kind="manual",
+    )
+
+
+class TestDegenerateClients:
+    def test_single_class_clients(self):
+        # every client holds exactly one class — worst-case heterogeneity
+        ds = _manual_dataset([np.eye(4, dtype=int)[i] * 20 for i in range(4)])
+        model = make_mlp(8, 4, seed=0)
+        cfg = FLConfig(rounds=4, participation=0.5, local_epochs=1, eval_every=2,
+                       seed=0, batch_size=5)
+        h = FederatedSimulation(FedWCM(), model, ds, cfg).run()
+        assert np.isfinite(h.final_accuracy)
+
+    def test_one_sample_client(self):
+        counts = [np.array([20, 20, 0, 0]), np.array([0, 0, 1, 0]), np.array([0, 0, 0, 20])]
+        ds = _manual_dataset(counts)
+        model = make_mlp(8, 4, seed=0)
+        cfg = FLConfig(rounds=3, participation=1.0, local_epochs=1, eval_every=1,
+                       seed=0, batch_size=5)
+        for method in ("fedavg", "fedwcm", "fedwcm-x", "balancefl"):
+            b = make_method(method)
+            model = make_mlp(8, 4, seed=0)
+            h = FederatedSimulation(
+                b.algorithm, model, ds, cfg,
+                loss_builder=b.loss_builder, sampler_builder=b.sampler_builder,
+            ).run()
+            assert np.isfinite(h.final_accuracy), method
+
+    def test_single_client_federation(self):
+        ds = _manual_dataset([np.array([15, 15, 15])])
+        model = make_mlp(8, 3, seed=0)
+        cfg = FLConfig(rounds=3, participation=1.0, local_epochs=2, eval_every=1,
+                       seed=0, batch_size=5)
+        h = FederatedSimulation(FedWCM(), model, ds, cfg).run()
+        assert h.final_accuracy > 0.3  # centralised training must work
+
+    def test_missing_class_globally(self):
+        # class 2 has zero samples anywhere
+        ds = _manual_dataset([np.array([10, 10, 0]), np.array([10, 10, 0])])
+        model = make_mlp(8, 3, seed=0)
+        cfg = FLConfig(rounds=2, participation=1.0, local_epochs=1, eval_every=1,
+                       seed=0, batch_size=5)
+        h = FederatedSimulation(FedWCM(), model, ds, cfg).run()
+        assert np.isfinite(h.final_accuracy)
+
+
+class TestExtremeHyperparameters:
+    def test_participation_rounding_never_zero(self):
+        ds = _manual_dataset([np.array([10, 10])] * 3)
+        model = make_mlp(8, 2, seed=0)
+        cfg = FLConfig(rounds=1, participation=0.01, seed=0)  # 0.01 * 3 -> 1 client
+        h = FederatedSimulation(make_method("fedavg").algorithm, model, ds, cfg).run()
+        assert len(h.records[0].selected) == 1
+
+    def test_batch_larger_than_dataset(self):
+        ds = _manual_dataset([np.array([3, 3])] * 2)
+        model = make_mlp(8, 2, seed=0)
+        cfg = FLConfig(rounds=2, participation=1.0, batch_size=500, local_epochs=1,
+                       eval_every=1, seed=0)
+        h = FederatedSimulation(make_method("fedcm").algorithm, model, ds, cfg).run()
+        assert np.isfinite(h.final_accuracy)
+
+    def test_huge_local_lr_stays_finite_history(self):
+        # divergence must manifest as numbers, never exceptions
+        ds = _manual_dataset([np.array([20, 20])] * 2)
+        model = make_mlp(8, 2, seed=0)
+        cfg = FLConfig(rounds=2, participation=1.0, lr_local=50.0, local_epochs=1,
+                       eval_every=1, seed=0, batch_size=5)
+        h = FederatedSimulation(make_method("fedavg").algorithm, model, ds, cfg).run()
+        assert len(h.records) == 2
+
+
+class TestScoringEdgeCases:
+    def test_all_clients_identical(self):
+        counts = np.tile(np.array([10, 10, 10]), (5, 1))
+        s = client_scores(counts)
+        w = softmax_weights(s, 0.1)
+        np.testing.assert_allclose(w, 0.2)
+
+    def test_one_client_holds_everything(self):
+        counts = np.zeros((4, 3), dtype=float)
+        counts[0] = [100, 10, 1]
+        s = client_scores(counts)
+        assert np.all(np.isfinite(s))
+        assert s[1] == s[2] == s[3] == 0.0
+
+    def test_score_ratio_with_constant_scores(self):
+        assert score_ratio(np.zeros(5), np.array([0])) == 1.0
+
+    def test_alpha_extremes(self):
+        assert adaptive_alpha(1.0, 1000, 2.0) < 1.0
+        assert adaptive_alpha(0.0, 2, 0.0) == pytest.approx(0.1)
+
+
+class TestPartitionEdgeCases:
+    def test_more_clients_than_smallest_class(self):
+        labels = np.array([0] * 100 + [1] * 3)
+        parts = partition_balanced_dirichlet(labels, 10, 0.5, np.random.default_rng(0))
+        assert sum(len(p) for p in parts) == 103
+
+    def test_single_client_partition(self):
+        labels = np.arange(10) % 3
+        parts = partition_balanced_dirichlet(labels, 1, 0.5, np.random.default_rng(0))
+        assert len(parts) == 1 and len(parts[0]) == 10
+
+    def test_fedgrab_single_class_dataset(self):
+        labels = np.zeros(40, dtype=int)
+        parts = partition_by_class_dirichlet(
+            labels, 4, 0.5, np.random.default_rng(0), num_classes=1
+        )
+        assert sum(len(p) for p in parts) == 40
+        assert min(len(p) for p in parts) >= 1
+
+    def test_balanced_sampler_single_sample(self):
+        s = BalancedBatchSampler(np.array([0]), 4)
+        batches = list(s.epoch(np.random.default_rng(0)))
+        assert np.concatenate(batches).tolist() == [0]
+
+
+class TestEvaluationEdgeCases:
+    def test_evaluate_single_sample(self):
+        m = make_mlp(4, 2, seed=0)
+        res = evaluate(m, np.zeros((1, 4)), np.array([0]), CrossEntropyLoss())
+        assert res["n"] == 1
+        assert np.isfinite(res["loss"])
+
+    def test_nan_accuracy_rounds_skipped_in_summary(self):
+        ds = _manual_dataset([np.array([10, 10])] * 2)
+        model = make_mlp(8, 2, seed=0)
+        cfg = FLConfig(rounds=5, participation=1.0, local_epochs=1, eval_every=4,
+                       seed=0, batch_size=5)
+        h = FederatedSimulation(make_method("fedavg").algorithm, model, ds, cfg).run()
+        evaluated = [not np.isnan(r.test_accuracy) for r in h.records]
+        assert evaluated == [True, False, False, False, True]
+        assert np.isfinite(h.final_accuracy)

@@ -1,0 +1,185 @@
+"""Tests for the homomorphic-encryption substrate."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.he import (
+    BFVParams,
+    aggregate_class_distribution,
+    bfv_keygen,
+    find_ntt_prime,
+    is_probable_prime,
+    paillier_keygen,
+    plaintext_bytes,
+    random_prime,
+)
+
+SMALL_BFV = BFVParams(n=256, t=1 << 16, q_bits=40)
+
+
+class TestPrimes:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 7, 97, 7919, 104729):
+            assert is_probable_prime(p)
+
+    def test_known_composites(self):
+        for c in (1, 4, 561, 1105, 6601, 100000):  # includes Carmichael numbers
+            assert not is_probable_prime(c)
+
+    def test_random_prime_bits(self):
+        p = random_prime(64, random.Random(0))
+        assert p.bit_length() == 64
+        assert is_probable_prime(p)
+
+    def test_ntt_prime_congruence(self):
+        q = find_ntt_prime(40, 256)
+        assert is_probable_prime(q)
+        assert (q - 1) % 512 == 0
+
+    def test_ntt_prime_requires_pow2(self):
+        with pytest.raises(ValueError):
+            find_ntt_prime(40, 100)
+
+
+class TestPaillier:
+    @pytest.fixture(scope="class")
+    def keys(self):
+        return paillier_keygen(bits=128, seed=0)
+
+    def test_roundtrip(self, keys):
+        pk, sk = keys
+        rng = random.Random(1)
+        for m in (0, 1, 12345, pk.n - 1):
+            assert sk.decrypt(pk.encrypt(m, rng)) == m
+
+    def test_homomorphic_add(self, keys):
+        pk, sk = keys
+        rng = random.Random(2)
+        c = pk.add(pk.encrypt(111, rng), pk.encrypt(222, rng))
+        assert sk.decrypt(c) == 333
+
+    def test_add_plain_and_mul_plain(self, keys):
+        pk, sk = keys
+        rng = random.Random(3)
+        c = pk.encrypt(10, rng)
+        assert sk.decrypt(pk.add_plain(c, 5)) == 15
+        assert sk.decrypt(pk.mul_plain(c, 7)) == 70
+
+    def test_semantic_security_randomized(self, keys):
+        pk, _ = keys
+        rng = random.Random(4)
+        assert pk.encrypt(42, rng) != pk.encrypt(42, rng)
+
+    def test_out_of_range_plaintext(self, keys):
+        pk, _ = keys
+        with pytest.raises(ValueError):
+            pk.encrypt(-1, random.Random(0))
+        with pytest.raises(ValueError):
+            pk.encrypt(pk.n, random.Random(0))
+
+    @settings(max_examples=10, deadline=None)
+    @given(a=st.integers(0, 10**9), b=st.integers(0, 10**9))
+    def test_additivity_property(self, a, b):
+        pk, sk = paillier_keygen(bits=96, seed=5)
+        rng = random.Random(6)
+        assert sk.decrypt(pk.add(pk.encrypt(a, rng), pk.encrypt(b, rng))) == a + b
+
+
+class TestBFV:
+    @pytest.fixture(scope="class")
+    def keys(self):
+        return bfv_keygen(SMALL_BFV, seed=0)
+
+    def test_roundtrip(self, keys):
+        pk, sk = keys
+        rng = random.Random(0)
+        msg = [7, 0, 65535, 123, 42]
+        ct = pk.encrypt(msg, rng)
+        assert pk.decrypt(ct, sk, length=5) == msg
+
+    def test_additive_homomorphism(self, keys):
+        pk, sk = keys
+        rng = random.Random(1)
+        a = [10, 20, 30]
+        b = [1, 2, 3]
+        ct = pk.encrypt(a, rng) + pk.encrypt(b, rng)
+        assert pk.decrypt(ct, sk, length=3) == [11, 22, 33]
+
+    def test_many_additions_exact(self, keys):
+        # 50 ciphertext additions must stay below the noise budget
+        pk, sk = keys
+        rng = random.Random(2)
+        vecs = [[random.Random(i).randrange(100) for _ in range(8)] for i in range(50)]
+        agg = pk.encrypt(vecs[0], rng)
+        for v in vecs[1:]:
+            agg = agg + pk.encrypt(v, rng)
+        expected = [sum(col) for col in zip(*vecs)]
+        assert pk.decrypt(agg, sk, length=8) == expected
+
+    def test_add_plain(self, keys):
+        pk, sk = keys
+        rng = random.Random(3)
+        ct = pk.encrypt([5, 5], rng).add_plain([1, 2])
+        assert pk.decrypt(ct, sk, length=2) == [6, 7]
+
+    def test_message_too_long(self, keys):
+        pk, _ = keys
+        with pytest.raises(ValueError):
+            pk.encrypt(list(range(SMALL_BFV.n + 1)), random.Random(0))
+
+    def test_cross_key_addition_rejected(self, keys):
+        pk, _ = keys
+        pk2, _ = bfv_keygen(SMALL_BFV, seed=99)
+        with pytest.raises(ValueError):
+            _ = pk.encrypt([1], random.Random(0)) + pk2.encrypt([1], random.Random(0))
+
+    def test_ciphertext_size_independent_of_classes(self, keys):
+        pk, _ = keys
+        rng = random.Random(0)
+        s10 = pk.encrypt([1] * 10, rng).serialized_bytes()
+        s100 = pk.encrypt([1] * 100, rng).serialized_bytes()
+        assert s10 == s100  # fixed ring parameters -> fixed ciphertext size
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("scheme", ["bfv", "paillier"])
+    def test_aggregation_exact(self, scheme):
+        counts = np.random.default_rng(0).integers(0, 300, size=(12, 10))
+        rep = aggregate_class_distribution(
+            counts, scheme=scheme, seed=0, bfv_params=SMALL_BFV, paillier_bits=128
+        )
+        np.testing.assert_array_equal(rep.global_counts, counts.sum(axis=0))
+
+    def test_plaintext_grows_linearly(self):
+        sizes = [plaintext_bytes(c) for c in (10, 20, 50, 100)]
+        diffs = np.diff(sizes) / np.diff([10, 20, 50, 100])
+        assert np.allclose(diffs, diffs[0])  # constant bytes-per-class
+
+    def test_bfv_ciphertext_stable_across_class_counts(self):
+        sizes = []
+        for c in (10, 20, 50):
+            counts = np.ones((3, c), dtype=np.int64)
+            rep = aggregate_class_distribution(counts, scheme="bfv", seed=0, bfv_params=SMALL_BFV)
+            sizes.append(rep.ciphertext_bytes)
+        assert len(set(sizes)) == 1  # paper Table 6: ~constant ciphertext size
+
+    def test_report_fields(self):
+        counts = np.ones((4, 6), dtype=np.int64)
+        rep = aggregate_class_distribution(counts, scheme="bfv", seed=0, bfv_params=SMALL_BFV)
+        assert rep.num_clients == 4
+        assert rep.total_upload_bytes == 4 * rep.ciphertext_bytes
+        assert rep.encrypt_seconds_per_client > 0
+
+    def test_invalid_scheme(self):
+        with pytest.raises(ValueError):
+            aggregate_class_distribution(np.ones((2, 2), dtype=int), scheme="rsa")
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_class_distribution(np.array([[-1, 2]]), scheme="bfv")

@@ -1,0 +1,183 @@
+"""Tests for the theory substrate: bounds and the quadratic testbed."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import (
+    QuadraticProblem,
+    RateConstants,
+    beta_upper_bound,
+    convergence_rate_bound,
+    lr_condition,
+    make_longtail_quadratic,
+    run_quadratic_fl,
+)
+
+
+class TestBounds:
+    def _c(self, **kw):
+        base = dict(L=1.0, delta=10.0, sigma=1.0, n_clients=10, k_steps=20)
+        base.update(kw)
+        return RateConstants(**base)
+
+    def test_rate_decreases_with_rounds(self):
+        c = self._c()
+        assert convergence_rate_bound(c, 100) > convergence_rate_bound(c, 10000)
+
+    def test_rate_scales_with_noise(self):
+        assert convergence_rate_bound(self._c(sigma=2.0), 100) > convergence_rate_bound(
+            self._c(sigma=0.5), 100
+        )
+
+    def test_rate_improves_with_clients(self):
+        assert convergence_rate_bound(self._c(n_clients=100), 100) < convergence_rate_bound(
+            self._c(n_clients=1), 100
+        )
+
+    def test_asymptotic_rate_order(self):
+        # bound must shrink like 1/sqrt(R) asymptotically
+        c = self._c()
+        r1, r2 = 10_000, 40_000
+        b1, b2 = convergence_rate_bound(c, r1), convergence_rate_bound(c, r2)
+        assert b2 < b1
+        assert b1 / b2 == pytest.approx(2.0, rel=0.2)  # sqrt(4) = 2
+
+    def test_beta_bound_infinite_without_noise(self):
+        assert beta_upper_bound(self._c(sigma=0.0), 100) == float("inf")
+
+    def test_beta_bound_shrinks_with_rounds(self):
+        c = self._c()
+        assert beta_upper_bound(c, 10000) < beta_upper_bound(c, 100)
+
+    def test_lr_condition_structure(self):
+        out = lr_condition(self._c(), rounds=100, eta=1e-4, beta=0.5)
+        assert out["satisfied"] in (True, False)
+        assert out["eta_k_l"] == pytest.approx(1e-4 * 20 * 1.0)
+        assert out["min_bound"] <= out["one"]
+
+    def test_tiny_lr_satisfies(self):
+        out = lr_condition(self._c(), rounds=10, eta=1e-9, beta=0.5)
+        assert out["satisfied"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateConstants(L=-1, delta=1, sigma=1, n_clients=1, k_steps=1)
+        with pytest.raises(ValueError):
+            convergence_rate_bound(self._c(), 0)
+        with pytest.raises(ValueError):
+            lr_condition(self._c(), 10, eta=0, beta=0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(r=st.integers(1, 10**6))
+    def test_bound_positive(self, r):
+        assert convergence_rate_bound(self._c(), r) > 0
+
+
+class TestQuadraticProblem:
+    def test_global_minimum_is_weighted_mean(self):
+        p = QuadraticProblem(
+            curvature=np.array([1.0, 2.0]),
+            minimizers=np.array([[0.0, 0.0], [2.0, 2.0]]),
+        )
+        np.testing.assert_allclose(p.x_star, [1.0, 1.0])
+        np.testing.assert_allclose(p.global_grad(p.x_star), 0.0, atol=1e-12)
+
+    def test_loss_minimised_at_x_star(self):
+        p = make_longtail_quadratic(num_clients=10, dim=5, sigma=0.0, seed=0)
+        l_star = p.global_loss(p.x_star)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            assert p.global_loss(p.x_star + rng.normal(size=5)) > l_star
+
+    def test_grad_noise(self):
+        p = QuadraticProblem(
+            curvature=np.ones(3), minimizers=np.zeros((2, 3)), sigma=1.0
+        )
+        g1 = p.grad(0, np.ones(3), np.random.default_rng(0))
+        g2 = p.grad(0, np.ones(3), np.random.default_rng(1))
+        assert not np.allclose(g1, g2)
+        # noiseless path
+        g3 = p.grad(0, np.ones(3))
+        np.testing.assert_allclose(g3, np.ones(3))
+
+    def test_L_constant(self):
+        p = QuadraticProblem(curvature=np.array([0.5, 3.0]), minimizers=np.zeros((1, 2)))
+        assert p.L == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuadraticProblem(curvature=np.array([-1.0]), minimizers=np.zeros((1, 1)))
+        with pytest.raises(ValueError):
+            QuadraticProblem(curvature=np.ones(2), minimizers=np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            QuadraticProblem(
+                curvature=np.ones(2), minimizers=np.zeros((2, 2)), weights=np.array([0.5, 0.6])
+            )
+
+    def test_longtail_factory_bias(self):
+        p = make_longtail_quadratic(num_clients=20, head_fraction=0.8, seed=0, sigma=0.0)
+        # head clients cluster: their pairwise distances are small vs tail spread
+        heads = p.minimizers[:16]
+        tails = p.minimizers[16:]
+        head_spread = np.linalg.norm(heads - heads.mean(0), axis=1).mean()
+        tail_spread = np.linalg.norm(tails - tails.mean(0), axis=1).mean()
+        assert head_spread < tail_spread
+
+
+class TestQuadraticFL:
+    def test_fedavg_converges(self):
+        p = make_longtail_quadratic(num_clients=20, dim=8, sigma=0.1, seed=0)
+        x0 = np.full(8, 10.0)  # start far from the optimum
+        out = run_quadratic_fl(p, "fedavg", rounds=300, participation=0.5, seed=0, x0=x0)
+        assert out["distance"][-1] < 0.1 * np.linalg.norm(x0 - p.x_star)
+
+    def test_fedcm_converges_on_balanced(self):
+        # no head bias: momentum behaves
+        rng = np.random.default_rng(0)
+        p = QuadraticProblem(
+            curvature=rng.uniform(0.5, 1.5, size=6),
+            minimizers=rng.normal(size=(10, 6)),
+            sigma=0.1,
+        )
+        x0 = np.full(6, 10.0)
+        out = run_quadratic_fl(p, "fedcm", rounds=300, participation=0.5, seed=0, x0=x0)
+        assert out["distance"][-1] < 0.1 * np.linalg.norm(x0 - p.x_star)
+
+    def test_rate_matches_theory_scaling(self):
+        # average gradient norm over R rounds must drop when R quadruples
+        p = make_longtail_quadratic(num_clients=20, dim=8, sigma=0.5, seed=1)
+        short = run_quadratic_fl(p, "fedavg", rounds=100, participation=0.5, seed=0)
+        long = run_quadratic_fl(p, "fedavg", rounds=400, participation=0.5, seed=0)
+        assert long["grad_norm_sq"].mean() < short["grad_norm_sq"].mean()
+
+    def test_momentum_smooths_noise(self):
+        # steady-state gradient variance: fedcm (EMA) <= fedavg under pure noise
+        rng = np.random.default_rng(0)
+        p = QuadraticProblem(
+            curvature=np.full(4, 1.0),
+            minimizers=np.tile(rng.normal(size=4), (10, 1)),  # homogeneous clients
+            sigma=1.0,
+        )
+        avg = run_quadratic_fl(p, "fedavg", rounds=300, participation=0.3, seed=0)
+        cm = run_quadratic_fl(p, "fedcm", rounds=300, participation=0.3, seed=0)
+        assert cm["grad_norm_sq"][-100:].mean() < avg["grad_norm_sq"][-100:].mean()
+
+    def test_adaptive_alpha_callback(self):
+        p = make_longtail_quadratic(num_clients=10, dim=4, seed=0)
+        seen = []
+
+        def schedule(r, _):
+            seen.append(r)
+            return 0.5
+
+        run_quadratic_fl(p, "fedwcm", rounds=5, adaptive_alpha_fn=schedule, seed=0)
+        assert seen == list(range(5))
+
+    def test_unknown_method(self):
+        p = make_longtail_quadratic(num_clients=5, dim=3, seed=0)
+        with pytest.raises(ValueError):
+            run_quadratic_fl(p, "adam")

@@ -1,0 +1,173 @@
+"""Unit + property tests for repro.utils (rng, pytree, validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    ParamSpec,
+    as_generator,
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+    flatten_params,
+    num_params,
+    spawn,
+    split,
+    tree_add,
+    tree_scale,
+    tree_zeros_like,
+    unflatten_params,
+)
+from repro.utils.pytree import write_into_tree
+
+
+class TestRng:
+    def test_as_generator_from_int(self):
+        g1 = as_generator(42)
+        g2 = as_generator(42)
+        assert g1.random() == g2.random()
+
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_spawn_independence(self):
+        children = spawn(np.random.default_rng(0), 5)
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 5
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(np.random.default_rng(0), -1)
+
+    def test_split(self):
+        a, b = split(np.random.default_rng(0))
+        assert a.random() != b.random()
+
+    def test_spawn_deterministic(self):
+        d1 = [g.random() for g in spawn(np.random.default_rng(7), 3)]
+        d2 = [g.random() for g in spawn(np.random.default_rng(7), 3)]
+        assert d1 == d2
+
+
+class TestPytree:
+    def _tree(self, rng):
+        return {
+            "a": rng.normal(size=(3, 4)),
+            "b": rng.normal(size=(5,)),
+            "c": rng.normal(size=(2, 2, 2)),
+        }
+
+    def test_roundtrip(self):
+        tree = self._tree(np.random.default_rng(0))
+        flat, spec = flatten_params(tree)
+        back = unflatten_params(flat, spec)
+        for k in tree:
+            np.testing.assert_array_equal(tree[k], back[k])
+
+    def test_spec_size(self):
+        tree = self._tree(np.random.default_rng(0))
+        _, spec = flatten_params(tree)
+        assert spec.size == 12 + 5 + 8 == num_params(tree)
+
+    def test_unflatten_views_share_memory(self):
+        tree = self._tree(np.random.default_rng(0))
+        flat, spec = flatten_params(tree)
+        back = unflatten_params(flat, spec)
+        flat[0] = 123.0
+        assert back["a"].reshape(-1)[0] == 123.0
+
+    def test_flatten_into_preallocated(self):
+        tree = self._tree(np.random.default_rng(0))
+        _, spec = flatten_params(tree)
+        out = np.empty(spec.size)
+        flat, _ = flatten_params(tree, spec=spec, out=out)
+        assert flat is out
+
+    def test_flatten_wrong_out_shape_raises(self):
+        tree = self._tree(np.random.default_rng(0))
+        _, spec = flatten_params(tree)
+        with pytest.raises(ValueError):
+            flatten_params(tree, spec=spec, out=np.empty(spec.size + 1))
+
+    def test_unflatten_wrong_size_raises(self):
+        tree = self._tree(np.random.default_rng(0))
+        _, spec = flatten_params(tree)
+        with pytest.raises(ValueError):
+            unflatten_params(np.zeros(spec.size - 1), spec)
+
+    def test_write_into_tree(self):
+        tree = self._tree(np.random.default_rng(0))
+        flat, spec = flatten_params(tree)
+        target = tree_zeros_like(tree)
+        write_into_tree(flat, spec, target)
+        for k in tree:
+            np.testing.assert_array_equal(tree[k], target[k])
+
+    def test_tree_add_and_scale(self):
+        t = {"a": np.array([1.0, 2.0])}
+        s = tree_add(t, tree_scale(t, 2.0))
+        np.testing.assert_array_equal(s["a"], [3.0, 6.0])
+
+    def test_tree_add_key_mismatch(self):
+        with pytest.raises(KeyError):
+            tree_add({"a": np.zeros(1)}, {"b": np.zeros(1)})
+
+    def test_spec_slices(self):
+        tree = self._tree(np.random.default_rng(0))
+        flat, spec = flatten_params(tree)
+        slices = spec.slices()
+        np.testing.assert_array_equal(flat[slices["b"]], tree["b"])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shapes=st.lists(
+            st.tuples(st.integers(1, 4), st.integers(1, 4)), min_size=1, max_size=5
+        )
+    )
+    def test_roundtrip_property(self, shapes):
+        rng = np.random.default_rng(0)
+        tree = {f"p{i}": rng.normal(size=s) for i, s in enumerate(shapes)}
+        flat, spec = flatten_params(tree)
+        back = unflatten_params(flat.copy(), spec)
+        for k in tree:
+            np.testing.assert_array_equal(tree[k], back[k])
+
+
+class TestValidation:
+    def test_probability_vector_ok(self):
+        p = check_probability_vector(np.array([0.2, 0.8]))
+        assert np.isclose(p.sum(), 1.0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [np.array([0.5, 0.6]), np.array([-0.1, 1.1]), np.zeros(0), np.ones((2, 2)) / 4],
+        ids=["not-sum-1", "negative", "empty", "2d"],
+    )
+    def test_probability_vector_bad(self, bad):
+        with pytest.raises(ValueError):
+            check_probability_vector(bad)
+
+    def test_check_positive(self):
+        assert check_positive(1.5) == 1.5
+        for bad in (0, -1, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_positive(bad)
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, 0, 1) == 0.5
+        with pytest.raises(ValueError):
+            check_in_range(1.5, 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range(0.0, 0, 1, inclusive=False)
+
+    def test_check_fraction(self):
+        assert check_fraction(1.0) == 1.0
+        for bad in (0.0, 1.2, -0.5):
+            with pytest.raises(ValueError):
+                check_fraction(bad)
