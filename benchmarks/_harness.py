@@ -21,13 +21,14 @@ import numpy as np
 from repro.algorithms import make_method
 from repro.data import load_federated_dataset
 from repro.nn import build_model, make_mlp
-from repro.parallel import parallel_map
+from repro.parallel import parallel_map, resolve_workers
 from repro.simulation import FLConfig, FederatedSimulation
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-# honour the 2-core budget of the reference environment but scale up elsewhere
-WORKERS = min(os.cpu_count() or 1, 8)
+# honour the 2-core budget of the reference environment but scale up
+# elsewhere (overridable via REPRO_MAX_WORKERS)
+WORKERS = resolve_workers()
 
 
 @dataclass(frozen=True)

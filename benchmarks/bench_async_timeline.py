@@ -1,0 +1,138 @@
+"""Time-to-accuracy under stragglers: sync vs. semi-sync vs. async.
+
+The paper's heterogeneous-client experiments (figs. 18-19) vary client
+*data*; this bench varies client *speed*.  All four runtimes consume the
+same total client work (rounds x cohort updates) on the same long-tailed
+problem under the same lognormal device-heterogeneity latency model — what
+differs is how the server schedules and merges updates:
+
+* ``sync``     — FedAvg, every round blocks on its slowest sampled client;
+* ``semisync`` — FedAvg with a round deadline, late clients dropped;
+* ``fedasync`` — staleness-discounted immediate mixing;
+* ``fedbuff``  — buffered-K staleness-discounted aggregation.
+
+Reported: final/best accuracy, total simulated time, speedup over sync,
+and virtual time to reach a shared accuracy target — plus an accuracy vs.
+virtual-time ASCII timeline.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_async_timeline.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import format_table, report
+from repro.algorithms import FedAsync, FedAvg, FedBuff
+from repro.data import load_federated_dataset
+from repro.nn import make_mlp
+from repro.runtime import (
+    AsyncFederatedSimulation,
+    LognormalLatency,
+    SemiSyncFederatedSimulation,
+)
+from repro.simulation import FLConfig
+from repro.viz import ascii_lineplot
+
+SIGMA = 1.0  # lognormal device heterogeneity (heavy but realistic)
+
+
+def _problem(seed: int = 0):
+    ds = load_federated_dataset(
+        "fashion-mnist-lite",
+        imbalance_factor=0.1,
+        beta=0.3,
+        num_clients=20,
+        seed=seed,
+        scale=0.5,
+    )
+    cfg = FLConfig(
+        rounds=40,
+        participation=0.25,
+        local_epochs=2,
+        batch_size=10,
+        max_batches_per_round=8,
+        eval_every=2,
+        seed=seed,
+    )
+    return ds, cfg
+
+
+def _latency() -> LognormalLatency:
+    return LognormalLatency(sigma=SIGMA)
+
+
+def main() -> None:
+    ds, cfg = _problem()
+    runs: dict[str, tuple] = {}
+
+    sync = SemiSyncFederatedSimulation(
+        FedAvg(), make_mlp(32, 10, seed=cfg.seed), ds, cfg, latency_model=_latency()
+    )
+    runs["sync-fedavg"] = (sync, sync.run())
+
+    # deadline at the ~70th percentile of priced cohort latencies: most
+    # clients make it, the straggler tail is cut
+    lats = np.concatenate(
+        [sync.round_latencies(r, np.arange(ds.num_clients)) for r in range(3)]
+    )
+    deadline = float(np.quantile(lats, 0.7))
+    semi = SemiSyncFederatedSimulation(
+        FedAvg(), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
+        latency_model=_latency(), deadline=deadline,
+    )
+    runs[f"semisync(d={deadline:.2f})"] = (semi, semi.run())
+
+    fa = AsyncFederatedSimulation(
+        FedAsync(mixing=0.9), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
+        latency_model=_latency(),
+    )
+    runs["fedasync"] = (fa, fa.run())
+
+    fb = AsyncFederatedSimulation(
+        FedBuff(buffer_size=3), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
+        latency_model=_latency(),
+    )
+    runs["fedbuff(K=3)"] = (fb, fb.run())
+
+    sync_final = runs["sync-fedavg"][1].final_accuracy
+    sync_time = runs["sync-fedavg"][0].total_virtual_time
+    target = sync_final - 0.02
+
+    rows = []
+    for name, (sim, h) in runs.items():
+        tta = h.time_to_accuracy(target)
+        rows.append(
+            [
+                name,
+                h.final_accuracy,
+                h.best_accuracy,
+                sim.total_virtual_time,
+                sync_time / max(sim.total_virtual_time, 1e-12),
+                tta if tta is not None else float("nan"),
+            ]
+        )
+    table = format_table(
+        f"time-to-accuracy under lognormal stragglers (target={target:.3f})",
+        ["runtime", "final", "best", "virt_time_s", "speedup", "t_to_target_s"],
+        rows,
+    )
+
+    series = {
+        name: (
+            [r.virtual_time for r in h.records if not np.isnan(r.test_accuracy)],
+            [r.test_accuracy for r in h.records if not np.isnan(r.test_accuracy)],
+        )
+        for name, (_, h) in runs.items()
+    }
+    plot = ascii_lineplot(
+        series,
+        title=f"test accuracy vs. simulated seconds (sigma={SIGMA})",
+        y_label="acc",
+        x_label="virtual seconds",
+    )
+    report("bench_async_timeline", table + "\n\n" + plot)
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,8 @@ Public API tour:
 * :mod:`repro.core` - FedWCM's scoring / weighting / adaptive momentum.
 * :mod:`repro.algorithms` - FedWCM, FedWCM-X and every baseline.
 * :mod:`repro.simulation` - the federated round loop.
+* :mod:`repro.runtime` - event-driven async runtime (virtual clock, latency
+  models, FedAsync/FedBuff, deadline-based semi-sync rounds).
 * :mod:`repro.he` - homomorphic encryption for private distribution sharing.
 * :mod:`repro.analysis` - neuron concentration / collapse diagnostics.
 * :mod:`repro.theory` - convergence bounds and the quadratic testbed.
@@ -30,7 +32,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import algorithms, analysis, core, data, he, nn, parallel, simulation, theory, utils
+from repro import algorithms, analysis, core, data, he, nn, parallel, runtime, simulation, theory, utils
 
 __all__ = [
     "algorithms",
@@ -40,6 +42,7 @@ __all__ = [
     "he",
     "nn",
     "parallel",
+    "runtime",
     "simulation",
     "theory",
     "utils",

@@ -2,6 +2,7 @@
 evaluates against (Tables 1/2/7, Figures 3/7/18/19)."""
 
 from repro.algorithms.base import ClientUpdate, FederatedAlgorithm, LocalSGDMixin, size_weights
+from repro.algorithms.async_fl import FedAsync, FedBuff
 from repro.algorithms.fedavg import FedAvg, FedProx, FedAvgM
 from repro.algorithms.scaffold import Scaffold
 from repro.algorithms.feddyn import FedDyn
@@ -26,6 +27,8 @@ __all__ = [
     "FederatedAlgorithm",
     "LocalSGDMixin",
     "size_weights",
+    "FedAsync",
+    "FedBuff",
     "FedAvg",
     "FedProx",
     "FedAvgM",

@@ -1,0 +1,158 @@
+"""Staleness-aware server updates for the asynchronous runtime.
+
+Both methods run plain local SGD on the client (same displacement contract
+as FedAvg) and differ only in the server step, which the event-driven
+engine (:class:`repro.runtime.AsyncFederatedSimulation`) drives through an
+extra protocol method::
+
+    server_apply(ctx, x, update, staleness, x_dispatch) -> x_new | None
+
+``staleness`` is the number of server versions that elapsed between the
+update's dispatch and its arrival; ``x_dispatch`` is the parameter vector
+the client trained from.  Returning None means the update was only
+buffered (FedBuff below K) and the global model is unchanged.
+
+* :class:`FedAsync` (Xie et al. 2019, "Asynchronous Federated
+  Optimization"): every arrival is merged immediately by convex mixing
+  ``x <- (1 - a) x + a x_local`` with ``a = mixing * (1 + tau)^(-kappa)``
+  — the polynomial staleness discount of the paper.
+* :class:`FedBuff` (Nguyen et al. 2022, "Federated Learning with Buffered
+  Asynchronous Aggregation"): arrivals accumulate staleness-discounted
+  displacements in a size-K buffer; every K-th arrival applies their mean
+  as one server step.
+
+Both also implement the standard synchronous ``aggregate`` protocol (all
+updates treated as staleness 0), so they can run unchanged inside
+:class:`repro.simulation.FederatedSimulation` or the semi-sync wrapper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import ClientUpdate, FederatedAlgorithm, LocalSGDMixin, size_weights
+from repro.simulation.context import SimulationContext
+
+__all__ = ["FedAsync", "FedBuff"]
+
+
+class _AsyncLocalSGD(LocalSGDMixin, FederatedAlgorithm):
+    """Shared FedAvg-style local update; subclasses supply the server step."""
+
+    def __init__(self, staleness_exponent: float = 0.5) -> None:
+        if staleness_exponent < 0:
+            raise ValueError(f"staleness_exponent must be >= 0, got {staleness_exponent}")
+        self.staleness_exponent = staleness_exponent
+
+    def staleness_weight(self, staleness: float) -> float:
+        """Polynomial discount s(tau) = (1 + tau)^(-kappa)."""
+        return float((1.0 + max(staleness, 0.0)) ** (-self.staleness_exponent))
+
+    def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
+        x_local, nb = self._local_sgd(ctx, round_idx, client_id, x_global)
+        return ClientUpdate(
+            client_id=client_id,
+            displacement=x_global - x_local,
+            n_samples=len(ctx.client_xy(client_id)[1]),
+            n_batches=nb,
+        )
+
+    def server_apply(
+        self,
+        ctx: SimulationContext,
+        x: np.ndarray,
+        update: ClientUpdate,
+        staleness: float,
+        x_dispatch: np.ndarray,
+    ) -> np.ndarray | None:
+        raise NotImplementedError
+
+    def finalize(self, ctx: SimulationContext, x: np.ndarray) -> np.ndarray | None:
+        """Drain any buffered state at end of run (default: nothing)."""
+        return None
+
+
+class FedAsync(_AsyncLocalSGD):
+    """Immediate staleness-discounted mixing.
+
+    Args:
+        mixing: base mixing rate alpha in (0, 1]; the fresh-update step size.
+        staleness_exponent: kappa of the polynomial discount.
+        weighted: sample-size weighting in the synchronous fallback.
+    """
+
+    name = "fedasync"
+
+    def __init__(
+        self,
+        mixing: float = 0.6,
+        staleness_exponent: float = 0.5,
+        weighted: bool = True,
+    ) -> None:
+        super().__init__(staleness_exponent=staleness_exponent)
+        if not 0.0 < mixing <= 1.0:
+            raise ValueError(f"mixing must be in (0, 1], got {mixing}")
+        self.mixing = mixing
+        self.weighted = weighted
+        self._last_alpha = float("nan")
+
+    def server_apply(self, ctx, x, update, staleness, x_dispatch) -> np.ndarray:
+        a = min(1.0, ctx.config.lr_global * self.mixing * self.staleness_weight(staleness))
+        self._last_alpha = a
+        x_local = x_dispatch - update.displacement
+        return (1.0 - a) * x + a * x_local
+
+    def aggregate(self, ctx, round_idx, selected, updates, x_global) -> np.ndarray:
+        # synchronous fallback: zero staleness, so mixing collapses to a
+        # damped FedAvg step (x_dispatch == x_global for every update)
+        w = size_weights(updates) if self.weighted else np.full(len(updates), 1.0 / len(updates))
+        a = min(1.0, ctx.config.lr_global * self.mixing)
+        self._last_alpha = a
+        disp = np.stack([u.displacement for u in updates])
+        return x_global - a * (w @ disp)
+
+    def round_extras(self) -> dict:
+        return {"alpha_async": self._last_alpha}
+
+
+class FedBuff(_AsyncLocalSGD):
+    """Buffered-K aggregation of staleness-discounted displacements.
+
+    Args:
+        buffer_size: K — arrivals per server step.
+        staleness_exponent: kappa of the polynomial discount.
+    """
+
+    name = "fedbuff"
+
+    def __init__(self, buffer_size: int = 5, staleness_exponent: float = 0.5) -> None:
+        super().__init__(staleness_exponent=staleness_exponent)
+        if buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        self.buffer_size = buffer_size
+        self._buffer: list[np.ndarray] = []
+
+    def setup(self, ctx: SimulationContext) -> None:
+        self._buffer = []
+
+    def server_apply(self, ctx, x, update, staleness, x_dispatch=None) -> np.ndarray | None:
+        self._buffer.append(self.staleness_weight(staleness) * update.displacement)
+        if len(self._buffer) >= self.buffer_size:
+            return self._drain(ctx, x)
+        return None
+
+    def finalize(self, ctx, x) -> np.ndarray | None:
+        return self._drain(ctx, x) if self._buffer else None
+
+    def _drain(self, ctx, x) -> np.ndarray:
+        avg = np.mean(np.stack(self._buffer), axis=0)
+        self._buffer = []
+        return x - ctx.config.lr_global * avg
+
+    def aggregate(self, ctx, round_idx, selected, updates, x_global) -> np.ndarray:
+        # synchronous fallback: one uniform buffer drain over the cohort
+        disp = np.stack([u.displacement for u in updates])
+        return x_global - ctx.config.lr_global * disp.mean(axis=0)
+
+    def round_extras(self) -> dict:
+        return {"buffer_fill": len(self._buffer)}

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.algorithms.async_fl import FedAsync, FedBuff
 from repro.algorithms.balancefl import BalanceFL
 from repro.algorithms.creff import CReFF
 from repro.algorithms.fedavg import FedAvg, FedAvgM, FedProx
@@ -46,6 +47,8 @@ class MethodBundle:
 
 _SIMPLE = {
     "fedavg": FedAvg,
+    "fedasync": FedAsync,
+    "fedbuff": FedBuff,
     "fedprox": FedProx,
     "fedavgm": FedAvgM,
     "scaffold": Scaffold,

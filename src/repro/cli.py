@@ -6,6 +6,9 @@ Commands:
                  prints the learning curve and optionally saves history/
                  checkpoint files.
 * ``compare``  — race several methods on one problem, ASCII plot + table.
+* ``runtime``  — event-driven run under a virtual clock: ``fedasync`` /
+                 ``fedbuff`` asynchronous aggregation or ``semisync``
+                 deadline-based rounds, with pluggable client latency models.
 * ``methods``  — list available algorithms.
 * ``datasets`` — list available -lite datasets.
 
@@ -13,6 +16,8 @@ Examples::
 
     python -m repro run --method fedwcm --dataset cifar10-lite --if 0.1 --rounds 30
     python -m repro compare --methods fedavg,fedcm,fedwcm --if 0.05
+    python -m repro runtime --algorithm fedasync --latency lognormal --rounds 30
+    python -m repro runtime --algorithm semisync --base-method fedwcm --deadline 2.5
     python -m repro methods
 """
 
@@ -23,9 +28,15 @@ import sys
 
 import numpy as np
 
-from repro.algorithms import METHOD_NAMES, make_method
+from repro.algorithms import METHOD_NAMES, FedAsync, FedBuff, make_method
 from repro.data import DATASET_REGISTRY, load_federated_dataset
 from repro.nn import build_model, make_mlp
+from repro.runtime import (
+    AsyncFederatedSimulation,
+    LATENCY_MODELS,
+    SemiSyncFederatedSimulation,
+    make_latency_model,
+)
 from repro.simulation import FederatedSimulation, FLConfig, save_checkpoint, save_history
 from repro.viz import ascii_barchart, history_plot
 
@@ -52,6 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--model", choices=("mlp", "conv"), default="mlp")
         p.add_argument("--partition", choices=("balanced", "fedgrab"), default="balanced")
         p.add_argument("--eval-every", type=int, default=5)
+        p.add_argument("--max-batches", type=int, default=None,
+                       help="cap on local batches per round (speed knob)")
 
     run_p = sub.add_parser("run", help="run one federated experiment")
     run_p.add_argument("--method", default="fedwcm", choices=METHOD_NAMES)
@@ -63,6 +76,34 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--methods", default="fedavg,fedcm,fedwcm",
                        help="comma-separated method names")
     add_common(cmp_p)
+
+    rt_p = sub.add_parser("runtime", help="event-driven run under a virtual clock")
+    rt_p.add_argument("--algorithm", default="fedasync",
+                      choices=("fedasync", "fedbuff", "semisync"))
+    add_common(rt_p)
+    rt_p.add_argument("--latency", default="lognormal", choices=sorted(LATENCY_MODELS))
+    rt_p.add_argument("--latency-scale", type=float, default=1.0,
+                      help="global multiplier on priced latencies")
+    rt_p.add_argument("--concurrency", type=int, default=None,
+                      help="clients in flight (default: sync cohort size)")
+    rt_p.add_argument("--max-updates", type=int, default=None,
+                      help="client updates to process (default: rounds * cohort)")
+    rt_p.add_argument("--mixing", type=float, default=0.6, help="fedasync mixing rate")
+    rt_p.add_argument("--buffer-size", type=int, default=5, help="fedbuff buffer K")
+    rt_p.add_argument("--staleness-exponent", type=float, default=0.5,
+                      help="polynomial staleness discount exponent")
+    rt_p.add_argument("--base-method", default="fedavg", choices=METHOD_NAMES,
+                      help="wrapped algorithm for --algorithm semisync")
+    rt_p.add_argument("--deadline", type=float, default=None,
+                      help="semisync round deadline in virtual seconds (None = wait for all)")
+    rt_p.add_argument("--late-weight", type=float, default=0.0,
+                      help="semisync weight for deadline-missing clients (0 = drop)")
+    rt_p.add_argument("--workers", type=int, default=None,
+                      help="process-pool workers for batched client training")
+    rt_p.add_argument("--target-accuracy", type=float, default=None,
+                      help="report virtual time to reach this test accuracy")
+    rt_p.add_argument("--save-history", metavar="PATH", default=None)
+    rt_p.add_argument("--save-checkpoint", metavar="PATH", default=None)
 
     sub.add_parser("methods", help="list available algorithms")
     sub.add_parser("datasets", help="list available datasets")
@@ -80,17 +121,22 @@ def _build_problem(args):
     )
     if args.model == "mlp":
         ds = ds.flat_view()
-        model = make_mlp(ds.x_train.shape[1], ds.num_classes, seed=args.seed)
+        dim, classes, seed = ds.x_train.shape[1], ds.num_classes, args.seed
+
+        def model_builder():
+            return make_mlp(dim, classes, seed=seed)
     else:
-        shape = ds.info.shape
-        model = build_model(
-            "resnet-lite-18",
-            in_channels=shape[0],
-            image_size=shape[1],
-            num_classes=ds.num_classes,
-            width=4,
-            seed=args.seed,
-        )
+        shape, classes, seed = ds.info.shape, ds.num_classes, args.seed
+
+        def model_builder():
+            return build_model(
+                "resnet-lite-18",
+                in_channels=shape[0],
+                image_size=shape[1],
+                num_classes=classes,
+                width=4,
+                seed=seed,
+            )
     cfg = FLConfig(
         rounds=args.rounds,
         batch_size=args.batch_size,
@@ -100,15 +146,16 @@ def _build_problem(args):
         participation=args.participation,
         eval_every=args.eval_every,
         seed=args.seed,
+        max_batches_per_round=args.max_batches,
     )
-    return ds, model, cfg
+    return ds, model_builder, cfg
 
 
 def _run_one(method: str, args, verbose: bool = True):
-    ds, model, cfg = _build_problem(args)
+    ds, model_builder, cfg = _build_problem(args)
     bundle = make_method(method)
     sim = FederatedSimulation(
-        bundle.algorithm, model, ds, cfg,
+        bundle.algorithm, model_builder(), ds, cfg,
         loss_builder=bundle.loss_builder, sampler_builder=bundle.sampler_builder,
     )
     history = sim.run(verbose=verbose)
@@ -150,6 +197,75 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _warn_unused_runtime_flags(args) -> None:
+    """Flag options the chosen --algorithm silently ignores."""
+    defaults = {
+        "workers": None, "concurrency": None, "max_updates": None,
+        "mixing": 0.6, "buffer_size": 5, "staleness_exponent": 0.5,
+        "deadline": None, "late_weight": 0.0, "base_method": "fedavg",
+    }
+    unused_by_algo = {
+        "semisync": ("workers", "concurrency", "max_updates", "mixing",
+                     "buffer_size", "staleness_exponent"),
+        "fedasync": ("deadline", "late_weight", "base_method", "buffer_size"),
+        "fedbuff": ("deadline", "late_weight", "base_method", "mixing"),
+    }
+    for name in unused_by_algo[args.algorithm]:
+        if getattr(args, name) != defaults[name]:
+            print(
+                f"note: --{name.replace('_', '-')} has no effect with "
+                f"--algorithm {args.algorithm}",
+                file=sys.stderr,
+            )
+
+
+def cmd_runtime(args) -> int:
+    ds, model_builder, cfg = _build_problem(args)
+    latency = make_latency_model(args.latency, scale=args.latency_scale)
+    _warn_unused_runtime_flags(args)
+
+    if args.algorithm == "semisync":
+        bundle = make_method(args.base_method)
+        sim = SemiSyncFederatedSimulation(
+            bundle.algorithm, model_builder(), ds, cfg,
+            latency_model=latency, deadline=args.deadline, late_weight=args.late_weight,
+            loss_builder=bundle.loss_builder, sampler_builder=bundle.sampler_builder,
+        )
+    else:
+        if args.algorithm == "fedasync":
+            def algo_builder():
+                return FedAsync(mixing=args.mixing, staleness_exponent=args.staleness_exponent)
+        else:
+            def algo_builder():
+                return FedBuff(
+                    buffer_size=args.buffer_size, staleness_exponent=args.staleness_exponent
+                )
+        sim = AsyncFederatedSimulation(
+            algo_builder(), model_builder(), ds, cfg,
+            latency_model=latency, concurrency=args.concurrency,
+            max_updates=args.max_updates, workers=args.workers,
+            model_builder=model_builder, algo_builder=algo_builder,
+        )
+
+    history = sim.run(verbose=True)
+    print(f"\nfinal accuracy:     {history.final_accuracy:.4f}")
+    print(f"best accuracy:      {history.best_accuracy:.4f}")
+    print(f"total virtual time: {sim.total_virtual_time:.2f}s")
+    if args.target_accuracy is not None:
+        tta = history.time_to_accuracy(args.target_accuracy)
+        reached = f"{tta:.2f}s" if tta is not None else "never reached"
+        print(f"time to {args.target_accuracy:.2f} accuracy: {reached}")
+    if args.save_history:
+        save_history(args.save_history, history)
+        print(f"history -> {args.save_history}")
+    if args.save_checkpoint:
+        save_checkpoint(args.save_checkpoint, sim.final_params, sim.ctx.spec,
+                        round_idx=len(history.records) - 1,
+                        extras={"virtual_time": sim.total_virtual_time})
+        print(f"checkpoint -> {args.save_checkpoint}")
+    return 0
+
+
 def cmd_methods(_args) -> int:
     for name in METHOD_NAMES:
         print(name)
@@ -169,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
         return {
             "run": cmd_run,
             "compare": cmd_compare,
+            "runtime": cmd_runtime,
             "methods": cmd_methods,
             "datasets": cmd_datasets,
         }[args.command](args)

@@ -1,5 +1,5 @@
 """Parallel execution substrate mirroring the paper's multi-GPU setup."""
 
-from repro.parallel.pool import ParallelClientRunner, parallel_map
+from repro.parallel.pool import ParallelClientRunner, parallel_map, resolve_workers
 
-__all__ = ["ParallelClientRunner", "parallel_map"]
+__all__ = ["ParallelClientRunner", "parallel_map", "resolve_workers"]

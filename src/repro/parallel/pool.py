@@ -28,7 +28,29 @@ from repro.data.registry import FederatedDataset
 from repro.simulation.config import FLConfig
 from repro.simulation.context import SimulationContext
 
-__all__ = ["ParallelClientRunner", "parallel_map"]
+__all__ = ["ParallelClientRunner", "parallel_map", "resolve_workers"]
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker count: explicit arg > ``REPRO_MAX_WORKERS`` > default.
+
+    The default remains ``min(cpu_count, 8)``; the env var lets deployments
+    raise or lower the cap fleet-wide without touching call sites.
+    """
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return workers
+    env = os.environ.get("REPRO_MAX_WORKERS", "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(f"REPRO_MAX_WORKERS must be an integer, got {env!r}") from None
+        if value < 1:
+            raise ValueError(f"REPRO_MAX_WORKERS must be >= 1, got {value}")
+        return value
+    return min(os.cpu_count() or 1, 8)
 
 # worker-global cache: (context, algorithm) built once per process
 _WORKER_STATE: dict = {}
@@ -46,12 +68,17 @@ def _worker_init(model_builder, dataset, config, loss_builder, sampler_builder, 
     algo.setup(ctx)
     _WORKER_STATE["ctx"] = ctx
     _WORKER_STATE["algo"] = algo
+    # BatchNorm-style buffers: snapshot the replica's initial buffers so every
+    # job starts from the same state regardless of job order or worker count
+    _WORKER_STATE["buf0"] = ctx.model.get_buffers(copy=True) if ctx.model.buffers else None
 
 
 def _worker_run(args):
     round_idx, client_id, x_global, algo_state = args
     ctx = _WORKER_STATE["ctx"]
     algo = _WORKER_STATE["algo"]
+    if _WORKER_STATE["buf0"] is not None:
+        ctx.model.set_buffers(_WORKER_STATE["buf0"])
     if algo_state is not None:
         for k, v in algo_state.items():
             setattr(algo, k, v)
@@ -68,7 +95,8 @@ class ParallelClientRunner:
             their own instance; per-round broadcast state is shipped via
             ``broadcast_state``).
         loss_builder / sampler_builder: per-client factories.
-        workers: process count (default: CPU count capped at 8).
+        workers: process count (default: ``REPRO_MAX_WORKERS`` env var,
+            falling back to CPU count capped at 8).
     """
 
     def __init__(
@@ -81,7 +109,7 @@ class ParallelClientRunner:
         sampler_builder=None,
         workers: int | None = None,
     ) -> None:
-        self.workers = workers or min(os.cpu_count() or 1, 8)
+        self.workers = resolve_workers(workers)
         ctx_builder = (
             model_builder,
             dataset,
@@ -111,6 +139,22 @@ class ParallelClientRunner:
         jobs = [(round_idx, int(k), x_global, broadcast_state) for k in selected]
         return self._pool.map(_worker_run, jobs)
 
+    def run_jobs(
+        self,
+        jobs: list[tuple[int, int]],
+        x_global: np.ndarray,
+        broadcast_state: dict | None = None,
+    ) -> list:
+        """Execute ``(round_idx, client_id)`` jobs sharing one broadcast vector.
+
+        The asynchronous runtime uses this to batch in-flight dispatches that
+        started from the same global model but carry distinct dispatch
+        indices (which seed each client's RNG stream).  Results are returned
+        in job order.
+        """
+        payload = [(int(r), int(k), x_global, broadcast_state) for r, k in jobs]
+        return self._pool.map(_worker_run, payload)
+
     def close(self) -> None:
         self._pool.close()
         self._pool.join()
@@ -122,14 +166,25 @@ class ParallelClientRunner:
         self.close()
 
 
+def _indexed_apply(args):
+    i, fn, item = args
+    return i, fn(item)
+
+
 def parallel_map(fn: Callable, items: list, workers: int | None = None) -> list:
     """Order-preserving multiprocessing map with a fork pool.
 
     For coarse-grained jobs (full federated runs in a parameter sweep —
     the benchmark harnesses use this to mirror the paper's multi-GPU grid).
+    Internally uses ``imap_unordered`` so uneven jobs load-balance across
+    workers, then restores input order deterministically by index.
     """
-    workers = workers or min(os.cpu_count() or 1, 8)
+    workers = resolve_workers(workers)
     if workers <= 1 or len(items) <= 1:
         return [fn(it) for it in items]
+    out = [None] * len(items)
+    jobs = [(i, fn, item) for i, item in enumerate(items)]
     with mp.get_context("fork").Pool(processes=min(workers, len(items))) as pool:
-        return pool.map(fn, items)
+        for i, result in pool.imap_unordered(_indexed_apply, jobs):
+            out[i] = result
+    return out

@@ -1,0 +1,44 @@
+"""Event-driven asynchronous FL runtime.
+
+* :mod:`repro.runtime.clock` — deterministic virtual clock and pluggable
+  client latency models (constant / lognormal / Pareto / dropout-retry).
+* :mod:`repro.runtime.async_engine` — :class:`AsyncFederatedSimulation`,
+  the staleness-aware event loop driving FedAsync / FedBuff.
+* :mod:`repro.runtime.semisync` — :class:`SemiSyncFederatedSimulation`,
+  deadline-based rounds wrapping any synchronous algorithm (and, with
+  ``deadline=None``, the straggler-blocked synchronous timing baseline).
+
+Histories are built from :class:`repro.simulation.TimedRoundRecord`, so
+all existing :class:`~repro.simulation.History` / :mod:`repro.viz` tooling
+works unchanged — plus time-to-accuracy via ``History.time_to_accuracy``.
+"""
+
+from repro.runtime.clock import (
+    ConstantLatency,
+    DropoutRetryLatency,
+    Event,
+    LATENCY_MODELS,
+    LatencyModel,
+    LognormalLatency,
+    ParetoLatency,
+    VirtualClock,
+    make_latency_model,
+)
+from repro.runtime.async_engine import AsyncFederatedSimulation
+from repro.runtime.semisync import SemiSyncFederatedSimulation
+from repro.simulation.engine import TimedRoundRecord
+
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "LatencyModel",
+    "ConstantLatency",
+    "LognormalLatency",
+    "ParetoLatency",
+    "DropoutRetryLatency",
+    "LATENCY_MODELS",
+    "make_latency_model",
+    "AsyncFederatedSimulation",
+    "SemiSyncFederatedSimulation",
+    "TimedRoundRecord",
+]

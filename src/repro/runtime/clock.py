@@ -1,0 +1,291 @@
+"""Deterministic virtual time for event-driven federated simulation.
+
+Two pieces:
+
+* :class:`VirtualClock` — a heapq-based future-event queue.  Events are
+  ordered by ``(time, seq)`` where ``seq`` is a monotone schedule counter,
+  so simultaneous events always pop in schedule order and a run is a pure
+  function of its seed (no wall-clock, no hash randomisation).
+* :class:`LatencyModel` and friends — price each client update in simulated
+  seconds from *first principles*: local compute is ``time_per_batch`` times
+  the client's gradient-step count (derived from its dataset size and the
+  :class:`~repro.simulation.config.FLConfig` batch/epoch settings), and
+  communication is the broadcast + upload of one parameter vector over a
+  ``bandwidth`` link.  Subclasses multiply that base cost by a stochastic
+  device factor:
+
+  - :class:`ConstantLatency` — every device identical (sanity baseline).
+  - :class:`LognormalLatency` — persistent per-device speed drawn from a
+    lognormal (the classic device-heterogeneity model) plus per-dispatch
+    jitter.
+  - :class:`ParetoLatency` — heavy-tailed per-dispatch factors: most
+    updates are cheap, a few are catastrophic stragglers.
+  - :class:`DropoutRetryLatency` — wraps another model; each dispatch may
+    fail and be retried, paying the full attempt cost every time.
+
+All randomness is keyed by ``(seed, tag, dispatch_idx, client_id)`` streams,
+so latencies are independent of worker count and execution order — the same
+convention as :meth:`repro.simulation.SimulationContext.client_rng`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulation.context import SimulationContext
+
+__all__ = [
+    "Event",
+    "VirtualClock",
+    "LatencyModel",
+    "ConstantLatency",
+    "LognormalLatency",
+    "ParetoLatency",
+    "DropoutRetryLatency",
+    "LATENCY_MODELS",
+    "make_latency_model",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled completion: ``client_id`` finishes at virtual ``time``."""
+
+    time: float
+    seq: int
+    client_id: int
+    data: dict = field(default_factory=dict, compare=False)
+
+
+class VirtualClock:
+    """Seeded discrete-event queue with a monotone ``now``.
+
+    ``schedule`` inserts an event ``delay`` seconds into the future;
+    ``pop`` removes the earliest event and advances ``now`` to its time.
+    Ties break on insertion order, making event order fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: float, client_id: int = -1, **data) -> Event:
+        """Schedule an event at ``now + delay``; returns the event."""
+        if not math.isfinite(delay) or delay < 0:
+            raise ValueError(f"delay must be finite and >= 0, got {delay}")
+        ev = Event(time=self.now + float(delay), seq=self._seq, client_id=int(client_id), data=data)
+        heapq.heappush(self._heap, (ev.time, ev.seq, ev))
+        self._seq += 1
+        return ev
+
+    def peek(self) -> Event | None:
+        """Earliest pending event without popping it (None when empty)."""
+        return self._heap[0][2] if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing ``now``."""
+        if not self._heap:
+            raise IndexError("pop from an empty VirtualClock")
+        _, _, ev = heapq.heappop(self._heap)
+        self.now = max(self.now, ev.time)
+        return ev
+
+    def advance(self, dt: float) -> float:
+        """Advance ``now`` by ``dt`` seconds (semi-sync round accounting)."""
+        if not math.isfinite(dt) or dt < 0:
+            raise ValueError(f"dt must be finite and >= 0, got {dt}")
+        self.now += float(dt)
+        return self.now
+
+
+class LatencyModel:
+    """Price a client update in simulated seconds.
+
+    Args:
+        scale: global multiplier on the base cost.
+        time_per_batch: seconds per local gradient step.
+        bandwidth: link bandwidth in bytes/second (shared down + up).
+        bytes_per_param: 8 for float64 (library default).
+        seed: latency RNG seed; defaults to the bound config's seed.
+
+    ``bind(ctx)`` must be called once before :meth:`latency`; it derives each
+    client's base cost from its dataset size and the config's batch/epoch
+    settings (honouring ``max_batches_per_round``) plus one round trip of the
+    flattened parameter vector.
+    """
+
+    name = "constant"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        time_per_batch: float = 0.01,
+        bandwidth: float = 1e7,
+        bytes_per_param: int = 8,
+        seed: int | None = None,
+    ) -> None:
+        if scale <= 0 or time_per_batch <= 0 or bandwidth <= 0 or bytes_per_param < 1:
+            raise ValueError("scale/time_per_batch/bandwidth/bytes_per_param must be positive")
+        self.scale = float(scale)
+        self.time_per_batch = float(time_per_batch)
+        self.bandwidth = float(bandwidth)
+        self.bytes_per_param = int(bytes_per_param)
+        self.seed = seed
+        self._explicit_seed = seed is not None
+        self._base: np.ndarray | None = None
+
+    def bind(self, ctx: SimulationContext) -> "LatencyModel":
+        """Derive per-client base costs from the bound problem; returns self."""
+        cfg = ctx.config
+        sizes = ctx.client_sizes()
+        per_epoch = np.maximum(1, np.ceil(sizes / cfg.batch_size)).astype(np.int64)
+        batches = per_epoch * cfg.local_epochs
+        if cfg.max_batches_per_round is not None:
+            batches = np.minimum(batches, cfg.max_batches_per_round)
+        comm = 2.0 * ctx.dim * self.bytes_per_param / self.bandwidth
+        self._base = self.scale * (self.time_per_batch * batches + comm)
+        if not self._explicit_seed:
+            # follow the bound problem's seed, including across re-binds
+            self.seed = cfg.seed
+        return self
+
+    def base_seconds(self, client_id: int) -> float:
+        if self._base is None:
+            raise RuntimeError("LatencyModel.bind(ctx) must be called before pricing")
+        return float(self._base[client_id])
+
+    def latency(self, client_id: int, dispatch_idx: int) -> float:
+        """Simulated seconds for dispatch ``dispatch_idx`` of ``client_id``."""
+        return self.base_seconds(client_id) * self.factor(client_id, dispatch_idx)
+
+    def factor(self, client_id: int, dispatch_idx: int) -> float:
+        """Stochastic device multiplier; 1.0 in the constant base model."""
+        return 1.0
+
+    def _rng(self, tag: int, *key: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed or 0, tag, *key))
+
+
+class ConstantLatency(LatencyModel):
+    """Homogeneous devices: latency is exactly the priced base cost."""
+
+    name = "constant"
+
+
+class LognormalLatency(LatencyModel):
+    """Persistent lognormal device speeds plus per-dispatch jitter.
+
+    Args:
+        sigma: log-std of the per-*client* speed factor (drawn once per
+            client; the device-heterogeneity knob).
+        jitter: log-std of the per-*dispatch* factor (network noise).
+    """
+
+    name = "lognormal"
+
+    def __init__(self, sigma: float = 0.75, jitter: float = 0.25, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if sigma < 0 or jitter < 0:
+            raise ValueError("sigma and jitter must be >= 0")
+        self.sigma = float(sigma)
+        self.jitter = float(jitter)
+
+    def factor(self, client_id: int, dispatch_idx: int) -> float:
+        speed = math.exp(self.sigma * self._rng(0x5E, client_id).standard_normal())
+        noise = math.exp(self.jitter * self._rng(0x11, dispatch_idx, client_id).standard_normal())
+        return speed * noise
+
+
+class ParetoLatency(LatencyModel):
+    """Heavy-tailed per-dispatch factors (Pareto with x_m = 1).
+
+    Args:
+        alpha: tail index; smaller = heavier stragglers.  ``alpha <= 1``
+            gives an infinite-mean tail — allowed, but brutal.
+    """
+
+    name = "pareto"
+
+    def __init__(self, alpha: float = 1.5, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if alpha <= 0:
+            raise ValueError(f"alpha must be > 0, got {alpha}")
+        self.alpha = float(alpha)
+
+    def factor(self, client_id: int, dispatch_idx: int) -> float:
+        return 1.0 + float(self._rng(0x9A, dispatch_idx, client_id).pareto(self.alpha))
+
+
+class DropoutRetryLatency(LatencyModel):
+    """Dropout/retry wrapper: failed attempts pay full cost, then retry.
+
+    Args:
+        inner: the per-attempt latency model (name or instance; default
+            lognormal).
+        p_drop: probability that an attempt fails and is retried.
+        max_retries: retry budget; the final attempt always succeeds, so
+            every dispatch eventually completes (no lost updates).
+    """
+
+    name = "dropout"
+
+    def __init__(
+        self,
+        inner: "LatencyModel | str | None" = None,
+        p_drop: float = 0.15,
+        max_retries: int = 3,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if not 0.0 <= p_drop < 1.0:
+            raise ValueError(f"p_drop must be in [0, 1), got {p_drop}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if inner is None:
+            inner = LognormalLatency(**kwargs)
+        elif isinstance(inner, str):
+            inner = make_latency_model(inner, **kwargs)
+        self.inner = inner
+        self.p_drop = float(p_drop)
+        self.max_retries = int(max_retries)
+
+    def bind(self, ctx: SimulationContext) -> "DropoutRetryLatency":
+        super().bind(ctx)
+        self.inner.bind(ctx)
+        return self
+
+    def latency(self, client_id: int, dispatch_idx: int) -> float:
+        attempts = self.max_retries + 1
+        total = 0.0
+        for t in range(attempts):
+            # distinct inner dispatch index per attempt keeps streams unique
+            total += self.inner.latency(client_id, dispatch_idx * attempts + t)
+            if t == self.max_retries:
+                break
+            if self._rng(0xDD, dispatch_idx, client_id, t).random() >= self.p_drop:
+                break
+        return total
+
+
+LATENCY_MODELS: dict[str, type[LatencyModel]] = {
+    "constant": ConstantLatency,
+    "lognormal": LognormalLatency,
+    "pareto": ParetoLatency,
+    "dropout": DropoutRetryLatency,
+}
+
+
+def make_latency_model(name: str, **kwargs) -> LatencyModel:
+    """Instantiate a latency model by registry name (case-insensitive)."""
+    key = name.lower()
+    if key not in LATENCY_MODELS:
+        raise KeyError(f"unknown latency model {name!r}; available: {sorted(LATENCY_MODELS)}")
+    return LATENCY_MODELS[key](**kwargs)

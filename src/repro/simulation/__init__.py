@@ -2,7 +2,7 @@
 
 from repro.simulation.config import FLConfig
 from repro.simulation.context import SimulationContext
-from repro.simulation.engine import FederatedSimulation, History, RoundRecord
+from repro.simulation.engine import FederatedSimulation, History, RoundRecord, TimedRoundRecord
 from repro.simulation.sampling import UniformSampler, ScoreBiasedSampler, RoundRobinSampler
 from repro.simulation.communication import CommunicationModel, CostBreakdown
 from repro.simulation.serialization import (
@@ -18,6 +18,7 @@ __all__ = [
     "FederatedSimulation",
     "History",
     "RoundRecord",
+    "TimedRoundRecord",
     "UniformSampler",
     "ScoreBiasedSampler",
     "RoundRobinSampler",

@@ -24,6 +24,8 @@ __all__ = ["CommunicationModel", "CostBreakdown"]
 # per-algorithm multipliers: (downlink vectors, uplink vectors per client)
 _PROFILES: dict[str, tuple[float, float]] = {
     "fedavg": (1.0, 1.0),
+    "fedasync": (1.0, 1.0),  # per-update broadcast + upload, no extra state
+    "fedbuff": (1.0, 1.0),
     "fedprox": (1.0, 1.0),
     "fedavgm": (1.0, 1.0),
     "fednova": (1.0, 1.0),

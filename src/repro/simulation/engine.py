@@ -21,7 +21,47 @@ from repro.nn.train import evaluate
 from repro.simulation.config import FLConfig
 from repro.simulation.context import SimulationContext
 
-__all__ = ["RoundRecord", "History", "FederatedSimulation"]
+__all__ = [
+    "RoundRecord",
+    "TimedRoundRecord",
+    "History",
+    "FederatedSimulation",
+    "evaluate_into_record",
+    "BufferAverager",
+]
+
+
+class BufferAverager:
+    """Per-round FedAvg-with-BN treatment of model buffers.
+
+    BatchNorm-style running statistics: each client starts from the server's
+    buffers; the server averages the post-training buffers afterwards.  A
+    no-op for buffer-free models.  Shared by the synchronous and semi-sync
+    engines so the treatment can't drift between them.
+    """
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+        self.active = bool(model.buffers)
+        self.n = 0
+        if self.active:
+            self.buf0 = model.get_buffers(copy=True)
+            self.acc = {k: np.zeros_like(v) for k, v in self.buf0.items()}
+
+    def before_client(self) -> None:
+        if self.active:
+            self.model.set_buffers(self.buf0)
+
+    def after_client(self) -> None:
+        self.n += 1
+        if self.active:
+            for name, v in self.model.buffers.items():
+                self.acc[name] += v
+
+    def commit(self) -> None:
+        if self.active:
+            inv = 1.0 / max(self.n, 1)
+            self.model.set_buffers({k: v * inv for k, v in self.acc.items()})
 
 MetricHook = Callable[[SimulationContext, int, np.ndarray, dict], None]
 
@@ -37,6 +77,27 @@ class RoundRecord:
     selected: np.ndarray | None = None
     wall_time: float = 0.0
     extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class TimedRoundRecord(RoundRecord):
+    """A :class:`RoundRecord` stamped with simulated wall-clock metadata.
+
+    Produced by the event-driven runtimes (:mod:`repro.runtime`); ``round``
+    counts evaluation windows rather than synchronous rounds.
+
+    Attributes:
+        virtual_time: simulated seconds elapsed when the record closed.
+        staleness: mean staleness (server versions) of the window's updates;
+            for semi-sync runs, the number of deadline-missing clients.
+        concurrency: mean number of clients in flight during the window.
+        updates_applied: cumulative server updates at record time.
+    """
+
+    virtual_time: float = 0.0
+    staleness: float = 0.0
+    concurrency: float = 0.0
+    updates_applied: int = 0
 
 
 @dataclass
@@ -68,6 +129,20 @@ class History:
         for r in self.records:
             if not np.isnan(r.test_accuracy) and r.test_accuracy >= threshold:
                 return r.round
+        return None
+
+    def time_to_accuracy(self, threshold: float) -> float | None:
+        """Virtual seconds until test accuracy first reaches ``threshold``.
+
+        Only meaningful for histories of :class:`TimedRoundRecord`s (the
+        event-driven runtimes); returns None when never reached or untimed.
+        """
+        for r in self.records:
+            vt = getattr(r, "virtual_time", None)
+            if vt is None:
+                continue
+            if not np.isnan(r.test_accuracy) and r.test_accuracy >= threshold:
+                return float(vt)
         return None
 
     def tail_accuracy(self, k: int = 5) -> float:
@@ -121,7 +196,6 @@ class FederatedSimulation:
         x = ctx.x0.copy()
         history = History(algorithm=getattr(algo, "name", type(algo).__name__))
 
-        has_buffers = bool(ctx.model.buffers)
         for r in range(cfg.rounds):
             t0 = time.perf_counter()
             if self.client_sampler is None:
@@ -129,36 +203,17 @@ class FederatedSimulation:
             else:
                 selected = np.asarray(self.client_sampler(ctx, r))
             updates = []
-            if has_buffers:
-                # BatchNorm-style running statistics: each client starts from
-                # the server's buffers; the server averages them afterwards
-                # (the standard FedAvg-with-BN treatment).
-                buf0 = ctx.model.get_buffers(copy=True)
-                buf_acc = {k: np.zeros_like(v) for k, v in buf0.items()}
+            bufavg = BufferAverager(ctx.model)
             for k in selected:
-                if has_buffers:
-                    ctx.model.set_buffers(buf0)
+                bufavg.before_client()
                 updates.append(algo.client_update(ctx, r, int(k), x))
-                if has_buffers:
-                    for name, v in ctx.model.buffers.items():
-                        buf_acc[name] += v
-            if has_buffers:
-                inv = 1.0 / max(len(selected), 1)
-                ctx.model.set_buffers({k: v * inv for k, v in buf_acc.items()})
+                bufavg.after_client()
+            bufavg.commit()
             x = algo.aggregate(ctx, r, selected, updates, x)
 
             rec = RoundRecord(round=r, selected=selected, wall_time=time.perf_counter() - t0)
             if (r % cfg.eval_every == 0) or (r == cfg.rounds - 1):
-                ctx.load_params(x)
-                res = evaluate(ctx.model, ctx.dataset.x_test, ctx.dataset.y_test)
-                rec.test_accuracy = res["accuracy"]
-                if cfg.eval_per_class:
-                    logits = _batched_logits(ctx.model, ctx.dataset.x_test)
-                    rec.per_class_accuracy = per_class_accuracy(
-                        logits, ctx.dataset.y_test, ctx.num_classes
-                    )
-                for hook in self.metric_hooks:
-                    hook(ctx, r, x, rec.extras)
+                evaluate_into_record(ctx, rec, r, x, self.metric_hooks)
             rec.extras.update(algo.round_extras())
             history.records.append(rec)
             if verbose and not np.isnan(rec.test_accuracy):
@@ -167,6 +222,29 @@ class FederatedSimulation:
                 )
         self.final_params = x
         return history
+
+
+def evaluate_into_record(
+    ctx: SimulationContext,
+    rec: RoundRecord,
+    round_idx: int,
+    x: np.ndarray,
+    metric_hooks: Sequence[MetricHook] = (),
+) -> None:
+    """Evaluate the global model ``x`` and fill ``rec`` in place.
+
+    Shared by the synchronous, semi-synchronous and asynchronous engines so
+    evaluation bookkeeping (per-class accuracy, metric hooks) stays in one
+    place.
+    """
+    ctx.load_params(x)
+    res = evaluate(ctx.model, ctx.dataset.x_test, ctx.dataset.y_test)
+    rec.test_accuracy = res["accuracy"]
+    if ctx.config.eval_per_class:
+        logits = _batched_logits(ctx.model, ctx.dataset.x_test)
+        rec.per_class_accuracy = per_class_accuracy(logits, ctx.dataset.y_test, ctx.num_classes)
+    for hook in metric_hooks:
+        hook(ctx, round_idx, x, rec.extras)
 
 
 def _batched_logits(model: Module, x: np.ndarray, batch: int = 256) -> np.ndarray:

@@ -6,7 +6,10 @@
   model).
 * :func:`save_history` / :func:`load_history` — JSON round records, the
   exchange format the benchmark harness and examples use for regenerated
-  table rows.
+  table rows.  Files carry a ``schema`` version: v2 (current) round-trips
+  ``RoundRecord.extras`` losslessly (NaN/inf floats and ndarrays are tagged)
+  and preserves the event-driven runtimes' :class:`TimedRoundRecord` timing
+  fields; v1 files (no ``schema`` key, pre-runtime) still load.
 """
 
 from __future__ import annotations
@@ -17,10 +20,21 @@ from dataclasses import asdict
 
 import numpy as np
 
-from repro.simulation.engine import History, RoundRecord
+from repro.simulation.engine import History, RoundRecord, TimedRoundRecord
 from repro.utils.pytree import ParamSpec
 
-__all__ = ["save_checkpoint", "load_checkpoint", "save_history", "load_history"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_history",
+    "load_history",
+    "HISTORY_SCHEMA_VERSION",
+]
+
+HISTORY_SCHEMA_VERSION = 2
+
+# TimedRoundRecord-only fields, persisted when present (schema >= 2)
+_TIMED_FIELDS = ("virtual_time", "staleness", "concurrency", "updates_applied")
 
 
 def save_checkpoint(
@@ -64,8 +78,12 @@ def load_checkpoint(path: str, spec: ParamSpec | None = None) -> tuple[np.ndarra
 
 
 def save_history(path: str, history: History) -> None:
-    """Persist a run history as JSON (arrays are converted to lists)."""
-    payload = {"algorithm": history.algorithm, "records": []}
+    """Persist a run history as schema-v2 JSON (arrays are tagged lists)."""
+    payload = {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "algorithm": history.algorithm,
+        "records": [],
+    }
     for r in history.records:
         rec = {
             "round": r.round,
@@ -76,8 +94,12 @@ def save_history(path: str, history: History) -> None:
             "per_class_accuracy": (
                 _nan_list(r.per_class_accuracy) if r.per_class_accuracy is not None else None
             ),
-            "extras": {k: _jsonable(v) for k, v in r.extras.items()},
+            "extras": {k: _encode_extra(v) for k, v in r.extras.items()},
         }
+        if isinstance(r, TimedRoundRecord):
+            rec["kind"] = "timed"
+            for name in _TIMED_FIELDS:
+                rec[name] = getattr(r, name)
         payload["records"].append(rec)
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
     with open(path, "w") as f:
@@ -85,29 +107,78 @@ def save_history(path: str, history: History) -> None:
 
 
 def load_history(path: str) -> History:
-    """Load a JSON history saved by :func:`save_history`."""
+    """Load a JSON history saved by :func:`save_history` (schema v1 or v2)."""
     with open(path) as f:
         payload = json.load(f)
+    schema = payload.get("schema", 1)
     h = History(algorithm=payload["algorithm"])
     for rec in payload["records"]:
-        h.records.append(
-            RoundRecord(
-                round=rec["round"],
-                test_accuracy=_denan(rec["test_accuracy"]),
-                test_loss=_denan(rec["test_loss"]),
-                wall_time=rec.get("wall_time", 0.0),
-                selected=(
-                    np.asarray(rec["selected"]) if rec.get("selected") is not None else None
-                ),
-                per_class_accuracy=(
-                    np.array([_denan(v) for v in rec["per_class_accuracy"]])
-                    if rec.get("per_class_accuracy") is not None
-                    else None
-                ),
-                extras=rec.get("extras", {}),
-            )
+        fields = dict(
+            round=rec["round"],
+            test_accuracy=_denan(rec["test_accuracy"]),
+            test_loss=_denan(rec["test_loss"]),
+            wall_time=rec.get("wall_time", 0.0),
+            selected=(
+                np.asarray(rec["selected"]) if rec.get("selected") is not None else None
+            ),
+            per_class_accuracy=(
+                np.array([_denan(v) for v in rec["per_class_accuracy"]])
+                if rec.get("per_class_accuracy") is not None
+                else None
+            ),
+            extras=(
+                {k: _decode_extra(v) for k, v in rec.get("extras", {}).items()}
+                if schema >= 2
+                else rec.get("extras", {})
+            ),
         )
+        if rec.get("kind") == "timed":
+            for name in _TIMED_FIELDS:
+                fields[name] = rec.get(name, 0)
+            h.records.append(TimedRoundRecord(**fields))
+        else:
+            h.records.append(RoundRecord(**fields))
     return h
+
+
+def _encode_extra(v):
+    """Strict-JSON encoding of extras values that survives a round trip."""
+    if isinstance(v, np.ndarray):
+        return {
+            "__ndarray__": True,
+            "dtype": str(v.dtype),
+            "shape": list(v.shape),
+            "data": [_encode_extra(s) for s in v.ravel().tolist()],
+        }
+    if isinstance(v, (np.floating, float)):
+        v = float(v)
+        if np.isnan(v):
+            return {"__float__": "nan"}
+        if np.isinf(v):
+            return {"__float__": "inf" if v > 0 else "-inf"}
+        return v
+    if isinstance(v, (np.integer, int)) and not isinstance(v, bool):
+        return int(v)
+    if isinstance(v, np.bool_):
+        return bool(v)
+    if isinstance(v, dict):
+        return {str(k): _encode_extra(x) for k, x in v.items()}
+    if isinstance(v, (list, tuple)):
+        return [_encode_extra(x) for x in v]
+    return v
+
+
+def _decode_extra(v):
+    if isinstance(v, dict):
+        if v.get("__ndarray__"):
+            flat = np.array([_decode_extra(s) for s in v["data"]], dtype=v["dtype"])
+            return flat.reshape(v["shape"])
+        if "__float__" in v and len(v) == 1:
+            return float(v["__float__"])
+        return {k: _decode_extra(x) for k, x in v.items()}
+    if isinstance(v, list):
+        return [_decode_extra(x) for x in v]
+    return v
 
 
 def _jsonable(v):

@@ -17,6 +17,7 @@ def ascii_lineplot(
     height: int = 16,
     title: str = "",
     y_label: str = "acc",
+    x_label: str = "round",
 ) -> str:
     """Render multiple (x, y) series as an ASCII line plot.
 
@@ -55,7 +56,8 @@ def ascii_lineplot(
         y_val = y_hi - r * y_span / (height - 1)
         lines.append(f"{y_val:7.3f} |" + "".join(row))
     lines.append(" " * 8 + "+" + "-" * width)
-    lines.append(" " * 9 + f"{x_lo:<10.0f}{y_label} vs round{x_hi:>{max(width - 25, 1)}.0f}")
+    axis = f"{y_label} vs {x_label}"
+    lines.append(" " * 9 + f"{x_lo:<10.0f}{axis}{x_hi:>{max(width - 13 - len(axis), 1)}.0f}")
     lines.append("  " + "  ".join(legend))
     return "\n".join(lines)
 
