@@ -14,7 +14,7 @@ paper-vs-measured comparison for every experiment.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -119,7 +119,8 @@ def execute(spec: RunSpec) -> dict:
         "tail": h.tail_accuracy(3),
         "rounds": np.flatnonzero(evaluated).tolist(),
         "accuracy": acc[evaluated].tolist(),
-        "alpha_series": [r.extras.get("alpha") for r in h.records if r.extras.get("alpha") is not None],
+        "alpha_series": [r.extras.get("alpha") for r in h.records
+                         if r.extras.get("alpha") is not None],
     }
 
 

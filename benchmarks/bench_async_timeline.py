@@ -1,24 +1,37 @@
-"""Time-to-accuracy under stragglers: sync vs. semi-sync vs. async.
+"""Time-to-accuracy under stragglers: sync vs. semi-sync vs. async vs. adaptive.
 
 The paper's heterogeneous-client experiments (figs. 18-19) vary client
-*data*; this bench varies client *speed*.  All four runtimes consume the
-same total client work (rounds x cohort updates) on the same long-tailed
-problem under the same lognormal device-heterogeneity latency model — what
-differs is how the server schedules and merges updates:
+*data*; this bench varies client *speed*.  All runtimes consume the same
+total client work (rounds x cohort updates) on the same long-tailed problem
+under the same lognormal device-heterogeneity latency model — what differs
+is how the server schedules and merges updates:
 
-* ``sync``     — FedAvg, every round blocks on its slowest sampled client;
-* ``semisync`` — FedAvg with a round deadline, late clients dropped;
-* ``fedasync`` — staleness-discounted immediate mixing;
-* ``fedbuff``  — buffered-K staleness-discounted aggregation.
+* ``sync``              — FedAvg, every round blocks on its slowest client;
+* ``semisync-fixed``    — FedAvg with a hand-picked fixed round deadline;
+* ``semisync-adaptive`` — the deadline tuned per round by a
+  :class:`~repro.runtime.scheduling.DeadlineController` toward a drop-rate
+  budget (no hand-picking, adapts to the observed straggler tail);
+* ``semisync-fast``     — fixed deadline plus a time-aware
+  :class:`~repro.runtime.scheduling.FastFirstSampler` cohort;
+* ``fedasync``          — staleness-discounted immediate mixing;
+* ``fedbuff``           — buffered-K staleness-discounted aggregation;
+* ``fedbuff-adaptive``  — FedBuff with AIMD concurrency under a staleness
+  budget (:class:`~repro.runtime.scheduling.ConcurrencyController`).
 
 Reported: final/best accuracy, total simulated time, speedup over sync,
 and virtual time to reach a shared accuracy target — plus an accuracy vs.
-virtual-time ASCII timeline.
+virtual-time ASCII timeline.  The adaptive-deadline run is expected to hit
+the target in less virtual time than the fixed-deadline baseline; the
+bench prints an explicit PASS/FAIL line for that comparison so CI can
+surface perf regressions.
 
 Run: ``PYTHONPATH=src python benchmarks/bench_async_timeline.py``
+(add ``--smoke`` for a <60s CI-sized run).
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -28,6 +41,9 @@ from repro.data import load_federated_dataset
 from repro.nn import make_mlp
 from repro.runtime import (
     AsyncFederatedSimulation,
+    ConcurrencyController,
+    DeadlineController,
+    FastFirstSampler,
     LognormalLatency,
     SemiSyncFederatedSimulation,
 )
@@ -35,23 +51,34 @@ from repro.simulation import FLConfig
 from repro.viz import ascii_lineplot
 
 SIGMA = 1.0  # lognormal device heterogeneity (heavy but realistic)
+DROP_BUDGET = 0.3  # adaptive-deadline drop-rate target
+STALENESS_BUDGET = 3.0  # adaptive-concurrency staleness target
 
 
-def _problem(seed: int = 0):
+# full-size problem vs. the CI-sized --smoke variant: one construction
+# site, only the scale knobs differ
+_FULL = dict(clients=20, scale=0.5, rounds=40, participation=0.25,
+             local_epochs=2, max_batches=8)
+_SMOKE = dict(clients=10, scale=0.3, rounds=10, participation=0.3,
+              local_epochs=1, max_batches=4)
+
+
+def _problem(smoke: bool, seed: int = 0):
+    p = _SMOKE if smoke else _FULL
     ds = load_federated_dataset(
         "fashion-mnist-lite",
         imbalance_factor=0.1,
         beta=0.3,
-        num_clients=20,
+        num_clients=p["clients"],
         seed=seed,
-        scale=0.5,
+        scale=p["scale"],
     )
     cfg = FLConfig(
-        rounds=40,
-        participation=0.25,
-        local_epochs=2,
+        rounds=p["rounds"],
+        participation=p["participation"],
+        local_epochs=p["local_epochs"],
         batch_size=10,
-        max_batches_per_round=8,
+        max_batches_per_round=p["max_batches"],
         eval_every=2,
         seed=seed,
     )
@@ -62,8 +89,13 @@ def _latency() -> LognormalLatency:
     return LognormalLatency(sigma=SIGMA)
 
 
-def main() -> None:
-    ds, cfg = _problem()
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny CI-sized run (<60s): fewer rounds/clients")
+    args = ap.parse_args(argv)
+
+    ds, cfg = _problem(args.smoke)
     runs: dict[str, tuple] = {}
 
     sync = SemiSyncFederatedSimulation(
@@ -71,8 +103,8 @@ def main() -> None:
     )
     runs["sync-fedavg"] = (sync, sync.run())
 
-    # deadline at the ~70th percentile of priced cohort latencies: most
-    # clients make it, the straggler tail is cut
+    # fixed baseline: deadline at the ~70th percentile of priced cohort
+    # latencies — most clients make it, the straggler tail is cut
     lats = np.concatenate(
         [sync.round_latencies(r, np.arange(ds.num_clients)) for r in range(3)]
     )
@@ -81,7 +113,22 @@ def main() -> None:
         FedAvg(), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
         latency_model=_latency(), deadline=deadline,
     )
-    runs[f"semisync(d={deadline:.2f})"] = (semi, semi.run())
+    runs[f"semisync-fixed(d={deadline:.2f})"] = (semi, semi.run())
+
+    # adaptive baseline: no hand-picked deadline, a drop-rate budget instead
+    adaptive = SemiSyncFederatedSimulation(
+        FedAvg(), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
+        latency_model=_latency(),
+        deadline=DeadlineController(target_drop_rate=DROP_BUDGET),
+    )
+    runs[f"semisync-adaptive(drop={DROP_BUDGET})"] = (adaptive, adaptive.run())
+
+    fast = SemiSyncFederatedSimulation(
+        FedAvg(), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
+        latency_model=_latency(), deadline=deadline,
+        client_sampler=FastFirstSampler(power=2.0),
+    )
+    runs["semisync-fast-sampler"] = (fast, fast.run())
 
     fa = AsyncFederatedSimulation(
         FedAsync(mixing=0.9), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
@@ -95,13 +142,22 @@ def main() -> None:
     )
     runs["fedbuff(K=3)"] = (fb, fb.run())
 
+    fba = AsyncFederatedSimulation(
+        FedBuff(buffer_size=3), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
+        latency_model=_latency(),
+        concurrency_controller=ConcurrencyController(staleness_budget=STALENESS_BUDGET),
+    )
+    runs[f"fedbuff-adaptive(tau={STALENESS_BUDGET})"] = (fba, fba.run())
+
     sync_final = runs["sync-fedavg"][1].final_accuracy
     sync_time = runs["sync-fedavg"][0].total_virtual_time
     target = sync_final - 0.02
 
     rows = []
+    tta_by_name = {}
     for name, (sim, h) in runs.items():
         tta = h.time_to_accuracy(target)
+        tta_by_name[name] = tta
         rows.append(
             [
                 name,
@@ -118,6 +174,19 @@ def main() -> None:
         rows,
     )
 
+    fixed_name = next(n for n in runs if n.startswith("semisync-fixed"))
+    adaptive_name = next(n for n in runs if n.startswith("semisync-adaptive"))
+    t_fixed, t_adaptive = tta_by_name[fixed_name], tta_by_name[adaptive_name]
+    adaptive_wins = (
+        t_adaptive is not None and (t_fixed is None or t_adaptive < t_fixed)
+    )
+    verdict = (
+        "adaptive-vs-fixed deadline: "
+        f"{'PASS' if adaptive_wins else 'FAIL'} "
+        f"(adaptive={t_adaptive if t_adaptive is not None else 'never'}s, "
+        f"fixed={t_fixed if t_fixed is not None else 'never'}s to target)"
+    )
+
     series = {
         name: (
             [r.virtual_time for r in h.records if not np.isnan(r.test_accuracy)],
@@ -131,8 +200,12 @@ def main() -> None:
         y_label="acc",
         x_label="virtual seconds",
     )
-    report("bench_async_timeline", table + "\n\n" + plot)
+    # smoke runs get their own results file so a CI-sized run never
+    # clobbers the committed full-size snapshot
+    name = "bench_async_timeline_smoke" if args.smoke else "bench_async_timeline"
+    report(name, table + "\n\n" + verdict + "\n\n" + plot)
+    return 0 if adaptive_wins else 1
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

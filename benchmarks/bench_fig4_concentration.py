@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import RunSpec, format_table, report
+from _harness import format_table, report
 from repro.analysis import ConcentrationTracker
 from repro.data import load_federated_dataset
 from repro.nn import make_mlp

@@ -6,8 +6,6 @@ slowly; FedCM and its loss/sampler variants fail to keep up.
 
 from __future__ import annotations
 
-import numpy as np
-
 from _harness import RunSpec, format_table, report, series_text, sweep
 
 METHODS = (

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import RunSpec, format_table, report
+from _harness import format_table, report
 from repro.algorithms import make_method
 from repro.analysis import head_tail_accuracy, per_label_accuracy
 from repro.data import load_federated_dataset

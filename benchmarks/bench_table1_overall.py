@@ -10,8 +10,6 @@ IF in {1, 0.1, 0.01}.  Methods: the paper's seven columns.
 
 from __future__ import annotations
 
-import numpy as np
-
 from _harness import RunSpec, format_table, report, sweep
 
 METHODS = (

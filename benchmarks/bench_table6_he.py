@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from _harness import format_table, report
-from repro.he import BFVParams, aggregate_class_distribution, plaintext_bytes
+from repro.he import BFVParams, aggregate_class_distribution
 
 CLASS_COUNTS = (10, 20, 50, 100)
 PARAMS = BFVParams(n=1024, t=1 << 20, q_bits=50)

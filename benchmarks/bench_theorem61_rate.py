@@ -49,7 +49,8 @@ def _run():
     runs = {}
     for name, method, kw in (
         ("fedcm(a=0.1)", "fedcm", {"alpha": 0.1}),
-        ("fedwcm(adaptive)", "fedwcm", {"adaptive_alpha_fn": lambda r, _: min(0.1 + 0.02 * r, 0.8)}),
+        ("fedwcm(adaptive)", "fedwcm",
+         {"adaptive_alpha_fn": lambda r, _: min(0.1 + 0.02 * r, 0.8)}),
         ("fedavg", "fedavg", {}),
     ):
         out = run_quadratic_fl(

@@ -32,7 +32,9 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import algorithms, analysis, core, data, he, nn, parallel, runtime, simulation, theory, utils
+from repro import (
+    algorithms, analysis, core, data, he, nn, parallel, runtime, simulation, theory, utils,
+)
 
 __all__ = [
     "algorithms",

@@ -39,6 +39,13 @@ __all__ = ["FedAsync", "FedBuff"]
 class _AsyncLocalSGD(LocalSGDMixin, FederatedAlgorithm):
     """Shared FedAvg-style local update; subclasses supply the server step."""
 
+    # none of these enter client_update (it is plain local SGD), so worker
+    # replicas built with default values still produce bit-identical client
+    # updates — the async engine's replica-config check skips them
+    replica_safe_hyperparams = frozenset(
+        {"staleness_exponent", "mixing", "weighted", "buffer_size"}
+    )
+
     def __init__(self, staleness_exponent: float = 0.5) -> None:
         if staleness_exponent < 0:
             raise ValueError(f"staleness_exponent must be >= 0, got {staleness_exponent}")

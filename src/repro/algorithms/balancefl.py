@@ -13,7 +13,8 @@ uniform class distribution.  Two mechanisms are reproduced:
        t = (1 - lam) * onehot(y) + teacher_probs restricted to absent classes
 
    where ``lam = distill_weight * (teacher mass on absent classes)`` (capped
-   at 0.5 so the true label always dominates the target).  A *single* cross-entropy toward a valid target distribution has
+   at 0.5 so the true label always dominates the target).  A *single* cross-entropy
+   toward a valid target distribution has
    a finite equilibrium (p = t), so training is unconditionally stable —
    unlike an additive distillation penalty, which conflicts with the CE term
    at every point (the CE pushes absent logits down, the penalty pushes them
@@ -29,7 +30,6 @@ import numpy as np
 from repro.algorithms.base import ClientUpdate, FederatedAlgorithm, LocalSGDMixin, size_weights
 from repro.data.sampler import BalancedBatchSampler
 from repro.nn.functional import softmax
-from repro.nn.train import forward_backward
 from repro.simulation.context import SimulationContext
 
 __all__ = ["BalanceFL"]

@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.nn.container import BasicBlock, Sequential
 from repro.nn.layers import ReLU
-from repro.nn.module import Module
 
 __all__ = [
     "neuron_concentration",
@@ -114,7 +113,9 @@ class ConcentrationTracker:
     ``"neuron_concentration"``.
     """
 
-    def __init__(self, probe_x: np.ndarray, probe_y: np.ndarray, num_classes: int, max_samples: int = 256) -> None:
+    def __init__(
+        self, probe_x: np.ndarray, probe_y: np.ndarray, num_classes: int, max_samples: int = 256
+    ) -> None:
         self.x = probe_x[:max_samples]
         self.y = probe_y[:max_samples]
         self.c = num_classes

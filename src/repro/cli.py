@@ -18,6 +18,9 @@ Examples::
     python -m repro compare --methods fedavg,fedcm,fedwcm --if 0.05
     python -m repro runtime --algorithm fedasync --latency lognormal --rounds 30
     python -m repro runtime --algorithm semisync --base-method fedwcm --deadline 2.5
+    python -m repro runtime --algorithm semisync --adaptive-deadline 0.3 \\
+        --sampler utility --price-comm --base-method scaffold
+    python -m repro runtime --algorithm fedasync --staleness-budget 2.0
     python -m repro methods
 """
 
@@ -26,16 +29,18 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 from repro.algorithms import METHOD_NAMES, FedAsync, FedBuff, make_method
 from repro.data import DATASET_REGISTRY, load_federated_dataset
 from repro.nn import build_model, make_mlp
 from repro.runtime import (
     AsyncFederatedSimulation,
+    ConcurrencyController,
+    DeadlineController,
     LATENCY_MODELS,
+    SAMPLERS,
     SemiSyncFederatedSimulation,
     make_latency_model,
+    make_sampler,
 )
 from repro.simulation import FederatedSimulation, FLConfig, save_checkpoint, save_history
 from repro.viz import ascii_barchart, history_plot
@@ -96,8 +101,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="wrapped algorithm for --algorithm semisync")
     rt_p.add_argument("--deadline", type=float, default=None,
                       help="semisync round deadline in virtual seconds (None = wait for all)")
+    rt_p.add_argument("--adaptive-deadline", type=float, default=None, metavar="DROP_RATE",
+                      help="tune the semisync deadline toward this drop-rate budget "
+                           "(--deadline, if given, seeds the controller)")
     rt_p.add_argument("--late-weight", type=float, default=0.0,
                       help="semisync weight for deadline-missing clients (0 = drop)")
+    rt_p.add_argument("--staleness-budget", type=float, default=None,
+                      help="AIMD-tune async concurrency toward this mean staleness "
+                           "(--concurrency seeds the initial limit)")
+    rt_p.add_argument("--sampler", default="uniform", choices=sorted(SAMPLERS),
+                      help="semisync cohort sampler (time-aware: fast, long-idle, utility)")
+    rt_p.add_argument("--price-comm", action="store_true",
+                      help="price the algorithm's CommunicationModel payload into "
+                           "latency (FedCM/SCAFFOLD multipliers reach virtual time)")
     rt_p.add_argument("--workers", type=int, default=None,
                       help="process-pool workers for batched client training")
     rt_p.add_argument("--target-accuracy", type=float, default=None,
@@ -199,16 +215,16 @@ def cmd_compare(args) -> int:
 
 def _warn_unused_runtime_flags(args) -> None:
     """Flag options the chosen --algorithm silently ignores."""
-    defaults = {
-        "workers": None, "concurrency": None, "max_updates": None,
-        "mixing": 0.6, "buffer_size": 5, "staleness_exponent": 0.5,
-        "deadline": None, "late_weight": 0.0, "base_method": "fedavg",
-    }
+    # read defaults off the parser itself so they can't drift from argparse
+    defaults, _ = build_parser().parse_known_args(["runtime"])
+    defaults = vars(defaults)
     unused_by_algo = {
         "semisync": ("workers", "concurrency", "max_updates", "mixing",
-                     "buffer_size", "staleness_exponent"),
-        "fedasync": ("deadline", "late_weight", "base_method", "buffer_size"),
-        "fedbuff": ("deadline", "late_weight", "base_method", "mixing"),
+                     "buffer_size", "staleness_exponent", "staleness_budget"),
+        "fedasync": ("deadline", "late_weight", "base_method", "buffer_size",
+                     "adaptive_deadline", "sampler"),
+        "fedbuff": ("deadline", "late_weight", "base_method", "mixing",
+                    "adaptive_deadline", "sampler"),
     }
     for name in unused_by_algo[args.algorithm]:
         if getattr(args, name) != defaults[name]:
@@ -221,15 +237,25 @@ def _warn_unused_runtime_flags(args) -> None:
 
 def cmd_runtime(args) -> int:
     ds, model_builder, cfg = _build_problem(args)
-    latency = make_latency_model(args.latency, scale=args.latency_scale)
+    latency = make_latency_model(
+        args.latency, scale=args.latency_scale,
+        comm_method="auto" if args.price_comm else None,
+    )
     _warn_unused_runtime_flags(args)
 
     if args.algorithm == "semisync":
         bundle = make_method(args.base_method)
+        deadline = args.deadline
+        if args.adaptive_deadline is not None:
+            deadline = DeadlineController(
+                target_drop_rate=args.adaptive_deadline, initial=args.deadline
+            )
+        sampler = None if args.sampler == "uniform" else make_sampler(args.sampler)
         sim = SemiSyncFederatedSimulation(
             bundle.algorithm, model_builder(), ds, cfg,
-            latency_model=latency, deadline=args.deadline, late_weight=args.late_weight,
+            latency_model=latency, deadline=deadline, late_weight=args.late_weight,
             loss_builder=bundle.loss_builder, sampler_builder=bundle.sampler_builder,
+            client_sampler=sampler,
         )
     else:
         if args.algorithm == "fedasync":
@@ -240,9 +266,13 @@ def cmd_runtime(args) -> int:
                 return FedBuff(
                     buffer_size=args.buffer_size, staleness_exponent=args.staleness_exponent
                 )
+        controller = None
+        if args.staleness_budget is not None:
+            controller = ConcurrencyController(staleness_budget=args.staleness_budget)
         sim = AsyncFederatedSimulation(
             algo_builder(), model_builder(), ds, cfg,
             latency_model=latency, concurrency=args.concurrency,
+            concurrency_controller=controller,
             max_updates=args.max_updates, workers=args.workers,
             model_builder=model_builder, algo_builder=algo_builder,
         )

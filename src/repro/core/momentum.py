@@ -29,7 +29,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.weighting import l1_discrepancy
 
 __all__ = ["score_ratio", "adaptive_alpha", "GlobalMomentum"]
 

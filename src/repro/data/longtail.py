@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.validation import check_in_range, check_positive
+from repro.utils.validation import check_positive
 
 __all__ = ["longtail_counts", "imbalance_factor_of", "apply_longtail"]
 

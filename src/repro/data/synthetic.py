@@ -18,7 +18,7 @@ saturation — this preserves the paper's phenomena (drift, collapse).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -145,7 +145,9 @@ class BFVPublicKey:
         c1 = [(x + e) % q for x, e in zip(c1, e2)]
         return BFVCiphertext(self, c0, c1)
 
-    def decrypt(self, ct: "BFVCiphertext", sk: BFVSecretKey, length: int | None = None) -> list[int]:
+    def decrypt(
+        self, ct: "BFVCiphertext", sk: BFVSecretKey, length: int | None = None
+    ) -> list[int]:
         """Exact decryption (valid while noise < Δ/2)."""
         q, t = self.q, self.params.t
         inner = self._ntt.multiply(ct.c1, sk.s)

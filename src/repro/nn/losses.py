@@ -93,7 +93,9 @@ class LDAMLoss:
     so the largest margin equals ``max_margin``), then applies scaled CE.
     """
 
-    def __init__(self, class_counts: np.ndarray, max_margin: float = 0.5, scale: float = 10.0) -> None:
+    def __init__(
+        self, class_counts: np.ndarray, max_margin: float = 0.5, scale: float = 10.0
+    ) -> None:
         counts = np.asarray(class_counts, dtype=np.float64)
         if counts.ndim != 1 or np.any(counts < 0):
             raise ValueError("class_counts must be a nonnegative 1-D vector")

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.nn.container import BasicBlock, Sequential
 from repro.nn.conv import Conv2d, GlobalAvgPool2d
-from repro.nn.layers import Dense, Flatten, ReLU
+from repro.nn.layers import Dense, ReLU
 from repro.nn.module import Module
 from repro.nn.norm import BatchNorm2d, GroupNorm
 from repro.utils.rng import as_generator

@@ -7,6 +7,11 @@
 * :mod:`repro.runtime.semisync` — :class:`SemiSyncFederatedSimulation`,
   deadline-based rounds wrapping any synchronous algorithm (and, with
   ``deadline=None``, the straggler-blocked synchronous timing baseline).
+* :mod:`repro.runtime.scheduling` — adaptive :class:`DeadlineController` /
+  :class:`ConcurrencyController` and time-aware cohort samplers
+  (:class:`FastFirstSampler`, :class:`LongIdleSampler`,
+  :class:`UtilitySampler`), plus comm-profile resolution for latency
+  pricing.
 
 Histories are built from :class:`repro.simulation.TimedRoundRecord`, so
 all existing :class:`~repro.simulation.History` / :mod:`repro.viz` tooling
@@ -25,10 +30,30 @@ from repro.runtime.clock import (
     make_latency_model,
 )
 from repro.runtime.async_engine import AsyncFederatedSimulation
+from repro.runtime.scheduling import (
+    ConcurrencyController,
+    DeadlineController,
+    FastFirstSampler,
+    LongIdleSampler,
+    SAMPLERS,
+    TimeAwareSampler,
+    UtilitySampler,
+    make_sampler,
+    resolve_auto_comm,
+)
 from repro.runtime.semisync import SemiSyncFederatedSimulation
 from repro.simulation.engine import TimedRoundRecord
 
 __all__ = [
+    "DeadlineController",
+    "ConcurrencyController",
+    "TimeAwareSampler",
+    "FastFirstSampler",
+    "LongIdleSampler",
+    "UtilitySampler",
+    "SAMPLERS",
+    "make_sampler",
+    "resolve_auto_comm",
     "VirtualClock",
     "Event",
     "LatencyModel",

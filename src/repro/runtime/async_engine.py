@@ -37,11 +37,62 @@ from repro.data.registry import FederatedDataset
 from repro.nn.module import Module
 from repro.parallel.pool import ParallelClientRunner, resolve_workers
 from repro.runtime.clock import ConstantLatency, LatencyModel, VirtualClock
+from repro.runtime.scheduling import ConcurrencyController, resolve_auto_comm
 from repro.simulation.config import FLConfig
 from repro.simulation.context import SimulationContext
 from repro.simulation.engine import History, TimedRoundRecord, evaluate_into_record
 
 __all__ = ["AsyncFederatedSimulation"]
+
+
+def _warn_on_replica_config_mismatch(algorithm) -> None:
+    """Default worker replicas are ``type(algorithm)()`` — flag silently
+    diverging hyperparameters.
+
+    Worker processes only run ``client_update``, so a replica built with
+    default constructor arguments is correct as long as every non-default
+    hyperparameter is server-side.  Algorithms declare such knobs via a
+    ``replica_safe_hyperparams`` class attribute (FedAsync/FedBuff whitelist
+    all of theirs); anything else that differs from the default-constructed
+    probe draws a warning instead of silently breaking the workers>1 ==
+    serial bit-identity guarantee.
+    """
+    try:
+        probe = type(algorithm)()
+    except TypeError:
+        warnings.warn(
+            f"{type(algorithm).__name__} cannot be rebuilt with no arguments "
+            "for worker replicas; pass algo_builder to AsyncFederatedSimulation",
+            stacklevel=3,
+        )
+        return
+    # private attributes are runtime state (buffers, last-alpha traces), not
+    # constructor config, and declared server-side knobs cannot affect
+    # client_update — only the remaining public knobs are compared
+    safe = getattr(algorithm, "replica_safe_hyperparams", frozenset())
+
+    def config_of(obj) -> dict:
+        return {
+            k: v for k, v in vars(obj).items()
+            if not k.startswith("_") and k not in safe
+        }
+
+    a, b = config_of(algorithm), config_of(probe)
+    mismatched = set(a) ^ set(b)
+    for key in set(a) & set(b):
+        try:
+            if not bool(np.all(a[key] == b[key])):
+                mismatched.add(key)
+        except (TypeError, ValueError):
+            mismatched.add(key)
+    if mismatched:
+        warnings.warn(
+            f"worker replicas of {type(algorithm).__name__} are built with "
+            f"default hyperparameters but the main instance differs in "
+            f"{sorted(mismatched)}; pass algo_builder if any of these affect "
+            "client_update, or results will differ from workers=1",
+            stacklevel=3,
+        )
 
 
 class AsyncFederatedSimulation:
@@ -55,9 +106,15 @@ class AsyncFederatedSimulation:
         model / dataset / config: the problem definition (as the sync engine).
         latency_model: prices each dispatch in virtual seconds (default
             :class:`~repro.runtime.clock.ConstantLatency`); bound to the
-            context automatically.
+            context automatically.  ``comm_method="auto"`` resolves to the
+            algorithm's communication profile.
         concurrency: clients kept in flight (default: the synchronous cohort
             size ``max(1, round(participation * num_clients))``).
+        concurrency_controller: optional
+            :class:`~repro.runtime.scheduling.ConcurrencyController`; when
+            given, ``concurrency`` only seeds the controller's initial limit
+            and the max in-flight count then tracks the controller's AIMD
+            limit (staleness-budget control).
         max_updates: total client updates to process (default
             ``config.rounds * cohort``, i.e. the same client work as the
             synchronous run — this makes time-to-accuracy comparisons fair).
@@ -84,6 +141,7 @@ class AsyncFederatedSimulation:
         config: FLConfig,
         latency_model: LatencyModel | None = None,
         concurrency: int | None = None,
+        concurrency_controller: ConcurrencyController | None = None,
         max_updates: int | None = None,
         workers: int | None = None,
         model_builder: Callable | None = None,
@@ -118,10 +176,18 @@ class AsyncFederatedSimulation:
         self.ctx = SimulationContext(
             model, dataset, config, loss_builder=loss_builder, sampler_builder=sampler_builder
         )
-        self.latency_model = (latency_model or ConstantLatency()).bind(self.ctx)
+        latency_model = latency_model or ConstantLatency()
+        resolve_auto_comm(latency_model, algorithm)
+        self.latency_model = latency_model.bind(self.ctx)
         self.concurrency = concurrency if concurrency is not None else self.window
         if self.concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        self.concurrency_controller = concurrency_controller
+        if concurrency_controller is not None:
+            concurrency_controller.seed(
+                self.concurrency, self.window, dataset.num_clients
+            )
+            self.concurrency = concurrency_controller.limit
         self.max_updates = max_updates if max_updates is not None else config.rounds * self.window
         if self.max_updates < 1:
             raise ValueError(f"max_updates must be >= 1, got {self.max_updates}")
@@ -129,6 +195,8 @@ class AsyncFederatedSimulation:
         if self.workers > 1 and model_builder is None:
             raise ValueError("workers > 1 requires a model_builder for worker replicas")
         self._model_builder = model_builder
+        if algo_builder is None and self.workers > 1:
+            _warn_on_replica_config_mismatch(algorithm)
         self._algo_builder = algo_builder or type(algorithm)
         self._loss_builder = loss_builder
         self._sampler_builder = sampler_builder
@@ -141,6 +209,10 @@ class AsyncFederatedSimulation:
         cfg = ctx.config
         algo = self.algorithm
         algo.setup(ctx)
+        if self.concurrency_controller is not None:
+            # restart from the seeded limit so a re-run reproduces the first
+            self.concurrency_controller.reset()
+            self.concurrency = self.concurrency_controller.limit
 
         x = ctx.x0.copy()
         history = History(algorithm=getattr(algo, "name", type(algo).__name__))
@@ -237,7 +309,14 @@ class AsyncFederatedSimulation:
                 win_conc.append(len(in_flight) + 1)
                 win_clients.append(cid)
 
-                if state["dispatched"] < self.max_updates:
+                if self.concurrency_controller is not None:
+                    limit = self.concurrency_controller.observe(float(tau))
+                else:
+                    limit = self.concurrency
+                # refill up to the (possibly AIMD-adjusted) in-flight limit;
+                # when the limit drops, replacements pause until the
+                # in-flight population drains below it
+                while state["dispatched"] < self.max_updates and len(in_flight) < limit:
                     dispatch()
 
                 if completed % self.window == 0 or completed == self.max_updates:
@@ -261,6 +340,11 @@ class AsyncFederatedSimulation:
                         if buf0 is not None:
                             ctx.model.set_buffers(buf0)
                         evaluate_into_record(ctx, rec, round_idx, x, self.metric_hooks)
+                    rec.extras["concurrency_limit"] = (
+                        self.concurrency_controller.limit
+                        if self.concurrency_controller is not None
+                        else self.concurrency
+                    )
                     rec.extras.update(algo.round_extras())
                     history.records.append(rec)
                     if verbose and not np.isnan(rec.test_accuracy):

@@ -11,8 +11,10 @@ Two pieces:
   the client's gradient-step count (derived from its dataset size and the
   :class:`~repro.simulation.config.FLConfig` batch/epoch settings), and
   communication is the broadcast + upload of one parameter vector over a
-  ``bandwidth`` link.  Subclasses multiply that base cost by a stochastic
-  device factor:
+  ``bandwidth`` link — or, with ``comm_method`` set, the algorithm's exact
+  :class:`~repro.simulation.communication.CommunicationModel` payload (so
+  e.g. SCAFFOLD's two-way control variates double the priced round trip).
+  Subclasses multiply that base cost by a stochastic device factor:
 
   - :class:`ConstantLatency` — every device identical (sanity baseline).
   - :class:`LognormalLatency` — persistent per-device speed drawn from a
@@ -115,6 +117,13 @@ class LatencyModel:
         bandwidth: link bandwidth in bytes/second (shared down + up).
         bytes_per_param: 8 for float64 (library default).
         seed: latency RNG seed; defaults to the bound config's seed.
+        comm_method: algorithm name whose
+            :func:`~repro.simulation.communication.comm_profile` payload
+            multipliers price the communication leg (e.g. ``"scaffold"``
+            ships two vectors each way, so its round trip costs twice the
+            generic estimate).  None keeps the generic one-down/one-up
+            estimate; engines resolve the sentinel ``"auto"`` to the running
+            algorithm's name before binding.
 
     ``bind(ctx)`` must be called once before :meth:`latency`; it derives each
     client's base cost from its dataset size and the config's batch/epoch
@@ -131,6 +140,7 @@ class LatencyModel:
         bandwidth: float = 1e7,
         bytes_per_param: int = 8,
         seed: int | None = None,
+        comm_method: str | None = None,
     ) -> None:
         if scale <= 0 or time_per_batch <= 0 or bandwidth <= 0 or bytes_per_param < 1:
             raise ValueError("scale/time_per_batch/bandwidth/bytes_per_param must be positive")
@@ -139,8 +149,22 @@ class LatencyModel:
         self.bandwidth = float(bandwidth)
         self.bytes_per_param = int(bytes_per_param)
         self.seed = seed
+        self.comm_method = comm_method
         self._explicit_seed = seed is not None
+        self._compute: np.ndarray | None = None
+        self._comm: float = 0.0
         self._base: np.ndarray | None = None
+
+    def payload_bytes(self, dim: int) -> int:
+        """Bytes one update moves down + up for a ``dim``-parameter model."""
+        if self.comm_method is None:
+            return int(2.0 * dim * self.bytes_per_param)
+        from repro.simulation.communication import CommunicationModel
+
+        cm = CommunicationModel(
+            num_params=dim, clients_per_round=1, bytes_per_param=self.bytes_per_param
+        )
+        return cm.client_payload_bytes(self.comm_method)
 
     def bind(self, ctx: SimulationContext) -> "LatencyModel":
         """Derive per-client base costs from the bound problem; returns self."""
@@ -150,8 +174,9 @@ class LatencyModel:
         batches = per_epoch * cfg.local_epochs
         if cfg.max_batches_per_round is not None:
             batches = np.minimum(batches, cfg.max_batches_per_round)
-        comm = 2.0 * ctx.dim * self.bytes_per_param / self.bandwidth
-        self._base = self.scale * (self.time_per_batch * batches + comm)
+        self._compute = self.scale * self.time_per_batch * batches
+        self._comm = self.scale * self.payload_bytes(ctx.dim) / self.bandwidth
+        self._base = self._compute + self._comm
         if not self._explicit_seed:
             # follow the bound problem's seed, including across re-binds
             self.seed = cfg.seed
@@ -161,6 +186,18 @@ class LatencyModel:
         if self._base is None:
             raise RuntimeError("LatencyModel.bind(ctx) must be called before pricing")
         return float(self._base[client_id])
+
+    def compute_seconds(self, client_id: int) -> float:
+        """Local-training share of the base cost (no communication)."""
+        if self._compute is None:
+            raise RuntimeError("LatencyModel.bind(ctx) must be called before pricing")
+        return float(self._compute[client_id])
+
+    def comm_seconds(self) -> float:
+        """Communication share of the base cost (identical for all clients)."""
+        if self._base is None:
+            raise RuntimeError("LatencyModel.bind(ctx) must be called before pricing")
+        return self._comm
 
     def latency(self, client_id: int, dispatch_idx: int) -> float:
         """Simulated seconds for dispatch ``dispatch_idx`` of ``client_id``."""
@@ -233,6 +270,10 @@ class DropoutRetryLatency(LatencyModel):
         p_drop: probability that an attempt fails and is retried.
         max_retries: retry budget; the final attempt always succeeds, so
             every dispatch eventually completes (no lost updates).
+
+    When comm pricing is enabled (``comm_method``), :meth:`bind` propagates
+    it to the inner per-attempt model, so every retransmission pays the
+    algorithm's full priced payload again — not just the compute leg.
     """
 
     name = "dropout"
@@ -259,6 +300,9 @@ class DropoutRetryLatency(LatencyModel):
 
     def bind(self, ctx: SimulationContext) -> "DropoutRetryLatency":
         super().bind(ctx)
+        if self.comm_method is not None and self.inner.comm_method is None:
+            # retries must re-pay the priced payload, not a generic estimate
+            self.inner.comm_method = self.comm_method
         self.inner.bind(ctx)
         return self
 

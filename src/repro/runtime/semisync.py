@@ -34,6 +34,7 @@ import numpy as np
 from repro.data.registry import FederatedDataset
 from repro.nn.module import Module
 from repro.runtime.clock import ConstantLatency, LatencyModel, VirtualClock
+from repro.runtime.scheduling import DeadlineController, resolve_auto_comm
 from repro.simulation.config import FLConfig
 from repro.simulation.context import SimulationContext
 from repro.simulation.engine import (
@@ -52,13 +53,19 @@ class SemiSyncFederatedSimulation:
     Args:
         algorithm: any synchronous federated algorithm (runs unchanged).
         model / dataset / config: the problem definition.
-        latency_model: prices each client's response (default constant).
-        deadline: round deadline in virtual seconds; None waits for the
+        latency_model: prices each client's response (default constant);
+            ``comm_method="auto"`` resolves to the algorithm's communication
+            profile so payload multipliers price into virtual time.
+        deadline: round deadline in virtual seconds, or a
+            :class:`~repro.runtime.scheduling.DeadlineController` that tunes
+            it per round toward a drop-rate budget; None waits for the
             slowest client (pure synchronous timing).
         late_weight: weight in [0, 1] applied to deadline-missing clients'
             displacements; 0 drops them without computing their update.
         loss_builder / sampler_builder / metric_hooks / client_sampler: as
-            :class:`repro.simulation.FederatedSimulation`.
+            :class:`repro.simulation.FederatedSimulation`; time-aware
+            samplers (:mod:`repro.runtime.scheduling`) are bound to the
+            latency model and fed each round's priced completions.
     """
 
     def __init__(
@@ -68,13 +75,17 @@ class SemiSyncFederatedSimulation:
         dataset: FederatedDataset,
         config: FLConfig,
         latency_model: LatencyModel | None = None,
-        deadline: float | None = None,
+        deadline: "float | DeadlineController | None" = None,
         late_weight: float = 0.0,
         loss_builder=None,
         sampler_builder=None,
         metric_hooks: Sequence = (),
         client_sampler=None,
     ) -> None:
+        self.deadline_controller: DeadlineController | None = None
+        if isinstance(deadline, DeadlineController):
+            self.deadline_controller = deadline
+            deadline = deadline.deadline  # may be None until start()
         if deadline is not None and deadline <= 0:
             raise ValueError(f"deadline must be > 0 or None, got {deadline}")
         if not 0.0 <= late_weight <= 1.0:
@@ -83,11 +94,15 @@ class SemiSyncFederatedSimulation:
         self.ctx = SimulationContext(
             model, dataset, config, loss_builder=loss_builder, sampler_builder=sampler_builder
         )
-        self.latency_model = (latency_model or ConstantLatency()).bind(self.ctx)
+        latency_model = latency_model or ConstantLatency()
+        resolve_auto_comm(latency_model, algorithm)
+        self.latency_model = latency_model.bind(self.ctx)
         self.deadline = deadline
         self.late_weight = late_weight
         self.metric_hooks = list(metric_hooks)
         self.client_sampler = client_sampler
+        if client_sampler is not None and hasattr(client_sampler, "bind"):
+            client_sampler.bind(self.ctx, self.latency_model)
         self.final_params: np.ndarray | None = None
         self.total_virtual_time = 0.0
 
@@ -106,6 +121,12 @@ class SemiSyncFederatedSimulation:
         cfg = ctx.config
         algo = self.algorithm
         algo.setup(ctx)
+        # like algo.setup, adapted scheduling state restarts fresh so a
+        # second run() reproduces the first bit-for-bit
+        if self.deadline_controller is not None:
+            self.deadline_controller.reset()
+        if self.client_sampler is not None and hasattr(self.client_sampler, "reset"):
+            self.client_sampler.reset()
 
         x = ctx.x0.copy()
         history = History(algorithm=getattr(algo, "name", type(algo).__name__))
@@ -119,11 +140,15 @@ class SemiSyncFederatedSimulation:
                 selected = np.asarray(self.client_sampler(ctx, r))
 
             latencies = self.round_latencies(r, selected)
-            if self.deadline is None:
+            if self.deadline_controller is not None:
+                deadline = self.deadline_controller.start(latencies)
+            else:
+                deadline = self.deadline
+            if deadline is None:
                 on_time = np.ones(len(selected), dtype=bool)
                 round_time = float(latencies.max())
             else:
-                on_time = latencies <= self.deadline
+                on_time = latencies <= deadline
                 if not on_time.any():
                     # empty round: keep the fastest client and wait for it,
                     # so the clock reflects the forced overrun
@@ -134,7 +159,15 @@ class SemiSyncFederatedSimulation:
                     round_time = float(latencies.max())
                 else:
                     # the server closes at the deadline, dropping the tail
-                    round_time = self.deadline
+                    round_time = deadline
+            if self.deadline_controller is not None:
+                self.deadline_controller.observe(int((~on_time).sum()), len(selected))
+            if self.client_sampler is not None and hasattr(self.client_sampler, "observe"):
+                # feed priced completions back (stragglers included: the
+                # server eventually learns their speed, and the estimate
+                # stays independent of the deadline)
+                for i, k in enumerate(selected):
+                    self.client_sampler.observe(int(k), float(latencies[i]))
             include = on_time if self.late_weight == 0.0 else np.ones(len(selected), dtype=bool)
 
             updates = []
@@ -167,6 +200,8 @@ class SemiSyncFederatedSimulation:
             )
             rec.extras["n_late"] = n_late
             rec.extras["n_dropped"] = int(len(selected) - len(included_ids))
+            if deadline is not None:
+                rec.extras["deadline"] = float(deadline)
             if (r % cfg.eval_every == 0) or (r == cfg.rounds - 1):
                 evaluate_into_record(ctx, rec, r, x, self.metric_hooks)
             rec.extras.update(algo.round_extras())

@@ -4,7 +4,7 @@ from repro.simulation.config import FLConfig
 from repro.simulation.context import SimulationContext
 from repro.simulation.engine import FederatedSimulation, History, RoundRecord, TimedRoundRecord
 from repro.simulation.sampling import UniformSampler, ScoreBiasedSampler, RoundRobinSampler
-from repro.simulation.communication import CommunicationModel, CostBreakdown
+from repro.simulation.communication import CommunicationModel, CostBreakdown, comm_profile
 from repro.simulation.serialization import (
     save_checkpoint,
     load_checkpoint,
@@ -23,6 +23,7 @@ __all__ = [
     "ScoreBiasedSampler",
     "RoundRobinSampler",
     "CommunicationModel",
+    "comm_profile",
     "CostBreakdown",
     "save_checkpoint",
     "load_checkpoint",

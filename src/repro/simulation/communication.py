@@ -17,9 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
-__all__ = ["CommunicationModel", "CostBreakdown"]
+__all__ = ["CommunicationModel", "CostBreakdown", "comm_profile"]
 
 # per-algorithm multipliers: (downlink vectors, uplink vectors per client)
 _PROFILES: dict[str, tuple[float, float]] = {
@@ -32,6 +31,10 @@ _PROFILES: dict[str, tuple[float, float]] = {
     "fedadam": (1.0, 1.0),
     "fedyogi": (1.0, 1.0),
     "fedsam": (1.0, 1.0),
+    "feddyn": (1.0, 1.0),  # dual h_i lives client-side, no extra traffic
+    "fedspeed": (1.0, 1.0),
+    "fedlesam": (1.0, 1.0),  # reuses the two latest broadcasts, no extras
+    "fedsmoo": (2.0, 1.0),  # params + shared ascent estimate mu down
     "balancefl": (1.0, 1.0),
     "fedgrab": (1.0, 1.0),
     "creff": (1.0, 1.0),  # + feature stats, added separately
@@ -42,6 +45,27 @@ _PROFILES: dict[str, tuple[float, float]] = {
     "fedwcm-x": (2.0, 1.0),
     "fedwcm-he": (2.0, 1.0),
 }
+
+
+def _normalize(method: str) -> str:
+    key = method.lower()
+    if key.startswith("fedcm+"):
+        key = "fedcm"
+    return key
+
+
+def comm_profile(method: str) -> tuple[float, float]:
+    """(downlink, uplink) parameter-vector multipliers for ``method``.
+
+    The multipliers count how many parameter-sized vectors each sampled
+    client moves per round (e.g. SCAFFOLD ships the control variate both
+    ways: ``(2.0, 2.0)``).  Raises ``KeyError`` for unknown methods so
+    callers can fall back to a generic one-down/one-up estimate.
+    """
+    key = _normalize(method)
+    if key not in _PROFILES:
+        raise KeyError(f"unknown method {method!r}; available: {sorted(_PROFILES)}")
+    return _PROFILES[key]
 
 
 @dataclass(frozen=True)
@@ -108,12 +132,8 @@ class CommunicationModel:
                 distribution under encryption (``fedwcm-he``).
             total_clients: federation size (for one-time gathering).
         """
-        key = method.lower()
-        if key.startswith("fedcm+"):
-            key = "fedcm"
-        if key not in _PROFILES:
-            raise KeyError(f"unknown method {method!r}")
-        down_mult, up_mult = _PROFILES[key]
+        key = _normalize(method)
+        down_mult, up_mult = comm_profile(key)
         vec = self.p * self.bpp
         downlink = int(down_mult * vec * self.m)
         uplink = int(up_mult * vec * self.m)
@@ -137,6 +157,17 @@ class CommunicationModel:
             one_time=one_time,
             rounds=rounds,
         )
+
+    def client_payload_bytes(self, method: str) -> int:
+        """Bytes one client moves (down + up) for a single update of ``method``.
+
+        This is the quantity :class:`repro.runtime.clock.LatencyModel` divides
+        by link bandwidth to price communication in simulated seconds, so
+        per-algorithm payload multipliers (FedCM's extra downlink vector,
+        SCAFFOLD's two-way control variates) show up in virtual time.
+        """
+        down_mult, up_mult = comm_profile(method)
+        return int((down_mult + up_mult) * self.p * self.bpp)
 
     def compare(self, methods: list[str], rounds: int, **kwargs) -> dict[str, dict[str, int]]:
         """Tabulate cost breakdowns for several methods."""

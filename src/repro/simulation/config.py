@@ -6,7 +6,7 @@ local epochs 5, participation 10%), with round counts left to each benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils.validation import check_fraction, check_positive
 

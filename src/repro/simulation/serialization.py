@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict
 
 import numpy as np
 

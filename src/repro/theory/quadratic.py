@@ -21,7 +21,7 @@ Raising alpha (FedWCM's response to imbalance) restores damping — see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -12,8 +12,6 @@ from repro.algorithms import (
     FedAvg,
     FedAvgM,
     FedCM,
-    FedDyn,
-    FedGraB,
     FedProx,
     FedWCM,
     FedWCMX,
@@ -243,7 +241,9 @@ class TestFedWCM:
         algo.setup(ctx)
         sel = np.arange(ctx.num_clients)
         ups = [
-            ClientUpdate(client_id=int(k), displacement=np.zeros(ctx.dim), n_samples=10, n_batches=1)
+            ClientUpdate(
+                client_id=int(k), displacement=np.zeros(ctx.dim), n_samples=10, n_batches=1
+            )
             for k in sel
         ]
         w = algo._aggregation_weights(ctx, sel, ups)

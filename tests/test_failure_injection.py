@@ -12,7 +12,6 @@ import pytest
 
 from repro.algorithms import FedWCM, make_method
 from repro.core import adaptive_alpha, client_scores, score_ratio, softmax_weights
-from repro.data import load_federated_dataset
 from repro.data.partition import partition_balanced_dirichlet, partition_by_class_dirichlet
 from repro.data.registry import DatasetInfo, FederatedDataset
 from repro.data.sampler import BalancedBatchSampler

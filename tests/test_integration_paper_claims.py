@@ -11,8 +11,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.algorithms import FedCM, FedWCM, make_method
-from repro.core import adaptive_alpha, client_scores, l1_discrepancy, softmax_weights
+from repro.algorithms import make_method
+from repro.core import client_scores, softmax_weights
 from repro.data import load_federated_dataset
 from repro.nn import make_mlp
 from repro.simulation import FederatedSimulation, FLConfig

@@ -27,7 +27,6 @@ from repro.nn import (
     PriorCELoss,
     ReLU,
     Sequential,
-    Flatten,
 )
 
 RNG = np.random.default_rng(1234)
@@ -72,7 +71,10 @@ def _check_module(module, x, atol=1e-5):
     """Run forward/backward with a random linear loss and compare gradients."""
     out = module.forward(x, train=True)
     w = RNG.normal(size=out.shape)
-    loss_of_output = lambda o: float((o * w).sum())
+
+    def loss_of_output(o):
+        return float((o * w).sum())
+
     module.zero_grad()
     dx = module.backward(w)
 
@@ -139,7 +141,10 @@ class TestLayerGradients:
         w = RNG.normal(size=out.shape)
         m.zero_grad()
         m.backward(w)
-        loss_of_output = lambda o: float((o * w).sum())
+
+        def loss_of_output(o):
+            return float((o * w).sum())
+
         for name in ("gamma", "beta"):
             numeric = _numeric_param_grad(m, x, name, loss_of_output)
             np.testing.assert_allclose(m.grads[name], numeric, atol=1e-4, err_msg=name)

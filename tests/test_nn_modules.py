@@ -13,7 +13,6 @@ from repro.nn import (
     GroupNorm,
     MODEL_REGISTRY,
     MomentumInjectedSGD,
-    ReLU,
     SGD,
     Sequential,
     build_model,

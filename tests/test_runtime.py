@@ -293,6 +293,39 @@ class TestAsyncEngine:
                 FedAsync(), model, ds_img, _tiny_cfg(), latency_model=ConstantLatency()
             )
 
+    def test_default_algo_builder_warns_on_config_mismatch(self, ds):
+        """workers>1 replicas default to type(algo)(); non-default
+        hyperparameters must be flagged unless the algorithm whitelists
+        them as server-side (replica_safe_hyperparams)."""
+        import warnings
+
+        class ProxAsync(FedAsync):
+            def __init__(self, prox: float = 0.0):
+                super().__init__()
+                self.prox = prox  # pretend-client-side knob, not whitelisted
+
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            AsyncFederatedSimulation(
+                ProxAsync(prox=0.1), _model_builder(), ds, _tiny_cfg(),
+                workers=2, model_builder=_model_builder,
+            )
+            assert any("prox" in str(x.message) for x in w)
+        # whitelisted server-side knobs (FedAsync.mixing) stay silent, and
+        # an explicit algo_builder always silences the check
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            AsyncFederatedSimulation(
+                FedAsync(mixing=0.9), _model_builder(), ds, _tiny_cfg(),
+                workers=2, model_builder=_model_builder,
+            )
+            AsyncFederatedSimulation(
+                ProxAsync(prox=0.1), _model_builder(), ds, _tiny_cfg(),
+                workers=2, model_builder=_model_builder,
+                algo_builder=lambda: ProxAsync(prox=0.1),
+            )
+            assert not w
+
     def test_time_to_accuracy(self, ds):
         _, h = self._run(ds, FedAsync())
         tta = h.time_to_accuracy(0.0)

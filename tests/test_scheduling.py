@@ -1,0 +1,478 @@
+"""Tests for heterogeneity-aware scheduling (repro.runtime.scheduling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedAsync, FedAvg, FedCM, make_method
+from repro.cli import main as cli_main
+from repro.data import load_federated_dataset
+from repro.nn import make_mlp
+from repro.runtime import (
+    AsyncFederatedSimulation,
+    ConcurrencyController,
+    ConstantLatency,
+    DeadlineController,
+    DropoutRetryLatency,
+    FastFirstSampler,
+    LognormalLatency,
+    LongIdleSampler,
+    SAMPLERS,
+    SemiSyncFederatedSimulation,
+    UtilitySampler,
+    make_latency_model,
+    make_sampler,
+    resolve_auto_comm,
+)
+from repro.simulation import CommunicationModel, FLConfig, comm_profile
+from repro.simulation.context import SimulationContext
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return load_federated_dataset(
+        "fashion-mnist-lite", imbalance_factor=0.3, beta=0.3, num_clients=8, seed=0, scale=0.3
+    )
+
+
+def _model_builder():
+    return make_mlp(32, 10, seed=0)
+
+
+def _cfg(**kw):
+    base = dict(rounds=4, participation=0.5, local_epochs=1, seed=0,
+                max_batches_per_round=3, eval_every=2, batch_size=10)
+    base.update(kw)
+    return FLConfig(**base)
+
+
+def _ctx(ds, **kw):
+    return SimulationContext(_model_builder(), ds, _cfg(**kw))
+
+
+class TestDeadlineController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadlineController(target_drop_rate=1.0)
+        with pytest.raises(ValueError):
+            DeadlineController(initial=0.0)
+        with pytest.raises(ValueError):
+            DeadlineController(gain=0.0)
+        with pytest.raises(ValueError):
+            DeadlineController(min_deadline=2.0, max_deadline=1.0)
+        with pytest.raises(RuntimeError):
+            DeadlineController().observe(1, 4)
+
+    def test_start_seeds_quantile(self):
+        c = DeadlineController(target_drop_rate=0.25)
+        lats = np.array([1.0, 2.0, 3.0, 4.0])
+        assert c.start(lats) == pytest.approx(np.quantile(lats, 0.75))
+        # an explicit initial deadline wins over the quantile seed
+        c2 = DeadlineController(target_drop_rate=0.25, initial=9.0)
+        assert c2.start(lats) == 9.0
+
+    def test_sign_of_update(self):
+        c = DeadlineController(target_drop_rate=0.5, initial=1.0, gain=1.0)
+        c.observe(4, 4)  # dropping everyone: relax
+        assert c.deadline > 1.0
+        c2 = DeadlineController(target_drop_rate=0.5, initial=1.0, gain=1.0)
+        c2.observe(0, 4)  # dropping no one: tighten
+        assert c2.deadline < 1.0
+
+    @pytest.mark.parametrize("target", [0.2, 0.5])
+    def test_drop_rate_converges_on_synthetic_latencies(self, target):
+        """Closed loop against a stationary lognormal cohort: the long-run
+        drop rate lands on the budget."""
+        rng = np.random.default_rng(0)
+        c = DeadlineController(target_drop_rate=target, gain=0.4)
+        c.start(np.exp(rng.standard_normal(64)))
+        drops = []
+        for _ in range(400):
+            lats = np.exp(rng.standard_normal(16))
+            n_late = int((lats > c.deadline).sum())
+            c.observe(n_late, lats.size)
+            drops.append(n_late / lats.size)
+        assert np.mean(drops[100:]) == pytest.approx(target, abs=0.05)
+
+    def test_deadline_clamped(self):
+        c = DeadlineController(target_drop_rate=0.5, initial=1.0, gain=5.0,
+                               min_deadline=0.5, max_deadline=2.0)
+        for _ in range(10):
+            c.observe(4, 4)
+        assert c.deadline == 2.0
+        for _ in range(10):
+            c.observe(0, 4)
+        assert c.deadline == 0.5
+
+
+class TestConcurrencyController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConcurrencyController(staleness_budget=-1.0)
+        with pytest.raises(ValueError):
+            ConcurrencyController(limit=0)
+        with pytest.raises(ValueError):
+            ConcurrencyController(decrease=1.0)
+        with pytest.raises(ValueError):
+            ConcurrencyController(increase=0)
+        with pytest.raises(RuntimeError):
+            ConcurrencyController().observe(1.0)
+
+    def test_aimd_moves(self):
+        c = ConcurrencyController(staleness_budget=2.0, limit=8, window=4, max_limit=100)
+        for _ in range(4):  # under budget -> additive probe
+            c.observe(1.0)
+        assert c.limit == 9
+        for _ in range(4):  # over budget -> multiplicative back-off
+            c.observe(10.0)
+        assert c.limit == 4
+
+    def test_bounds_respected(self):
+        c = ConcurrencyController(staleness_budget=1.0, limit=2, window=1,
+                                  min_limit=2, max_limit=3)
+        assert c.observe(0.0) == 3
+        assert c.observe(0.0) == 3
+        assert c.observe(99.0) == 2
+        assert c.observe(99.0) == 2
+
+    def test_seed_fills_defaults(self):
+        c = ConcurrencyController(staleness_budget=1.0)
+        c.seed(limit=5, window=3, max_limit=10)
+        assert (c.limit, c.window, c.max_limit) == (5, 3, 10)
+        # explicit knobs survive seeding
+        c2 = ConcurrencyController(staleness_budget=1.0, limit=2, window=7, max_limit=4)
+        c2.seed(limit=5, window=3, max_limit=10)
+        assert (c2.limit, c2.window, c2.max_limit) == (2, 7, 4)
+        # deliberate oversubscription (engine concurrency > client pool) is
+        # honoured: the default probe ceiling expands to the seeded limit
+        c3 = ConcurrencyController(staleness_budget=1.0)
+        c3.seed(limit=50, window=3, max_limit=20)
+        assert (c3.limit, c3.max_limit) == (50, 50)
+
+
+class TestControllerEngines:
+    def test_semisync_adaptive_tracks_drop_budget(self, ds):
+        target = 0.25
+        dc = DeadlineController(target_drop_rate=target, gain=0.4)
+        sim = SemiSyncFederatedSimulation(
+            FedAvg(), _model_builder(), ds, _cfg(rounds=40, eval_every=20),
+            latency_model=LognormalLatency(sigma=1.0), deadline=dc,
+        )
+        h = sim.run()
+        assert all("deadline" in r.extras for r in h.records)
+        drops = np.array(dc.history)
+        assert drops.size == 40
+        # long-run mean lands near the budget (cohort of 4 quantises hard)
+        assert abs(drops[10:].mean() - target) < 0.15
+
+    def test_semisync_adaptive_deterministic(self, ds):
+        runs = []
+        for _ in range(2):
+            dc = DeadlineController(target_drop_rate=0.3)
+            sim = SemiSyncFederatedSimulation(
+                FedAvg(), _model_builder(), ds, _cfg(),
+                latency_model=LognormalLatency(sigma=1.0), deadline=dc,
+            )
+            h = sim.run()
+            runs.append(([r.extras["deadline"] for r in h.records], sim.final_params))
+        assert runs[0][0] == runs[1][0]
+        np.testing.assert_array_equal(runs[0][1], runs[1][1])
+
+    def test_async_controller_respects_staleness_budget(self, ds):
+        budget = 1.0
+        cc = ConcurrencyController(staleness_budget=budget)
+        sim = AsyncFederatedSimulation(
+            FedAsync(), _model_builder(), ds, _cfg(rounds=10, eval_every=5),
+            latency_model=LognormalLatency(sigma=1.0),
+            concurrency=8, concurrency_controller=cc,
+        )
+        h = sim.run()
+        limits = [r.extras["concurrency_limit"] for r in h.records]
+        # AIMD backs off from the over-budget initial concurrency...
+        assert min(limits) < 8
+        # ...and the steady-state windows come in at or under budget
+        tail = [r.staleness for r in h.records[len(h.records) // 2:]]
+        assert np.mean(tail) <= budget + 0.5
+
+    def test_async_controller_probes_upward_when_under_budget(self, ds):
+        cc = ConcurrencyController(staleness_budget=100.0, max_limit=6)
+        sim = AsyncFederatedSimulation(
+            FedAsync(), _model_builder(), ds, _cfg(rounds=6, eval_every=3),
+            latency_model=LognormalLatency(sigma=1.0),
+            concurrency=1, concurrency_controller=cc,
+        )
+        h = sim.run()
+        limits = [r.extras["concurrency_limit"] for r in h.records]
+        assert limits[-1] > 1
+        assert max(limits) <= 6
+
+    def test_run_twice_reproduces_adaptive_state(self, ds):
+        """Controllers and samplers reset at run(), so run() is idempotent
+        (same guarantee algo.setup gives fixed-schedule runs)."""
+        dc = DeadlineController(target_drop_rate=0.3)
+        semi = SemiSyncFederatedSimulation(
+            FedAvg(), _model_builder(), ds, _cfg(),
+            latency_model=LognormalLatency(sigma=1.0), deadline=dc,
+            client_sampler=FastFirstSampler(power=2.0),
+        )
+        h1 = semi.run()
+        p1 = semi.final_params
+        h2 = semi.run()
+        assert [r.extras["deadline"] for r in h1.records] == \
+               [r.extras["deadline"] for r in h2.records]
+        np.testing.assert_array_equal(p1, semi.final_params)
+
+        cc = ConcurrencyController(staleness_budget=1.0)
+        asim = AsyncFederatedSimulation(
+            FedAsync(), _model_builder(), ds, _cfg(),
+            latency_model=LognormalLatency(sigma=1.0),
+            concurrency=6, concurrency_controller=cc,
+        )
+        g1 = asim.run()
+        q1 = asim.final_params
+        g2 = asim.run()
+        assert [r.extras["concurrency_limit"] for r in g1.records] == \
+               [r.extras["concurrency_limit"] for r in g2.records]
+        np.testing.assert_array_equal(q1, asim.final_params)
+
+    def test_async_controller_workers_do_not_change_results(self, ds):
+        """Adaptive concurrency keeps the workers=1 vs workers=4 schedules
+        bit-identical (the controller sees the same completion sequence)."""
+        finals, stales = [], []
+        for w in (1, 4):
+            cc = ConcurrencyController(staleness_budget=1.0)
+            sim = AsyncFederatedSimulation(
+                FedAsync(), _model_builder(), ds, _cfg(),
+                latency_model=LognormalLatency(sigma=1.0),
+                concurrency=6, concurrency_controller=cc,
+                workers=w, model_builder=_model_builder, algo_builder=FedAsync,
+            )
+            h = sim.run()
+            finals.append(sim.final_params)
+            stales.append([r.staleness for r in h.records])
+        np.testing.assert_array_equal(finals[0], finals[1])
+        assert stales[0] == stales[1]
+
+
+class TestTimeAwareSamplers:
+    def _bound(self, ds, sampler, sigma=1.0):
+        ctx = _ctx(ds)
+        lat = LognormalLatency(sigma=sigma).bind(ctx)
+        return ctx, lat, sampler.bind(ctx, lat)
+
+    def test_requires_bind(self, ds):
+        with pytest.raises(RuntimeError):
+            FastFirstSampler()(None, 0)
+        with pytest.raises(RuntimeError):
+            FastFirstSampler().observe(0, 1.0)
+
+    def test_cohort_shape_and_determinism(self, ds):
+        for name in ("fast", "long-idle", "utility"):
+            cohorts = []
+            for _ in range(2):
+                ctx, _, s = self._bound(ds, make_sampler(name))
+                cohorts.append([s(ctx, r).tolist() for r in range(5)])
+            assert cohorts[0] == cohorts[1], name
+            for c in cohorts[0]:
+                assert len(c) == 4 and len(set(c)) == 4
+                assert c == sorted(c)
+
+    def test_fast_first_prefers_fast_clients(self, ds):
+        ctx, lat, s = self._bound(ds, FastFirstSampler(power=3.0))
+        exp = s.expected_seconds()
+        picks = np.concatenate([s(ctx, r) for r in range(40)])
+        mean_picked = exp[picks].mean()
+        assert mean_picked < exp.mean()  # cohorts are faster than average
+
+    def test_fast_first_power_zero_is_uniformish(self, ds):
+        ctx, _, s = self._bound(ds, FastFirstSampler(power=0.0))
+        # with power 0 every client has identical weight
+        counts = np.bincount(
+            np.concatenate([s(ctx, r) for r in range(50)]), minlength=ctx.num_clients
+        )
+        assert counts.min() > 0
+
+    def test_long_idle_full_coverage(self, ds):
+        ctx, _, s = self._bound(ds, LongIdleSampler())
+        seen = set()
+        for r in range(2):  # K=8, m=4 -> full coverage in 2 rounds
+            seen.update(s(ctx, r).tolist())
+        assert seen == set(range(ctx.num_clients))
+        # and the rotation keeps max idle bounded at K/m rounds forever
+        last = {k: -1 for k in range(ctx.num_clients)}
+        for r in range(2, 20):
+            for k in s(ctx, r):
+                assert r - last[int(k)] <= 2 or last[int(k)] == -1
+                last[int(k)] = r
+
+    def test_observe_shifts_estimates(self, ds):
+        ctx, lat, s = self._bound(ds, FastFirstSampler(power=2.0))
+        before = s.expected_seconds()[0]
+        s.observe(0, before * 100.0)  # client 0 turns out to be very slow
+        assert s.expected_seconds()[0] == pytest.approx(before * 100.0)
+        s.observe(0, before * 100.0)
+        picks = np.concatenate([s(ctx, r) for r in range(30)])
+        # the now-slow client is picked less often than average
+        counts = np.bincount(picks, minlength=ctx.num_clients)
+        assert counts[0] <= counts.mean()
+
+    def test_utility_blends_speed_and_stat(self, ds):
+        ctx, lat, s = self._bound(ds, UtilitySampler(alpha=2.0))
+        util = s.utilities()
+        assert util.shape == (ctx.num_clients,)
+        assert (util > 0).all()
+        # slower-than-preferred clients are discounted
+        exp = s.expected_seconds()
+        t_pref = np.quantile(exp, s.round_pref)
+        slow = exp > t_pref
+        assert slow.any()
+        assert (util[slow] / s._stat[slow]).max() < 1.0
+
+    def test_utility_score_blend_validation(self, ds):
+        with pytest.raises(ValueError):
+            UtilitySampler(score_blend=1.5)
+        with pytest.raises(ValueError):
+            UtilitySampler(alpha=-1.0)
+        with pytest.raises(ValueError):
+            UtilitySampler(round_pref=1.0)
+        ctx, _, s = self._bound(ds, UtilitySampler(score_blend=0.5))
+        assert (s._stat > 0).all()
+
+    def test_registry(self):
+        assert set(SAMPLERS) == {"uniform", "score", "round-robin",
+                                 "fast", "long-idle", "utility"}
+        assert type(make_sampler("long-idle")) is LongIdleSampler
+        with pytest.raises(KeyError):
+            make_sampler("psychic")
+
+    def test_semisync_run_with_time_aware_sampler(self, ds):
+        """End-to-end: sampler bound + observed by the engine; fast-first
+        cohorts finish rounds sooner than uniform ones."""
+        cfg = _cfg(rounds=10, eval_every=5)
+        uni = SemiSyncFederatedSimulation(
+            FedAvg(), _model_builder(), ds, cfg,
+            latency_model=LognormalLatency(sigma=1.5),
+        )
+        h_uni = uni.run()
+        fast = SemiSyncFederatedSimulation(
+            FedAvg(), _model_builder(), ds, cfg,
+            latency_model=LognormalLatency(sigma=1.5),
+            client_sampler=FastFirstSampler(power=3.0),
+        )
+        h_fast = fast.run()
+        assert not np.isnan(h_fast.final_accuracy)
+        assert fast.total_virtual_time < uni.total_virtual_time
+
+
+class TestCommPricedLatency:
+    @pytest.mark.parametrize("method,mult", [("scaffold", 2.0), ("fedcm", 1.5)])
+    def test_payload_matches_communication_model(self, ds, method, mult):
+        """Priced comm seconds == CommunicationModel bytes / bandwidth."""
+        ctx = _ctx(ds)
+        bw = 1e6
+        lat = ConstantLatency(bandwidth=bw, comm_method=method).bind(ctx)
+        cm = CommunicationModel(num_params=ctx.dim, clients_per_round=1)
+        assert lat.comm_seconds() == pytest.approx(cm.client_payload_bytes(method) / bw)
+        # ...and the per-algorithm multiplier over the generic estimate
+        generic = ConstantLatency(bandwidth=bw).bind(ctx)
+        assert lat.comm_seconds() / generic.comm_seconds() == pytest.approx(mult)
+        down, up = comm_profile(method)
+        assert cm.client_payload_bytes(method) == int((down + up) * ctx.dim * 8)
+
+    def test_base_seconds_split(self, ds):
+        ctx = _ctx(ds)
+        lat = ConstantLatency(comm_method="scaffold").bind(ctx)
+        for k in range(ctx.num_clients):
+            assert lat.base_seconds(k) == pytest.approx(
+                lat.compute_seconds(k) + lat.comm_seconds()
+            )
+
+    def test_unknown_method_raises(self, ds):
+        with pytest.raises(KeyError):
+            ConstantLatency(comm_method="warp-drive").bind(_ctx(ds))
+
+    def test_every_registry_method_has_a_profile(self):
+        """--price-comm must never silently fall back for built-in methods."""
+        from repro.algorithms import METHOD_NAMES
+
+        for method in METHOD_NAMES:
+            down, up = comm_profile(method)
+            assert down >= 1.0 and up >= 1.0, method
+
+    def test_auto_resolution(self, ds):
+        lat = ConstantLatency(comm_method="auto")
+        resolve_auto_comm(lat, FedCM(alpha=0.1))
+        assert lat.comm_method == "fedcm"
+        lat2 = ConstantLatency(comm_method="auto")
+
+        class Plugin:
+            name = "my-exotic-method"
+
+        resolve_auto_comm(lat2, Plugin())
+        assert lat2.comm_method is None  # graceful generic fallback
+        lat3 = ConstantLatency()
+        resolve_auto_comm(lat3, FedCM(alpha=0.1))
+        assert lat3.comm_method is None  # no sentinel, no change
+
+    def test_comm_pricing_shows_up_in_virtual_time(self, ds):
+        """FedCM's 2x downlink makes its comm-priced run slower than FedAvg
+        under identical compute and device factors."""
+        cfg = _cfg()
+        times = {}
+        for method in ("fedavg", "fedcm"):
+            bundle = make_method(method)
+            sim = SemiSyncFederatedSimulation(
+                bundle.algorithm, _model_builder(), ds, cfg,
+                latency_model=ConstantLatency(comm_method="auto", time_per_batch=1e-6),
+                loss_builder=bundle.loss_builder,
+                sampler_builder=bundle.sampler_builder,
+            )
+            sim.run()
+            times[method] = sim.total_virtual_time
+        assert times["fedcm"] / times["fedavg"] == pytest.approx(1.5, rel=1e-3)
+
+    def test_dropout_retries_repay_priced_payload(self, ds):
+        """Bugfix: with comm pricing on, every retransmission pays the
+        algorithm's full payload again — the wrapper propagates the comm
+        method to its inner per-attempt model at bind."""
+        ctx = _ctx(ds)
+        inner = ConstantLatency()
+        drop = DropoutRetryLatency(
+            inner=inner, p_drop=0.9, max_retries=3, comm_method="scaffold"
+        ).bind(ctx)
+        assert inner.comm_method == "scaffold"  # propagated at bind
+        priced_attempt = inner.latency(0, 0)
+        generic_attempt = ConstantLatency().bind(ctx).latency(0, 0)
+        assert priced_attempt > generic_attempt
+        # total cost of any dispatch is a whole number of priced attempts
+        for i in range(20):
+            total = drop.latency(0, i)
+            n_attempts = total / priced_attempt
+            assert n_attempts == pytest.approx(round(n_attempts))
+            assert 1 <= round(n_attempts) <= 4
+
+    def test_make_latency_model_accepts_comm_method(self):
+        lat = make_latency_model("dropout", comm_method="scaffold")
+        assert lat.comm_method == "scaffold"
+        assert lat.inner.comm_method == "scaffold"
+
+
+class TestSchedulingCLI:
+    def test_adaptive_deadline_and_sampler(self):
+        rc = cli_main([
+            "runtime", "--algorithm", "semisync", "--base-method", "fedavg",
+            "--clients", "6", "--rounds", "2", "--max-batches", "2",
+            "--eval-every", "1", "--adaptive-deadline", "0.3",
+            "--sampler", "fast", "--price-comm", "--latency", "lognormal",
+        ])
+        assert rc == 0
+
+    def test_staleness_budget(self, capsys):
+        rc = cli_main([
+            "runtime", "--algorithm", "fedasync", "--clients", "6",
+            "--rounds", "2", "--max-batches", "2", "--eval-every", "1",
+            "--staleness-budget", "1.0",
+        ])
+        assert rc == 0
+        assert "final accuracy" in capsys.readouterr().out

@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.utils import (
-    ParamSpec,
     as_generator,
     check_fraction,
     check_in_range,
