@@ -2,9 +2,12 @@
 
 Every benchmark builds a list of :class:`RunSpec` grid points, executes them
 (optionally across processes — mirroring the paper's multi-GPU grid), and
-prints the same rows/series the paper reports.  Results are also persisted
-under ``benchmarks/results/`` so the regenerated tables survive pytest's
-output capture.
+prints the same rows/series the paper reports.  Execution goes through the
+declarative :mod:`repro.experiments` facade — each grid point is expressed
+as an :class:`~repro.experiments.ExperimentSpec` (``RunSpec`` is the
+flattened, hashable sugar the grids are written in).  Results are also
+persisted under ``benchmarks/results/`` so the regenerated tables survive
+pytest's output capture.
 
 Scale note: runs use the -lite datasets and small models (DESIGN.md section
 1), so absolute accuracies differ from the paper; EXPERIMENTS.md records the
@@ -18,11 +21,16 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.algorithms import make_method
-from repro.data import load_federated_dataset
-from repro.nn import build_model, make_mlp
+from repro.experiments import (
+    DataSpec,
+    ExperimentSpec,
+    MethodSpec,
+    ModelSpec,
+    resolve_model_alias,
+    run,
+)
 from repro.parallel import parallel_map, resolve_workers
-from repro.simulation import FLConfig, FederatedSimulation
+from repro.simulation import FLConfig
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -59,55 +67,37 @@ class RunSpec:
             f"|K={self.num_clients}|p={self.participation}|E={self.local_epochs}|s={self.seed}"
         )
 
+    def to_experiment_spec(self) -> ExperimentSpec:
+        """Express this grid point as a declarative ExperimentSpec."""
+        arch, extra = resolve_model_alias(self.model)
+        return ExperimentSpec(
+            data=DataSpec(
+                dataset=self.dataset,
+                imbalance_factor=self.imbalance_factor,
+                beta=self.beta,
+                clients=self.num_clients,
+                partition=self.partition,
+                scale=self.scale,
+            ),
+            model=ModelSpec(arch=arch, kwargs=extra),
+            method=MethodSpec(name=self.method, kwargs=dict(self.method_kwargs)),
+            config=FLConfig(
+                rounds=self.rounds,
+                batch_size=self.batch_size,
+                local_epochs=self.local_epochs,
+                lr_local=self.lr_local,
+                lr_global=self.lr_global,
+                participation=self.participation,
+                eval_every=self.eval_every,
+                seed=self.seed,
+            ),
+            name=self.label(),
+        )
+
 
 def execute(spec: RunSpec) -> dict:
-    """Run one grid point; returns a picklable summary dict."""
-    ds = load_federated_dataset(
-        spec.dataset,
-        imbalance_factor=spec.imbalance_factor,
-        beta=spec.beta,
-        num_clients=spec.num_clients,
-        seed=spec.seed,
-        partition=spec.partition,
-        scale=spec.scale,
-    )
-    c = ds.num_classes
-    if spec.model == "mlp":
-        ds = ds.flat_view()
-        model = make_mlp(ds.x_train.shape[1], c, seed=spec.seed)
-    elif spec.model == "conv":
-        shape = ds.info.shape
-        model = build_model(
-            "resnet-lite-18",
-            in_channels=shape[0],
-            image_size=shape[1],
-            num_classes=c,
-            width=4,
-            seed=spec.seed,
-        )
-    else:
-        raise ValueError(f"unknown model kind {spec.model!r}")
-
-    bundle = make_method(spec.method, **dict(spec.method_kwargs))
-    cfg = FLConfig(
-        rounds=spec.rounds,
-        batch_size=spec.batch_size,
-        local_epochs=spec.local_epochs,
-        lr_local=spec.lr_local,
-        lr_global=spec.lr_global,
-        participation=spec.participation,
-        eval_every=spec.eval_every,
-        seed=spec.seed,
-    )
-    sim = FederatedSimulation(
-        bundle.algorithm,
-        model,
-        ds,
-        cfg,
-        loss_builder=bundle.loss_builder,
-        sampler_builder=bundle.sampler_builder,
-    )
-    h = sim.run()
+    """Run one grid point through the experiments facade; picklable summary."""
+    h = run(spec.to_experiment_spec()).history
     acc = h.accuracy
     evaluated = ~np.isnan(acc)
     return {

@@ -18,6 +18,11 @@ is how the server schedules and merges updates:
 * ``fedbuff-adaptive``  — FedBuff with AIMD concurrency under a staleness
   budget (:class:`~repro.runtime.scheduling.ConcurrencyController`).
 
+Every variant is a declarative :class:`~repro.experiments.ExperimentSpec` —
+dotted-path overrides of one shared base spec — executed through the
+``run(spec)`` facade, so this bench doubles as the reference for driving the
+runtime matrix from specs.
+
 Reported: final/best accuracy, total simulated time, speedup over sync,
 and virtual time to reach a shared accuracy target — plus an accuracy vs.
 virtual-time ASCII timeline.  The adaptive-deadline run is expected to hit
@@ -36,17 +41,7 @@ import argparse
 import numpy as np
 
 from _harness import format_table, report
-from repro.algorithms import FedAsync, FedAvg, FedBuff
-from repro.data import load_federated_dataset
-from repro.nn import make_mlp
-from repro.runtime import (
-    AsyncFederatedSimulation,
-    ConcurrencyController,
-    DeadlineController,
-    FastFirstSampler,
-    LognormalLatency,
-    SemiSyncFederatedSimulation,
-)
+from repro.experiments import DataSpec, ExperimentSpec, RunResult, RuntimeSpec, run
 from repro.simulation import FLConfig
 from repro.viz import ascii_lineplot
 
@@ -63,30 +58,35 @@ _SMOKE = dict(clients=10, scale=0.3, rounds=10, participation=0.3,
               local_epochs=1, max_batches=4)
 
 
-def _problem(smoke: bool, seed: int = 0):
+def base_spec(smoke: bool, seed: int = 0) -> ExperimentSpec:
+    """The shared problem: every variant is an override of this spec.
+
+    ``kind="semisync"`` with ``deadline=None`` *is* the synchronous timing
+    baseline — lock-step rounds, each priced at its slowest client.
+    """
     p = _SMOKE if smoke else _FULL
-    ds = load_federated_dataset(
-        "fashion-mnist-lite",
-        imbalance_factor=0.1,
-        beta=0.3,
-        num_clients=p["clients"],
-        seed=seed,
-        scale=p["scale"],
+    return ExperimentSpec(
+        name="sync-fedavg",
+        data=DataSpec(
+            dataset="fashion-mnist-lite",
+            imbalance_factor=0.1,
+            beta=0.3,
+            clients=p["clients"],
+            scale=p["scale"],
+        ),
+        config=FLConfig(
+            rounds=p["rounds"],
+            participation=p["participation"],
+            local_epochs=p["local_epochs"],
+            batch_size=10,
+            max_batches_per_round=p["max_batches"],
+            eval_every=2,
+            seed=seed,
+        ),
+        runtime=RuntimeSpec(
+            kind="semisync", latency="lognormal", latency_kwargs={"sigma": SIGMA}
+        ),
     )
-    cfg = FLConfig(
-        rounds=p["rounds"],
-        participation=p["participation"],
-        local_epochs=p["local_epochs"],
-        batch_size=10,
-        max_batches_per_round=p["max_batches"],
-        eval_every=2,
-        seed=seed,
-    )
-    return ds, cfg
-
-
-def _latency() -> LognormalLatency:
-    return LognormalLatency(sigma=SIGMA)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -95,76 +95,65 @@ def main(argv: list[str] | None = None) -> int:
                     help="tiny CI-sized run (<60s): fewer rounds/clients")
     args = ap.parse_args(argv)
 
-    ds, cfg = _problem(args.smoke)
-    runs: dict[str, tuple] = {}
-
-    sync = SemiSyncFederatedSimulation(
-        FedAvg(), make_mlp(32, 10, seed=cfg.seed), ds, cfg, latency_model=_latency()
-    )
-    runs["sync-fedavg"] = (sync, sync.run())
+    base = base_spec(args.smoke)
+    runs: dict[str, RunResult] = {}
+    runs["sync-fedavg"] = run(base)
 
     # fixed baseline: deadline at the ~70th percentile of priced cohort
     # latencies — most clients make it, the straggler tail is cut
+    sync_engine = runs["sync-fedavg"].engine
+    n_clients = base.data.clients
     lats = np.concatenate(
-        [sync.round_latencies(r, np.arange(ds.num_clients)) for r in range(3)]
+        [sync_engine.round_latencies(r, np.arange(n_clients)) for r in range(3)]
     )
     deadline = float(np.quantile(lats, 0.7))
-    semi = SemiSyncFederatedSimulation(
-        FedAvg(), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
-        latency_model=_latency(), deadline=deadline,
-    )
-    runs[f"semisync-fixed(d={deadline:.2f})"] = (semi, semi.run())
 
-    # adaptive baseline: no hand-picked deadline, a drop-rate budget instead
-    adaptive = SemiSyncFederatedSimulation(
-        FedAvg(), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
-        latency_model=_latency(),
-        deadline=DeadlineController(target_drop_rate=DROP_BUDGET),
-    )
-    runs[f"semisync-adaptive(drop={DROP_BUDGET})"] = (adaptive, adaptive.run())
+    variants: dict[str, list[tuple[str, object]]] = {
+        f"semisync-fixed(d={deadline:.2f})": [("runtime.deadline", deadline)],
+        # adaptive: no hand-picked deadline, a drop-rate budget instead
+        f"semisync-adaptive(drop={DROP_BUDGET})": [
+            ("runtime.adaptive_deadline", DROP_BUDGET)],
+        "semisync-fast-sampler": [
+            ("runtime.deadline", deadline),
+            ("runtime.sampler", "fast"),
+            ("runtime.sampler_kwargs", {"power": 2.0}),
+        ],
+        "fedasync": [
+            ("runtime.kind", "fedasync"),
+            ("method.name", "fedasync"),
+            ("method.kwargs", {"mixing": 0.9}),
+        ],
+        "fedbuff(K=3)": [
+            ("runtime.kind", "fedbuff"),
+            ("method.name", "fedbuff"),
+            ("method.kwargs", {"buffer_size": 3}),
+        ],
+        f"fedbuff-adaptive(tau={STALENESS_BUDGET})": [
+            ("runtime.kind", "fedbuff"),
+            ("method.name", "fedbuff"),
+            ("method.kwargs", {"buffer_size": 3}),
+            ("runtime.staleness_budget", STALENESS_BUDGET),
+        ],
+    }
+    for name, overrides in variants.items():
+        runs[name] = run(base.override_many([("name", name), *overrides]))
 
-    fast = SemiSyncFederatedSimulation(
-        FedAvg(), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
-        latency_model=_latency(), deadline=deadline,
-        client_sampler=FastFirstSampler(power=2.0),
-    )
-    runs["semisync-fast-sampler"] = (fast, fast.run())
-
-    fa = AsyncFederatedSimulation(
-        FedAsync(mixing=0.9), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
-        latency_model=_latency(),
-    )
-    runs["fedasync"] = (fa, fa.run())
-
-    fb = AsyncFederatedSimulation(
-        FedBuff(buffer_size=3), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
-        latency_model=_latency(),
-    )
-    runs["fedbuff(K=3)"] = (fb, fb.run())
-
-    fba = AsyncFederatedSimulation(
-        FedBuff(buffer_size=3), make_mlp(32, 10, seed=cfg.seed), ds, cfg,
-        latency_model=_latency(),
-        concurrency_controller=ConcurrencyController(staleness_budget=STALENESS_BUDGET),
-    )
-    runs[f"fedbuff-adaptive(tau={STALENESS_BUDGET})"] = (fba, fba.run())
-
-    sync_final = runs["sync-fedavg"][1].final_accuracy
-    sync_time = runs["sync-fedavg"][0].total_virtual_time
+    sync_final = runs["sync-fedavg"].final_accuracy
+    sync_time = runs["sync-fedavg"].total_virtual_time
     target = sync_final - 0.02
 
     rows = []
     tta_by_name = {}
-    for name, (sim, h) in runs.items():
-        tta = h.time_to_accuracy(target)
+    for name, result in runs.items():
+        tta = result.time_to_accuracy(target)
         tta_by_name[name] = tta
         rows.append(
             [
                 name,
-                h.final_accuracy,
-                h.best_accuracy,
-                sim.total_virtual_time,
-                sync_time / max(sim.total_virtual_time, 1e-12),
+                result.final_accuracy,
+                result.best_accuracy,
+                result.total_virtual_time,
+                sync_time / max(result.total_virtual_time, 1e-12),
                 tta if tta is not None else float("nan"),
             ]
         )
@@ -189,10 +178,12 @@ def main(argv: list[str] | None = None) -> int:
 
     series = {
         name: (
-            [r.virtual_time for r in h.records if not np.isnan(r.test_accuracy)],
-            [r.test_accuracy for r in h.records if not np.isnan(r.test_accuracy)],
+            [r.virtual_time for r in result.history.records
+             if not np.isnan(r.test_accuracy)],
+            [r.test_accuracy for r in result.history.records
+             if not np.isnan(r.test_accuracy)],
         )
-        for name, (_, h) in runs.items()
+        for name, result in runs.items()
     }
     plot = ascii_lineplot(
         series,

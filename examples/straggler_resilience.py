@@ -4,7 +4,9 @@ Real federations are dominated by device heterogeneity: a synchronous
 server waits for the slowest sampled client every round, so one slow phone
 sets the pace of the whole fleet.  This example walks the three escape
 hatches the :mod:`repro.runtime` subsystem provides, on a small long-tailed
-problem with heavy-tailed (Pareto) stragglers:
+problem with heavy-tailed (Pareto) stragglers — each scenario is a
+declarative :class:`~repro.experiments.ExperimentSpec` override of one base
+spec, executed through the ``run(spec)`` facade:
 
 1. price the damage — how much of a synchronous round is spent waiting;
 2. semi-synchronous deadlines — drop the tail, keep the round structure;
@@ -18,73 +20,72 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms import FedAsync, FedAvg, FedBuff
-from repro.data import load_federated_dataset
-from repro.nn import make_mlp
-from repro.runtime import (
-    AsyncFederatedSimulation,
-    ParetoLatency,
-    SemiSyncFederatedSimulation,
-)
+from repro.experiments import DataSpec, ExperimentSpec, RuntimeSpec, run
 from repro.simulation import FLConfig
 
 
 def main() -> None:
-    ds = load_federated_dataset(
-        "fashion-mnist-lite", imbalance_factor=0.1, beta=0.3,
-        num_clients=20, seed=0, scale=0.5,
+    # the shared problem; kind="semisync" with deadline=None IS the
+    # straggler-blocked synchronous timing baseline
+    base = ExperimentSpec(
+        name="sync-fedavg",
+        data=DataSpec(
+            dataset="fashion-mnist-lite", imbalance_factor=0.1, beta=0.3,
+            clients=20, scale=0.5,
+        ),
+        runtime=RuntimeSpec(
+            kind="semisync", latency="pareto", latency_kwargs={"alpha": 1.5},
+        ),
+        config=FLConfig(
+            rounds=30, participation=0.25, local_epochs=2, batch_size=10,
+            max_batches_per_round=8, eval_every=5, seed=0,
+        ),
     )
-    cfg = FLConfig(
-        rounds=30, participation=0.25, local_epochs=2, batch_size=10,
-        max_batches_per_round=8, eval_every=5, seed=0,
-    )
-    latency = lambda: ParetoLatency(alpha=1.5)  # noqa: E731 - tiny factory
 
     # -- 1. price the straggler damage --------------------------------------
     print("=== 1. what stragglers cost a synchronous server ===")
-    sync = SemiSyncFederatedSimulation(
-        FedAvg(), make_mlp(32, 10, seed=0), ds, cfg, latency_model=latency()
-    )
-    h_sync = sync.run()
+    sync = run(base)
+    engine = sync.engine
     waits = []
-    for r in range(cfg.rounds):
-        lats = sync.round_latencies(r, sync.ctx.sample_clients(r))
+    for r in range(base.config.rounds):
+        lats = engine.round_latencies(r, engine.ctx.sample_clients(r))
         waits.append(lats.max() / np.median(lats))
-    print(f"sync FedAvg: final acc {h_sync.final_accuracy:.3f}, "
+    print(f"sync FedAvg: final acc {sync.final_accuracy:.3f}, "
           f"total simulated time {sync.total_virtual_time:.2f}s")
     print(f"the slowest sampled client is on average "
           f"{np.mean(waits):.1f}x slower than the cohort median\n")
 
     # -- 2. semi-sync: cut the tail with a deadline -------------------------
     print("=== 2. deadline-based semi-synchronous rounds ===")
-    probe = latency().bind(sync.ctx)
-    base = np.array([probe.latency(k, k) for k in range(ds.num_clients)])
-    deadline = float(np.quantile(base, 0.75))
-    semi = SemiSyncFederatedSimulation(
-        FedAvg(), make_mlp(32, 10, seed=0), ds, cfg,
-        latency_model=latency(), deadline=deadline,
-    )
-    h_semi = semi.run()
-    dropped = sum(r.extras.get("n_dropped", 0) for r in h_semi.records)
-    print(f"deadline {deadline:.2f}s: final acc {h_semi.final_accuracy:.3f}, "
+    probe = engine.latency_model
+    clients = base.data.clients
+    cost = np.array([probe.latency(k, k) for k in range(clients)])
+    deadline = float(np.quantile(cost, 0.75))
+    semi = run(base.override_many([
+        ("name", "semisync-deadline"), ("runtime.deadline", deadline),
+    ]))
+    dropped = sum(r.extras.get("n_dropped", 0) for r in semi.history.records)
+    print(f"deadline {deadline:.2f}s: final acc {semi.final_accuracy:.3f}, "
           f"time {semi.total_virtual_time:.2f}s "
           f"({sync.total_virtual_time / semi.total_virtual_time:.1f}x faster), "
           f"{dropped} late updates dropped\n")
 
     # -- 3. fully asynchronous ----------------------------------------------
     print("=== 3. asynchronous staleness-aware aggregation ===")
-    for algo, label in (
-        (FedAsync(mixing=0.9), "fedasync (polynomial staleness mixing)"),
-        (FedBuff(buffer_size=3), "fedbuff  (buffered-K aggregation)"),
+    for kind, kwargs, label in (
+        ("fedasync", {"mixing": 0.9}, "fedasync (polynomial staleness mixing)"),
+        ("fedbuff", {"buffer_size": 3}, "fedbuff  (buffered-K aggregation)"),
     ):
-        sim = AsyncFederatedSimulation(
-            algo, make_mlp(32, 10, seed=0), ds, cfg, latency_model=latency()
-        )
-        h = sim.run()
-        stale = np.mean([r.staleness for r in h.records])
-        print(f"{label}: final acc {h.final_accuracy:.3f}, "
-              f"time {sim.total_virtual_time:.2f}s "
-              f"({sync.total_virtual_time / sim.total_virtual_time:.1f}x faster), "
+        result = run(base.override_many([
+            ("name", kind),
+            ("runtime.kind", kind),
+            ("method.name", kind),
+            ("method.kwargs", kwargs),
+        ]))
+        stale = np.mean([r.staleness for r in result.history.records])
+        print(f"{label}: final acc {result.final_accuracy:.3f}, "
+              f"time {result.total_virtual_time:.2f}s "
+              f"({sync.total_virtual_time / result.total_virtual_time:.1f}x faster), "
               f"mean staleness {stale:.2f}")
 
     print("\nSame client work, same data, same seeds — the async runtimes "

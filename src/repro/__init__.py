@@ -10,6 +10,8 @@ Public API tour:
 * :mod:`repro.simulation` - the federated round loop.
 * :mod:`repro.runtime` - event-driven async runtime (virtual clock, latency
   models, FedAsync/FedBuff, deadline-based semi-sync rounds).
+* :mod:`repro.experiments` - declarative, serializable ExperimentSpecs and
+  the one ``run(spec)`` facade over every engine.
 * :mod:`repro.he` - homomorphic encryption for private distribution sharing.
 * :mod:`repro.analysis` - neuron concentration / collapse diagnostics.
 * :mod:`repro.theory` - convergence bounds and the quadratic testbed.
@@ -33,7 +35,18 @@ Quickstart::
 __version__ = "1.0.0"
 
 from repro import (
-    algorithms, analysis, core, data, he, nn, parallel, runtime, simulation, theory, utils,
+    algorithms,
+    analysis,
+    core,
+    data,
+    experiments,
+    he,
+    nn,
+    parallel,
+    runtime,
+    simulation,
+    theory,
+    utils,
 )
 
 __all__ = [
@@ -41,6 +54,7 @@ __all__ = [
     "analysis",
     "core",
     "data",
+    "experiments",
     "he",
     "nn",
     "parallel",

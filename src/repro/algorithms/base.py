@@ -123,6 +123,8 @@ class LocalSGDMixin:
 
         x = x_global.copy()
         nb = 0
+        loss_sum = 0.0
+        loss_batches = 0
         cap = cfg.max_batches_per_round
         done = False
         for _ in range(epochs):
@@ -131,7 +133,8 @@ class LocalSGDMixin:
             for bidx in sampler.epoch(rng):
                 if grad_eval is None:
                     ctx.load_params(x)
-                    forward_backward(ctx.model, xs[bidx], ys[bidx], loss)
+                    loss_sum += forward_backward(ctx.model, xs[bidx], ys[bidx], loss)
+                    loss_batches += 1
                     g = ctx.flat_gradient()
                 else:
                     g = grad_eval(xs[bidx], ys[bidx], loss, x)
@@ -141,6 +144,10 @@ class LocalSGDMixin:
                 if cap is not None and nb >= cap:
                     done = True
                     break
+        # mean training loss of this client's local pass, for loss-aware
+        # samplers (Oort statistical utility); None when the plain loss was
+        # never evaluated (grad_eval paths such as SAM)
+        self.last_train_loss = loss_sum / loss_batches if loss_batches else None
         return x, nb
 
     def _plain_gradient(self, ctx: SimulationContext, x: np.ndarray, xb, yb, loss) -> np.ndarray:

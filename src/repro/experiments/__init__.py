@@ -1,0 +1,59 @@
+"""Declarative experiment API: serializable specs + one ``run()`` facade.
+
+A federated scenario is *data, not code*: an
+:class:`ExperimentSpec` (data + model + method + runtime + hyper-parameters)
+round-trips through JSON, takes dotted-path overrides, and runs on any
+engine family through a single :func:`run` call::
+
+    from repro.experiments import ExperimentSpec, run
+
+    spec = ExperimentSpec.load("examples/specs/semisync_utility.json")
+    spec = spec.apply_overrides(["config.rounds=50", "runtime.sampler=utility"])
+    result = run(spec, verbose=True)
+    print(result.final_accuracy, result.total_virtual_time)
+
+See :mod:`repro.experiments.spec` for the spec hierarchy,
+:mod:`repro.experiments.facade` for registry resolution and
+:mod:`repro.experiments.sweeps` for grid expansion.
+"""
+
+from repro.experiments.facade import (
+    MODEL_ALIASES,
+    RunResult,
+    build,
+    build_problem,
+    resolve_model_alias,
+    run,
+)
+from repro.experiments.spec import (
+    DataSpec,
+    ENGINE_KINDS,
+    ExperimentSpec,
+    KIND_FORBIDDEN_KNOBS,
+    MethodSpec,
+    ModelSpec,
+    RuntimeSpec,
+    apply_overrides,
+    parse_override,
+)
+from repro.experiments.sweeps import expand, run_sweep
+
+__all__ = [
+    "DataSpec",
+    "ModelSpec",
+    "MethodSpec",
+    "RuntimeSpec",
+    "ExperimentSpec",
+    "ENGINE_KINDS",
+    "KIND_FORBIDDEN_KNOBS",
+    "apply_overrides",
+    "parse_override",
+    "RunResult",
+    "MODEL_ALIASES",
+    "resolve_model_alias",
+    "build",
+    "build_problem",
+    "run",
+    "expand",
+    "run_sweep",
+]

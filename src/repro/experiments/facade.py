@@ -1,0 +1,227 @@
+"""One ``build()`` / ``run()`` facade over every engine family.
+
+This is the single place where an :class:`~repro.experiments.ExperimentSpec`
+meets the registries: datasets (:data:`repro.data.DATASET_REGISTRY`), models
+(:data:`repro.nn.models.MODEL_REGISTRY`), methods
+(:func:`repro.algorithms.make_method`), latency models
+(:data:`repro.runtime.LATENCY_MODELS`) and cohort samplers
+(:data:`repro.runtime.SAMPLERS`).  Every entry point — the CLI, the
+benchmark harness, the examples — goes through here, so a new runtime
+feature lands in one file instead of being threaded through each caller.
+
+* :func:`build_problem` — dataset + model builder + config (shared plumbing);
+* :func:`build` — a ready-to-run engine for the spec's ``runtime.kind``;
+* :func:`run` — execute and wrap the outcome in a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.algorithms import make_method
+from repro.data import load_federated_dataset
+from repro.data.registry import FederatedDataset
+from repro.experiments.spec import ExperimentSpec
+from repro.nn import build_model, make_linear, make_mlp
+from repro.runtime import (
+    AsyncFederatedSimulation,
+    ConcurrencyController,
+    DeadlineController,
+    SemiSyncFederatedSimulation,
+    TimeAwareSampler,
+    make_latency_model,
+    make_sampler,
+)
+from repro.simulation import FLConfig, FederatedSimulation, History
+
+__all__ = ["RunResult", "MODEL_ALIASES", "build", "build_problem", "resolve_model_alias", "run"]
+
+# shorthand arches accepted by the CLI and benchmark harness: "conv" is the
+# narrow ResNet backbone the paper-scale benches use
+MODEL_ALIASES: dict[str, tuple[str, dict]] = {
+    "conv": ("resnet-lite-18", {"width": 4}),
+}
+
+
+def resolve_model_alias(name: str) -> tuple[str, dict]:
+    """Map an arch shorthand to ``(registry_name, extra_kwargs)``."""
+    arch, kwargs = MODEL_ALIASES.get(name, (name, {}))
+    return arch, dict(kwargs)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :func:`run`: the history plus engine-level telemetry."""
+
+    spec: ExperimentSpec
+    history: History
+    final_params: np.ndarray | None = None
+    total_virtual_time: float = 0.0
+    engine: object = field(default=None, repr=False)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.history.final_accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        return self.history.best_accuracy
+
+    def time_to_accuracy(self, threshold: float) -> float | None:
+        return self.history.time_to_accuracy(threshold)
+
+
+def build_problem(
+    spec: ExperimentSpec,
+) -> tuple[FederatedDataset, Callable, FLConfig]:
+    """Resolve the spec's data + model registries.
+
+    Returns ``(dataset, model_builder, config)``; ``model_builder`` is a
+    zero-arg factory (the async engine ships it to worker processes).
+    """
+    data, model, cfg = spec.data, spec.model, spec.config
+    ds = load_federated_dataset(
+        data.dataset,
+        imbalance_factor=data.imbalance_factor,
+        beta=data.beta,
+        num_clients=data.clients,
+        seed=cfg.seed,
+        partition=data.partition,
+        scale=data.scale,
+    )
+    if model.arch in ("mlp", "linear"):
+        # vector-input arches train on the dataset's flat view
+        ds = ds.flat_view()
+        factory = make_mlp if model.arch == "mlp" else make_linear
+        dim, classes, seed, kw = ds.x_train.shape[1], ds.num_classes, cfg.seed, dict(model.kwargs)
+
+        def model_builder():
+            return factory(dim, classes, seed=seed, **kw)
+    else:
+        arch = model.arch
+        shape, classes, seed, kw = ds.info.shape, ds.num_classes, cfg.seed, dict(model.kwargs)
+        if len(shape) < 3:
+            raise ValueError(
+                f"model arch {arch!r} needs image-shaped data, but dataset "
+                f"{data.dataset!r} has shape {shape}; use arch='mlp'"
+            )
+
+        def model_builder():
+            return build_model(
+                arch,
+                in_channels=shape[0],
+                image_size=shape[1],
+                num_classes=classes,
+                seed=seed,
+                **kw,
+            )
+    return ds, model_builder, cfg
+
+
+def _build_sampler(spec: ExperimentSpec, timed: bool):
+    """Instantiate the cohort sampler, or None for the default uniform draw."""
+    rt = spec.runtime
+    if rt.sampler.lower() == "uniform":  # kwargs with uniform fail validation
+        return None
+    sampler = make_sampler(rt.sampler, **rt.sampler_kwargs)
+    if isinstance(sampler, TimeAwareSampler) and not timed:
+        raise ValueError(
+            f"sampler {rt.sampler!r} is time-aware and needs a priced engine; "
+            "use runtime.kind='semisync'"
+        )
+    return sampler
+
+
+def build(spec: ExperimentSpec):
+    """Construct the engine described by ``spec`` (without running it).
+
+    Returns a :class:`~repro.simulation.FederatedSimulation`,
+    :class:`~repro.runtime.SemiSyncFederatedSimulation` or
+    :class:`~repro.runtime.AsyncFederatedSimulation` depending on
+    ``spec.runtime.kind``.
+    """
+    rt = spec.runtime
+    ds, model_builder, cfg = build_problem(spec)
+
+    def make_latency():
+        # price_comm must reach the engine even under the default latency:
+        # materialize the implicit constant model rather than dropping it
+        if rt.latency is None and not rt.price_comm:
+            return None
+        return make_latency_model(
+            rt.latency or "constant",
+            comm_method="auto" if rt.price_comm else None,
+            **rt.latency_kwargs,
+        )
+
+    if rt.kind == "sync":
+        bundle = make_method(spec.method.name, **spec.method.kwargs)
+        return FederatedSimulation(
+            bundle.algorithm,
+            model_builder(),
+            ds,
+            cfg,
+            loss_builder=bundle.loss_builder,
+            sampler_builder=bundle.sampler_builder,
+            client_sampler=_build_sampler(spec, timed=False),
+        )
+
+    if rt.kind == "semisync":
+        bundle = make_method(spec.method.name, **spec.method.kwargs)
+        deadline = rt.deadline
+        if rt.adaptive_deadline is not None:
+            deadline = DeadlineController(
+                target_drop_rate=rt.adaptive_deadline, initial=rt.deadline
+            )
+        return SemiSyncFederatedSimulation(
+            bundle.algorithm,
+            model_builder(),
+            ds,
+            cfg,
+            latency_model=make_latency(),
+            deadline=deadline,
+            late_weight=rt.late_weight,
+            loss_builder=bundle.loss_builder,
+            sampler_builder=bundle.sampler_builder,
+            client_sampler=_build_sampler(spec, timed=True),
+        )
+
+    # fedasync / fedbuff: the method registry rebuilds the algorithm for
+    # worker replicas with the exact same hyper-parameters
+    mname, mkwargs = spec.method.name, dict(spec.method.kwargs)
+
+    def algo_builder():
+        return make_method(mname, **mkwargs).algorithm
+
+    controller = None
+    if rt.staleness_budget is not None:
+        controller = ConcurrencyController(staleness_budget=rt.staleness_budget)
+    return AsyncFederatedSimulation(
+        algo_builder(),
+        model_builder(),
+        ds,
+        cfg,
+        latency_model=make_latency(),
+        concurrency=rt.concurrency,
+        concurrency_controller=controller,
+        max_updates=rt.max_updates,
+        workers=rt.workers,
+        model_builder=model_builder,
+        algo_builder=algo_builder,
+    )
+
+
+def run(spec: ExperimentSpec, verbose: bool = False) -> RunResult:
+    """Build the spec's engine, run it, and package the outcome."""
+    engine = build(spec)
+    history = engine.run(verbose=verbose)
+    return RunResult(
+        spec=spec,
+        history=history,
+        final_params=getattr(engine, "final_params", None),
+        total_virtual_time=getattr(engine, "total_virtual_time", 0.0),
+        engine=engine,
+    )

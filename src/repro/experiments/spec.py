@@ -1,0 +1,558 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the single, serializable description of one
+federated run: *what data* (:class:`DataSpec`), *what model*
+(:class:`ModelSpec`), *what method* (:class:`MethodSpec`), *which engine and
+scheduling* (:class:`RuntimeSpec`) and *which hyper-parameters*
+(:class:`repro.simulation.FLConfig`).  A scenario is data, not code:
+
+* lossless ``to_dict()`` / ``from_dict()`` and JSON file round-trips
+  (``save`` / ``load``), with unknown keys rejected so typos can't silently
+  become defaults;
+* dotted-path overrides — ``apply_overrides(spec,
+  ["runtime.sampler=utility", "config.rounds=50"])`` — with values parsed as
+  JSON and type-checked against the target field;
+* validation at construction: every registry name (dataset, model, method,
+  latency model, sampler) is checked against its registry the moment the
+  spec exists, not when the run starts.
+
+The companion facade (:mod:`repro.experiments.facade`) turns a spec into a
+running engine; :mod:`repro.experiments.sweeps` expands one spec plus a grid
+into many.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import types
+import typing
+from dataclasses import dataclass, field
+
+from repro.algorithms import METHOD_NAMES
+from repro.data import DATASET_REGISTRY
+from repro.nn.models import MODEL_REGISTRY
+from repro.runtime import LATENCY_MODELS, SAMPLERS, TimeAwareSampler
+from repro.simulation import FLConfig
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = [
+    "DataSpec",
+    "ModelSpec",
+    "MethodSpec",
+    "RuntimeSpec",
+    "ExperimentSpec",
+    "ENGINE_KINDS",
+    "KIND_FORBIDDEN_KNOBS",
+    "apply_overrides",
+    "parse_override",
+]
+
+ENGINE_KINDS = ("sync", "semisync", "fedasync", "fedbuff")
+
+# engine kinds whose MethodSpec must name a staleness-aware algorithm
+_ASYNC_KINDS = ("fedasync", "fedbuff")
+
+# runtime knobs each engine kind cannot consume — the single source of truth
+# shared by RuntimeSpec validation and the CLI's unused-flag warnings
+KIND_FORBIDDEN_KNOBS: dict[str, tuple[str, ...]] = {
+    "sync": (
+        "latency", "price_comm", "deadline", "adaptive_deadline",
+        "late_weight", "concurrency", "staleness_budget",
+        "max_updates", "workers",
+    ),
+    "semisync": ("concurrency", "staleness_budget", "max_updates", "workers"),
+    "fedasync": ("deadline", "adaptive_deadline", "late_weight",
+                 "sampler", "sampler_kwargs"),
+    "fedbuff": ("deadline", "adaptive_deadline", "late_weight",
+                "sampler", "sampler_kwargs"),
+}
+
+
+def _check_jsonable(value, where: str) -> None:
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{where} must be JSON-serializable (str/int/float/bool/None and "
+            f"nested lists/dicts thereof), got {value!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """The federated data distribution: which dataset, how skewed, how split.
+
+    Attributes:
+        dataset: registry key (see :data:`repro.data.DATASET_REGISTRY`).
+        imbalance_factor: long-tail IF in (0, 1]; 1 = balanced.
+        beta: Dirichlet concentration of the client partition.
+        clients: number of clients K.
+        partition: ``"balanced"`` (equal quantities) or ``"fedgrab"``
+            (quantity-skewed per-class Dirichlet).
+        scale: multiplier on per-class sample volumes (speed knob).
+    """
+
+    dataset: str = "fashion-mnist-lite"
+    imbalance_factor: float = 0.1
+    beta: float = 0.1
+    clients: int = 20
+    partition: str = "balanced"
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.dataset not in DATASET_REGISTRY:
+            raise ValueError(
+                f"unknown dataset {self.dataset!r}; available: {sorted(DATASET_REGISTRY)}"
+            )
+        check_fraction(self.imbalance_factor, "imbalance_factor")
+        check_positive(self.beta, "beta")
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.partition not in ("balanced", "fedgrab"):
+            raise ValueError(
+                f"partition must be 'balanced' or 'fedgrab', got {self.partition!r}"
+            )
+        check_positive(self.scale, "scale")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """The global model architecture.
+
+    ``arch="mlp"`` trains on the dataset's *flat view* (images flattened to
+    vectors); any other registry name (``resnet-lite-18`` / ``-34`` /
+    ``linear``) keeps the image geometry and receives ``in_channels`` /
+    ``image_size`` / ``num_classes`` derived from the dataset.  ``kwargs``
+    forwards extra constructor arguments (e.g. ``{"width": 4}``).
+    """
+
+    arch: str = "mlp"
+    kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.arch not in MODEL_REGISTRY:
+            raise ValueError(
+                f"unknown model arch {self.arch!r}; available: {sorted(MODEL_REGISTRY)}"
+            )
+        _check_jsonable(self.kwargs, "model.kwargs")
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """The federated algorithm: registry name plus hyper-parameters.
+
+    For ``runtime.kind`` in ``("fedasync", "fedbuff")`` the name must match
+    the engine kind (the async engines *are* their aggregation rule); kwargs
+    then carry e.g. ``mixing`` / ``buffer_size`` / ``staleness_exponent``.
+    """
+
+    name: str = "fedavg"
+    kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name.lower() not in METHOD_NAMES:
+            raise ValueError(
+                f"unknown method {self.name!r}; available: {METHOD_NAMES}"
+            )
+        _check_jsonable(self.kwargs, "method.kwargs")
+
+
+@dataclass(frozen=True)
+class RuntimeSpec:
+    """Which engine runs the method, and every scheduling knob around it.
+
+    Attributes:
+        kind: ``"sync"`` (lock-step rounds), ``"semisync"`` (deadline-based
+            rounds wrapping the method), ``"fedasync"`` / ``"fedbuff"``
+            (event-driven staleness-aware aggregation).
+        latency: latency-model registry name pricing client responses
+            (``None`` = untimed for sync, constant for the timed engines).
+        latency_kwargs: forwarded to the latency model constructor
+            (``scale``, ``sigma``, ``alpha``, ...).
+        price_comm: resolve the method's :class:`CommunicationModel` payload
+            into the priced latency (``comm_method="auto"``).
+        sampler: cohort sampler registry name (``uniform`` keeps the
+            context's default stream).
+        sampler_kwargs: forwarded to the sampler constructor.
+        deadline: semi-sync round deadline in virtual seconds (None = wait
+            for the slowest client).
+        adaptive_deadline: drop-rate budget for a
+            :class:`~repro.runtime.scheduling.DeadlineController` (None =
+            fixed deadline); ``deadline`` then seeds the controller.
+        late_weight: semi-sync weight for deadline-missing clients.
+        concurrency: async clients in flight (None = sync cohort size).
+        staleness_budget: AIMD concurrency control target (None = fixed).
+        max_updates: async total client updates (None = rounds x cohort).
+        workers: process-pool workers for async batched training (None = 1).
+    """
+
+    kind: str = "sync"
+    latency: str | None = None
+    latency_kwargs: dict = field(default_factory=dict)
+    price_comm: bool = False
+    sampler: str = "uniform"
+    sampler_kwargs: dict = field(default_factory=dict)
+    deadline: float | None = None
+    adaptive_deadline: float | None = None
+    late_weight: float = 0.0
+    concurrency: int | None = None
+    staleness_budget: float | None = None
+    max_updates: int | None = None
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ENGINE_KINDS:
+            raise ValueError(f"unknown engine kind {self.kind!r}; available: {ENGINE_KINDS}")
+        if self.latency is not None and self.latency.lower() not in LATENCY_MODELS:
+            raise ValueError(
+                f"unknown latency model {self.latency!r}; available: {sorted(LATENCY_MODELS)}"
+            )
+        if self.sampler.lower() not in SAMPLERS:
+            raise ValueError(
+                f"unknown sampler {self.sampler!r}; available: {sorted(SAMPLERS)}"
+            )
+        _check_jsonable(self.latency_kwargs, "runtime.latency_kwargs")
+        _check_jsonable(self.sampler_kwargs, "runtime.sampler_kwargs")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0 or None, got {self.deadline}")
+        if self.adaptive_deadline is not None and not 0.0 <= self.adaptive_deadline < 1.0:
+            raise ValueError(
+                f"adaptive_deadline (drop-rate budget) must be in [0, 1), "
+                f"got {self.adaptive_deadline}"
+            )
+        if not 0.0 <= self.late_weight <= 1.0:
+            raise ValueError(f"late_weight must be in [0, 1], got {self.late_weight}")
+        if self.concurrency is not None and self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.staleness_budget is not None and self.staleness_budget < 0:
+            raise ValueError(
+                f"staleness_budget must be >= 0, got {self.staleness_budget}"
+            )
+        if self.max_updates is not None and self.max_updates < 1:
+            raise ValueError(f"max_updates must be >= 1, got {self.max_updates}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        # knobs the chosen engine kind cannot consume are hard errors here —
+        # a spec that silently ignored them would lie about the run it names
+        if (
+            self.kind == "sync"
+            and isinstance(SAMPLERS.get(self.sampler.lower()), type)
+            and issubclass(SAMPLERS[self.sampler.lower()], TimeAwareSampler)
+        ):
+            raise ValueError(
+                f"sampler {self.sampler!r} is time-aware and needs a priced "
+                "engine; use kind='semisync'"
+            )
+        if self.sampler.lower() == "uniform" and self.sampler_kwargs:
+            raise ValueError(
+                "sampler_kwargs requires a non-uniform sampler "
+                f"(the default draw takes no arguments), got {self.sampler_kwargs}"
+            )
+        if self.latency is None and self.latency_kwargs:
+            raise ValueError(
+                "latency_kwargs requires runtime.latency to name a model "
+                f"(got kwargs {self.latency_kwargs} with latency=None); "
+                "use latency='constant' for the default model"
+            )
+        set_knobs = {
+            "latency": self.latency is not None,
+            "price_comm": self.price_comm,
+            "sampler": self.sampler.lower() != "uniform",
+            "sampler_kwargs": bool(self.sampler_kwargs),
+            "deadline": self.deadline is not None,
+            "adaptive_deadline": self.adaptive_deadline is not None,
+            "late_weight": self.late_weight != 0.0,
+            "concurrency": self.concurrency is not None,
+            "staleness_budget": self.staleness_budget is not None,
+            "max_updates": self.max_updates is not None,
+            "workers": self.workers is not None,
+        }
+        bad = [k for k in KIND_FORBIDDEN_KNOBS[self.kind] if set_knobs[k]]
+        if bad:
+            hint = (
+                "use kind='semisync' with deadline=None for a timed synchronous run"
+                if self.kind == "sync"
+                else f"kind={self.kind!r} cannot consume them"
+            )
+            raise ValueError(
+                f"runtime knob(s) {bad} have no effect with kind={self.kind!r}; {hint}"
+            )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One complete, serializable federated experiment."""
+
+    data: DataSpec = field(default_factory=DataSpec)
+    model: ModelSpec = field(default_factory=ModelSpec)
+    method: MethodSpec = field(default_factory=MethodSpec)
+    runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
+    config: FLConfig = field(default_factory=FLConfig)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        kind = self.runtime.kind
+        mname = self.method.name.lower()
+        # sync/semisync accept any method (fedasync/fedbuff have a synchronous
+        # fallback aggregate), but the event-driven kinds ARE their
+        # aggregation rule, so the method must match
+        if kind in _ASYNC_KINDS and mname != kind:
+            raise ValueError(
+                f"runtime.kind={kind!r} requires method.name={kind!r} (the async "
+                f"engines are their aggregation rule), got {self.method.name!r}; "
+                "wrap synchronous methods with runtime.kind='semisync' instead"
+            )
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless nested-dict form (JSON-safe).
+
+        Raises:
+            ValueError: when ``config.lr_schedule`` is set — callables don't
+                serialize; attach schedules programmatically after loading.
+        """
+        if self.config.lr_schedule is not None:
+            raise ValueError(
+                "config.lr_schedule is a callable and cannot be serialized; "
+                "set it to None before to_dict() and re-attach after loading"
+            )
+        out = dataclasses.asdict(self)
+        del out["config"]["lr_schedule"]
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output; unknown keys raise."""
+        if not isinstance(d, dict):
+            raise ValueError(f"spec must be a mapping, got {type(d).__name__}")
+        sections = {
+            "data": DataSpec,
+            "model": ModelSpec,
+            "method": MethodSpec,
+            "runtime": RuntimeSpec,
+            "config": FLConfig,
+        }
+        kwargs: dict = {}
+        for key, value in d.items():
+            if key == "name":
+                if not isinstance(value, str):
+                    raise ValueError(f"name must be a string, got {value!r}")
+                kwargs["name"] = value
+            elif key in sections:
+                kwargs[key] = _section_from_dict(sections[key], key, value)
+            else:
+                raise ValueError(
+                    f"unknown spec section {key!r}; expected one of "
+                    f"{sorted([*sections, 'name'])}"
+                )
+        return cls(**kwargs)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ExperimentSpec":
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+    # -- overrides -----------------------------------------------------------
+    def override(self, path: str, value) -> "ExperimentSpec":
+        """Return a copy with the dotted-path field replaced by ``value``.
+
+        ``path`` addresses nested dataclass fields (``config.rounds``,
+        ``runtime.sampler``) or entries of kwargs dicts
+        (``method.kwargs.mixing``).  Dataclass validation re-runs on the
+        rebuilt objects, so an invalid value raises immediately.
+        """
+        return self.override_many([(path, value)])
+
+    def override_many(self, items: "list[tuple[str, object]]") -> "ExperimentSpec":
+        """Apply several ``(path, value)`` overrides as one transaction.
+
+        All assignments are staged first; each touched section is rebuilt
+        (and validated) once at the end, and cross-section consistency
+        (e.g. ``runtime.kind`` vs ``method.name``) likewise — so override
+        order never matters, even for fields that must change together.
+        """
+        sections = {
+            "data": DataSpec,
+            "model": ModelSpec,
+            "method": MethodSpec,
+            "runtime": RuntimeSpec,
+            "config": FLConfig,
+        }
+        replaced: dict = {}  # whole-section / top-level scalar assignments
+        staged: dict[str, dict] = {}  # section -> pending field values
+
+        def section_values(head: str, cls) -> dict:
+            base = getattr(self, head)
+            return {
+                f.name: getattr(base, f.name)
+                for f in dataclasses.fields(cls)
+                if f.init
+            }
+
+        for path, value in items:
+            parts = path.split(".")
+            head = parts[0]
+            if head == "name" and len(parts) == 1:
+                replaced["name"] = _coerce(type(self), "name", value, path)
+                continue
+            if head not in sections:
+                raise ValueError(
+                    f"unknown field {head!r} in override {path!r}; "
+                    f"expected one of {sorted([*sections, 'name'])}"
+                )
+            cls = sections[head]
+            if len(parts) == 1:
+                if not isinstance(value, cls):
+                    raise ValueError(
+                        f"override {path!r} must assign a {cls.__name__} "
+                        f"instance, got {value!r}; use dotted paths for fields"
+                    )
+                if head in staged:
+                    raise ValueError(
+                        f"override {path!r} replaces the whole section but other "
+                        f"overrides target its fields; use one style per section"
+                    )
+                replaced[head] = value
+                continue
+            if head in replaced:
+                raise ValueError(
+                    f"override {path!r} targets a field of a section another "
+                    f"override replaces wholesale; use one style per section"
+                )
+            fname = parts[1]
+            names = {f.name for f in dataclasses.fields(cls) if f.init}
+            if fname not in names:
+                raise ValueError(
+                    f"unknown field {fname!r} in override {path!r}; "
+                    f"expected one of {sorted(names)}"
+                )
+            cur = staged.setdefault(head, section_values(head, cls))
+            if len(parts) == 2:
+                cur[fname] = _coerce(cls, fname, value, path)
+            else:
+                cur[fname] = _set_in_dict(cur[fname], parts[2:], path, value)
+
+        updates = dict(replaced)
+        for head, values in staged.items():
+            updates[head] = sections[head](**values)
+        return dataclasses.replace(self, **updates)
+
+    def apply_overrides(self, assignments: "list[str] | tuple[str, ...]") -> "ExperimentSpec":
+        """Apply ``key.path=json_value`` assignment strings (CLI ``--set``)."""
+        return self.override_many([parse_override(text) for text in assignments])
+
+
+def _section_from_dict(cls, section: str, value):
+    if not isinstance(value, dict):
+        raise ValueError(f"section {section!r} must be a mapping, got {value!r}")
+    names = {f.name for f in dataclasses.fields(cls) if f.init}
+    if section == "config":
+        names.discard("lr_schedule")  # callable: never in serialized form
+    unknown = sorted(set(value) - names)
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {unknown} in section {section!r}; "
+            f"expected a subset of {sorted(names)}"
+        )
+    try:
+        return cls(**value)
+    except TypeError as exc:  # e.g. a list passed where a scalar belongs
+        raise ValueError(f"invalid value in section {section!r}: {exc}") from exc
+
+
+def parse_override(text: str) -> tuple[str, object]:
+    """Split one ``dotted.path=value`` assignment; values parse as JSON.
+
+    Unquoted bare words fall back to strings, so both
+    ``runtime.sampler=utility`` and ``runtime.sampler="utility"`` work.
+    """
+    if "=" not in text:
+        raise ValueError(f"override {text!r} must look like key.path=value")
+    path, raw = text.split("=", 1)
+    path = path.strip()
+    if not path:
+        raise ValueError(f"override {text!r} has an empty key path")
+    raw = raw.strip()
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw  # bare string
+    return path, value
+
+
+def _set_in_dict(node, parts: list[str], full_path: str, value):
+    """Set a nested key inside a kwargs dict, copying along the way."""
+    if not isinstance(node, dict):
+        raise ValueError(
+            f"cannot descend into {type(node).__name__} at {parts[0]!r} "
+            f"(override {full_path!r})"
+        )
+    new = dict(node)
+    head, rest = parts[0], parts[1:]
+    if rest:
+        if head not in node:
+            raise ValueError(f"unknown key {head!r} in override {full_path!r}")
+        new[head] = _set_in_dict(node[head], rest, full_path, value)
+    else:
+        new[head] = value
+    return new
+
+
+def _coerce(owner_cls, field_name: str, value, full_path: str):
+    """Type-check ``value`` against the dataclass field's annotation.
+
+    Ints promote to float fields; everything else must match exactly, so
+    ``config.rounds=many`` fails loudly instead of exploding later inside
+    the engine.
+    """
+    hints = typing.get_type_hints(owner_cls)
+    hint = hints.get(field_name)
+    if hint is None:
+        return value
+    allowed = _flatten_union(hint)
+    if any(a is dict for a in allowed) and isinstance(value, dict):
+        return value
+    if type(value) in allowed:
+        return value
+    if float in allowed and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    if type(None) in allowed and value is None:
+        return value
+    names = sorted(
+        ("None" if a is type(None) else getattr(a, "__name__", str(a))) for a in allowed
+    )
+    raise ValueError(
+        f"override {full_path!r}: expected {' | '.join(names)}, "
+        f"got {value!r} ({type(value).__name__})"
+    )
+
+
+def _flatten_union(hint) -> tuple:
+    origin = typing.get_origin(hint)
+    if origin in (typing.Union, types.UnionType):
+        out: list = []
+        for arm in typing.get_args(hint):
+            out.extend(_flatten_union(arm))
+        return tuple(out)
+    if origin is not None:  # parametrized generics: match on the origin
+        return (origin,)
+    if hint is typing.Any:
+        return (object,)
+    return (hint,)
+
+
+def apply_overrides(spec: ExperimentSpec, assignments) -> ExperimentSpec:
+    """Module-level alias of :meth:`ExperimentSpec.apply_overrides`."""
+    return spec.apply_overrides(assignments)

@@ -27,6 +27,7 @@ import numpy as np
 from repro.data.registry import FederatedDataset
 from repro.simulation.config import FLConfig
 from repro.simulation.context import SimulationContext
+from repro.simulation.engine import attach_train_loss
 
 __all__ = ["ParallelClientRunner", "parallel_map", "resolve_workers"]
 
@@ -82,7 +83,8 @@ def _worker_run(args):
     if algo_state is not None:
         for k, v in algo_state.items():
             setattr(algo, k, v)
-    return algo.client_update(ctx, round_idx, client_id, x_global)
+    update = algo.client_update(ctx, round_idx, client_id, x_global)
+    return attach_train_loss(algo, update)
 
 
 class ParallelClientRunner:

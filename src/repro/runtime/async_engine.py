@@ -40,7 +40,12 @@ from repro.runtime.clock import ConstantLatency, LatencyModel, VirtualClock
 from repro.runtime.scheduling import ConcurrencyController, resolve_auto_comm
 from repro.simulation.config import FLConfig
 from repro.simulation.context import SimulationContext
-from repro.simulation.engine import History, TimedRoundRecord, evaluate_into_record
+from repro.simulation.engine import (
+    History,
+    TimedRoundRecord,
+    attach_train_loss,
+    evaluate_into_record,
+)
 
 __all__ = ["AsyncFederatedSimulation"]
 
@@ -271,7 +276,7 @@ class AsyncFederatedSimulation:
                     for s, c, _ in group:
                         if buf0 is not None:
                             ctx.model.set_buffers(buf0)
-                        outs.append(algo.client_update(ctx, s, c, x_ref))
+                        outs.append(attach_train_loss(algo, algo.client_update(ctx, s, c, x_ref)))
                 for (s, _, _), upd in zip(group, outs):
                     results[s] = upd
 

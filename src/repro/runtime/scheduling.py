@@ -365,15 +365,24 @@ class UtilitySampler(TimeAwareSampler):
 
     Each client's utility is::
 
-        util_k = stat_k * min(1, (T / latency_k)) ** alpha
+        util_k = stat_k * loss_k * min(1, (T / latency_k)) ** alpha
 
     where ``stat_k = sqrt(n_k)`` (optionally blended with the scarcity score
-    of :func:`repro.core.scoring.client_scores` via ``score_blend``) and
-    ``T`` is the preferred round duration — the ``round_pref`` quantile of
-    current expected latencies.  Clients faster than ``T`` keep their full
+    of :func:`repro.core.scoring.client_scores` via ``score_blend``),
+    ``loss_k`` is the client's last reported mean training loss (true Oort
+    statistical utility — high-loss clients carry more informative updates)
+    and ``T`` is the preferred round duration — the ``round_pref`` quantile
+    of current expected latencies.  Clients faster than ``T`` keep their full
     statistical utility; slower ones are discounted polynomially, exactly
     Oort's global-system-utility shape.  Cohorts are drawn
     utility-proportionally without replacement from the round's RNG stream.
+
+    The engine feeds losses through :meth:`observe_loss` (participants report
+    after every local pass); clients never yet observed take the *maximum*
+    observed loss as an optimistic prior, so unexplored clients stay
+    attractive — Oort's exploration rule.  Before the first loss report the
+    loss term is 1 for everyone, so the first cohort matches the loss-free
+    sampler exactly.
 
     Args:
         alpha: speed-penalty exponent (0 disables the time term).
@@ -381,7 +390,11 @@ class UtilitySampler(TimeAwareSampler):
             round duration T.
         score_blend: weight in [0, 1] mixing the (positively shifted)
             scarcity score into the statistical term.
-        ema: observation smoothing, see :class:`TimeAwareSampler`.
+        loss_feedback: scale the statistical term by reported training
+            losses (True, the Oort rule); False keeps the data-size-only
+            proxy of earlier revisions.
+        ema: observation smoothing, see :class:`TimeAwareSampler` (shared by
+            the latency and loss moving averages).
     """
 
     def __init__(
@@ -389,6 +402,7 @@ class UtilitySampler(TimeAwareSampler):
         alpha: float = 2.0,
         round_pref: float = 0.5,
         score_blend: float = 0.0,
+        loss_feedback: bool = True,
         ema: float = 0.3,
     ) -> None:
         super().__init__(ema=ema)
@@ -401,7 +415,10 @@ class UtilitySampler(TimeAwareSampler):
         self.alpha = float(alpha)
         self.round_pref = float(round_pref)
         self.score_blend = float(score_blend)
+        self.loss_feedback = bool(loss_feedback)
         self._stat: np.ndarray | None = None
+        self._loss: np.ndarray | None = None
+        self._loss_seen: np.ndarray | None = None
 
     def bind(self, ctx: SimulationContext, latency_model: LatencyModel) -> "UtilitySampler":
         super().bind(ctx, latency_model)
@@ -414,13 +431,44 @@ class UtilitySampler(TimeAwareSampler):
                 s /= s.max()
             stat = (1.0 - self.score_blend) * stat + self.score_blend * s
         self._stat = np.maximum(stat, 1e-6)
+        self._loss = np.zeros(ctx.num_clients)
+        self._loss_seen = np.zeros(ctx.num_clients, dtype=bool)
         return self
+
+    def reset(self) -> None:
+        super().reset()
+        if self._loss is not None:
+            self._loss[:] = 0.0
+            self._loss_seen[:] = False
+
+    def observe_loss(self, client_id: int, loss: float) -> None:
+        """Blend one participant's mean training loss into its estimate."""
+        if self._loss is None:
+            raise RuntimeError("sampler.bind(ctx, latency_model) must run before observe_loss()")
+        if self._loss_seen[client_id]:
+            self._loss[client_id] += self.ema * (loss - self._loss[client_id])
+        else:
+            self._loss[client_id] = float(loss)
+            self._loss_seen[client_id] = True
+
+    def statistical_utilities(self) -> np.ndarray:
+        """Size/scarcity term, loss-scaled once any client reported a loss."""
+        stat = self._stat
+        if self.loss_feedback and self._loss_seen is not None and self._loss_seen.any():
+            # optimistic prior: unexplored clients assume the largest
+            # observed loss, so exploration never starves (Oort sec. 4.2)
+            prior = float(self._loss[self._loss_seen].max())
+            loss = np.where(self._loss_seen, self._loss, prior)
+            top = float(loss.max())
+            if top > 0:
+                stat = stat * np.maximum(loss / top, 1e-6)
+        return stat
 
     def utilities(self) -> np.ndarray:
         lat = self.expected_seconds()
         t_pref = float(np.quantile(lat, self.round_pref))
         speed = np.minimum(1.0, t_pref / np.maximum(lat, 1e-12)) ** self.alpha
-        return self._stat * np.maximum(speed, 1e-9)
+        return self.statistical_utilities() * np.maximum(speed, 1e-9)
 
     def __call__(self, ctx: SimulationContext, round_idx: int) -> np.ndarray:
         if self._stat is None:

@@ -41,6 +41,7 @@ from repro.simulation.engine import (
     BufferAverager,
     History,
     TimedRoundRecord,
+    attach_train_loss,
     evaluate_into_record,
 )
 
@@ -178,12 +179,23 @@ class SemiSyncFederatedSimulation:
                     continue
                 bufavg.before_client()
                 u = algo.client_update(ctx, r, int(k), x)
+                attach_train_loss(algo, u)
                 if not on_time[i]:
                     u.displacement = u.displacement * self.late_weight
                 updates.append(u)
                 included_ids.append(int(k))
                 bufavg.after_client()
             bufavg.commit()
+
+            if self.client_sampler is not None and hasattr(self.client_sampler, "observe_loss"):
+                # Oort statistical utility: participants report their local
+                # training loss back to the sampler (dropped clients never
+                # trained, so there is nothing to report for them)
+                for u in updates:
+                    if "train_loss" in u.extras:
+                        self.client_sampler.observe_loss(
+                            int(u.client_id), float(u.extras["train_loss"])
+                        )
 
             x = algo.aggregate(ctx, r, np.asarray(included_ids, dtype=np.int64), updates, x)
             clock.advance(round_time)

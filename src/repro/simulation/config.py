@@ -7,6 +7,7 @@ local epochs 5, participation 10%), with round counts left to each benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.utils.validation import check_fraction, check_positive
 
@@ -43,7 +44,7 @@ class FLConfig:
     eval_per_class: bool = False
     seed: int = 0
     max_batches_per_round: int | None = None
-    lr_schedule: object | None = None
+    lr_schedule: Callable[[int], float] | None = None
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -59,3 +60,8 @@ class FLConfig:
             raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
         if self.max_batches_per_round is not None and self.max_batches_per_round < 1:
             raise ValueError("max_batches_per_round must be >= 1 or None")
+        if self.lr_schedule is not None and not callable(self.lr_schedule):
+            raise TypeError(
+                "lr_schedule must be a callable round_idx -> multiplier or None, "
+                f"got {type(self.lr_schedule).__name__}"
+            )

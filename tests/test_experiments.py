@@ -1,0 +1,426 @@
+"""Tests for the declarative experiment API (repro.experiments)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import (
+    DataSpec,
+    ENGINE_KINDS,
+    ExperimentSpec,
+    MethodSpec,
+    ModelSpec,
+    RuntimeSpec,
+    build,
+    expand,
+    parse_override,
+    resolve_model_alias,
+    run,
+)
+from repro.runtime import AsyncFederatedSimulation, SemiSyncFederatedSimulation
+from repro.simulation import FLConfig, FederatedSimulation
+
+# a problem small enough that every engine kind finishes in ~a second
+_TINY = dict(
+    data=DataSpec(clients=6, scale=0.3, beta=0.3),
+    config=FLConfig(rounds=2, participation=0.5, local_epochs=1, batch_size=10,
+                    max_batches_per_round=2, eval_every=1, seed=1),
+)
+
+
+def tiny_spec(kind: str = "sync", **runtime_kw) -> ExperimentSpec:
+    method = {"sync": "fedavg", "semisync": "fedavg",
+              "fedasync": "fedasync", "fedbuff": "fedbuff"}[kind]
+    if kind != "sync":
+        runtime_kw.setdefault("latency", "lognormal")
+    return ExperimentSpec(
+        method=MethodSpec(name=method),
+        runtime=RuntimeSpec(kind=kind, **runtime_kw),
+        **_TINY,
+    )
+
+
+class TestSpecValidation:
+    def test_defaults_construct(self):
+        spec = ExperimentSpec()
+        assert spec.runtime.kind == "sync"
+        assert spec.method.name == "fedavg"
+
+    def test_registry_names_checked_at_construction(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            DataSpec(dataset="mnist-prime")
+        with pytest.raises(ValueError, match="unknown model arch"):
+            ModelSpec(arch="transformer-xxl")
+        with pytest.raises(ValueError, match="unknown method"):
+            MethodSpec(name="fedmagic")
+        with pytest.raises(ValueError, match="unknown engine kind"):
+            RuntimeSpec(kind="warp")
+        with pytest.raises(ValueError, match="unknown latency model"):
+            RuntimeSpec(kind="semisync", latency="quantum")
+        with pytest.raises(ValueError, match="unknown sampler"):
+            RuntimeSpec(kind="semisync", sampler="psychic")
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            DataSpec(imbalance_factor=0.0)
+        with pytest.raises(ValueError):
+            DataSpec(clients=0)
+        with pytest.raises(ValueError):
+            RuntimeSpec(kind="semisync", deadline=-1.0)
+        with pytest.raises(ValueError):
+            RuntimeSpec(kind="semisync", adaptive_deadline=1.0)
+        with pytest.raises(ValueError):
+            RuntimeSpec(kind="fedasync", concurrency=0)
+
+    def test_async_kind_requires_matching_method(self):
+        with pytest.raises(ValueError, match="requires method.name"):
+            ExperimentSpec(method=MethodSpec(name="fedavg"),
+                           runtime=RuntimeSpec(kind="fedasync"))
+        # but async methods may run in the synchronous fallback engines
+        ExperimentSpec(method=MethodSpec(name="fedbuff"),
+                       runtime=RuntimeSpec(kind="sync"))
+
+    def test_kind_rejects_unconsumable_knobs(self):
+        with pytest.raises(ValueError, match="no effect"):
+            RuntimeSpec(kind="sync", latency="lognormal")
+        with pytest.raises(ValueError, match="no effect"):
+            RuntimeSpec(kind="sync", deadline=1.0)
+        with pytest.raises(ValueError, match="no effect"):
+            RuntimeSpec(kind="semisync", concurrency=4)
+        with pytest.raises(ValueError, match="no effect"):
+            RuntimeSpec(kind="fedasync", deadline=1.0)
+        with pytest.raises(ValueError, match="no effect"):
+            RuntimeSpec(kind="fedbuff", sampler="fast")
+
+    def test_latency_kwargs_require_latency(self):
+        with pytest.raises(ValueError, match="latency_kwargs requires"):
+            RuntimeSpec(kind="semisync", latency_kwargs={"sigma": 5.0})
+        RuntimeSpec(kind="semisync", latency="lognormal",
+                    latency_kwargs={"sigma": 5.0})  # fine
+
+    def test_sampler_kwargs_validated(self):
+        with pytest.raises(ValueError, match="non-uniform sampler"):
+            RuntimeSpec(kind="semisync", sampler_kwargs={"power": 2.0})
+        with pytest.raises(ValueError, match="no effect"):
+            RuntimeSpec(kind="fedbuff", sampler="fast",
+                        sampler_kwargs={"power": 2.0})
+        RuntimeSpec(kind="semisync", sampler="fast",
+                    sampler_kwargs={"power": 2.0})  # fine
+
+    def test_kwargs_must_be_jsonable(self):
+        with pytest.raises(ValueError, match="JSON-serializable"):
+            MethodSpec(name="fedavg", kwargs={"fn": lambda: None})
+
+    def test_lr_schedule_must_be_callable(self):
+        with pytest.raises(TypeError, match="callable"):
+            FLConfig(lr_schedule="cosine")
+        FLConfig(lr_schedule=lambda r: 1.0)  # fine
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", ENGINE_KINDS)
+    def test_dict_and_json_round_trip(self, kind):
+        spec = tiny_spec(kind)
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = tiny_spec("semisync", sampler="utility", adaptive_deadline=0.3,
+                         price_comm=True, latency_kwargs={"sigma": 1.3})
+        path = str(tmp_path / "spec.json")
+        spec.save(path)
+        assert ExperimentSpec.load(path) == spec
+        # the file is plain JSON anyone can edit
+        d = json.load(open(path))
+        assert d["runtime"]["sampler"] == "utility"
+
+    def test_randomized_round_trip_property(self):
+        rng = np.random.default_rng(0)
+        kinds = list(ENGINE_KINDS)
+        for _ in range(25):
+            kind = kinds[rng.integers(len(kinds))]
+            spec = tiny_spec(kind).override_many([
+                ("data.imbalance_factor", float(rng.uniform(0.01, 1.0))),
+                ("data.beta", float(rng.uniform(0.05, 1.0))),
+                ("config.rounds", int(rng.integers(1, 50))),
+                ("config.seed", int(rng.integers(0, 1000))),
+                ("name", f"prop-{rng.integers(1e6)}"),
+            ])
+            assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_partial_dict_fills_defaults(self):
+        spec = ExperimentSpec.from_dict({"method": {"name": "fedcm"}})
+        assert spec.method.name == "fedcm"
+        assert spec.data == DataSpec()
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(ValueError, match="unknown spec section"):
+            ExperimentSpec.from_dict({"modle": {}})
+        with pytest.raises(ValueError, match="unknown key"):
+            ExperimentSpec.from_dict({"config": {"rouns": 3}})
+        with pytest.raises(ValueError, match="lr_schedule"):
+            # callable-only field never appears in serialized form
+            ExperimentSpec.from_dict({"config": {"lr_schedule": "x"}})
+
+    def test_lr_schedule_blocks_serialization(self):
+        spec = ExperimentSpec(config=FLConfig(lr_schedule=lambda r: 1.0))
+        with pytest.raises(ValueError, match="cannot be serialized"):
+            spec.to_dict()
+
+
+class TestOverrides:
+    def test_parse_override(self):
+        assert parse_override("config.rounds=3") == ("config.rounds", 3)
+        assert parse_override("runtime.sampler=utility") == ("runtime.sampler", "utility")
+        assert parse_override('data.dataset="cifar10-lite"') == ("data.dataset", "cifar10-lite")
+        assert parse_override("runtime.deadline=null") == ("runtime.deadline", None)
+        assert parse_override("runtime.price_comm=true") == ("runtime.price_comm", True)
+        with pytest.raises(ValueError, match="key.path=value"):
+            parse_override("config.rounds")
+        with pytest.raises(ValueError, match="empty key"):
+            parse_override("=3")
+
+    def test_apply_overrides(self):
+        spec = tiny_spec().apply_overrides([
+            "config.rounds=7", "data.beta=0.6", "method.name=fedcm",
+        ])
+        assert spec.config.rounds == 7
+        assert spec.data.beta == 0.6
+        assert spec.method.name == "fedcm"
+
+    def test_nested_kwargs_override(self):
+        spec = tiny_spec("fedasync").apply_overrides(["method.kwargs.mixing=0.9"])
+        assert spec.method.kwargs["mixing"] == 0.9
+
+    def test_order_independent_cross_section(self):
+        # kind and method must change together; either order works
+        a = tiny_spec().apply_overrides(
+            ["runtime.kind=fedasync", "method.name=fedasync", "runtime.latency=lognormal"])
+        b = tiny_spec().apply_overrides(
+            ["method.name=fedasync", "runtime.latency=lognormal", "runtime.kind=fedasync"])
+        assert a == b
+        assert a.runtime.kind == "fedasync"
+
+    def test_whole_section_and_dotted_mix_raises(self):
+        with pytest.raises(ValueError, match="one style per section"):
+            tiny_spec().override_many([
+                ("config.rounds", 5), ("config", FLConfig(rounds=9))])
+        with pytest.raises(ValueError, match="one style per section"):
+            tiny_spec().override_many([
+                ("config", FLConfig(rounds=9)), ("config.rounds", 5)])
+
+    def test_bad_key_raises(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            tiny_spec().apply_overrides(["nope.x=1"])
+        with pytest.raises(ValueError, match="unknown field"):
+            tiny_spec().apply_overrides(["config.rouns=3"])
+
+    def test_bad_type_raises(self):
+        with pytest.raises(ValueError, match="expected int"):
+            tiny_spec().apply_overrides(["config.rounds=soon"])
+        with pytest.raises(ValueError, match="expected"):
+            tiny_spec().apply_overrides(["data.clients=2.5"])
+
+    def test_invalid_value_raises(self):
+        with pytest.raises(ValueError):
+            tiny_spec().apply_overrides(["config.rounds=0"])
+        with pytest.raises(ValueError):
+            tiny_spec().apply_overrides(["data.dataset=atlantis"])
+
+    def test_int_promotes_to_float(self):
+        spec = tiny_spec().apply_overrides(["data.beta=1"])
+        assert spec.data.beta == 1.0
+        assert isinstance(spec.data.beta, float)
+
+
+class TestSweeps:
+    def test_expand_product_order(self):
+        grid = expand(tiny_spec(), {"method.name": ["fedavg", "fedcm"],
+                                    "config.seed": [0, 1]})
+        assert [(s.method.name, s.config.seed) for s in grid] == [
+            ("fedavg", 0), ("fedavg", 1), ("fedcm", 0), ("fedcm", 1)]
+
+    def test_expand_empty_grid(self):
+        assert expand(tiny_spec(), {}) == [tiny_spec()]
+
+    def test_expand_validates_values(self):
+        with pytest.raises(ValueError, match="iterable"):
+            expand(tiny_spec(), {"config.rounds": 3})
+        with pytest.raises(ValueError):
+            expand(tiny_spec(), {"method.name": ["fedavg", "fedmagic"]})
+
+    def test_expand_coupled_axes(self):
+        grid = expand(tiny_spec(), {
+            "runtime.kind": ["fedbuff"], "method.name": ["fedbuff"],
+            "runtime.latency": ["pareto"],
+        })
+        assert grid[0].runtime.kind == "fedbuff"
+
+
+class TestFacade:
+    def test_build_returns_engine_per_kind(self):
+        assert isinstance(build(tiny_spec("sync")), FederatedSimulation)
+        assert isinstance(build(tiny_spec("semisync")), SemiSyncFederatedSimulation)
+        assert isinstance(build(tiny_spec("fedasync")), AsyncFederatedSimulation)
+        assert isinstance(build(tiny_spec("fedbuff")), AsyncFederatedSimulation)
+
+    @pytest.mark.parametrize("kind", ENGINE_KINDS)
+    def test_end_to_end_run(self, kind):
+        result = run(tiny_spec(kind))
+        assert len(result.history.records) == 2
+        assert np.isfinite(result.final_accuracy)
+        assert result.final_params is not None
+        if kind == "sync":
+            assert result.total_virtual_time == 0.0
+        else:
+            assert result.total_virtual_time > 0.0
+
+    def test_same_spec_same_history(self):
+        a = run(tiny_spec("fedbuff"))
+        b = run(tiny_spec("fedbuff"))
+        assert np.allclose(a.history.accuracy, b.history.accuracy, equal_nan=True)
+        assert a.total_virtual_time == b.total_virtual_time
+
+    def test_time_aware_sampler_needs_timed_engine(self):
+        # rejected already at spec construction, not at build
+        with pytest.raises(ValueError, match="time-aware"):
+            tiny_spec("sync").override("runtime.sampler", "utility")
+        with pytest.raises(ValueError, match="time-aware"):
+            RuntimeSpec(kind="sync", sampler="fast")
+        RuntimeSpec(kind="sync", sampler="score")  # untimed samplers fine
+
+    def test_linear_arch_runs_on_flat_view(self):
+        result = run(tiny_spec().override("model", ModelSpec(arch="linear")))
+        assert np.isfinite(result.final_accuracy)
+
+    def test_semisync_utility_from_json_runs(self, tmp_path):
+        spec = tiny_spec("semisync", sampler="utility", adaptive_deadline=0.3)
+        path = str(tmp_path / "s.json")
+        spec.save(path)
+        result = run(ExperimentSpec.load(path))
+        assert result.total_virtual_time > 0
+        # the engine's sampler received loss feedback (true Oort utility)
+        assert result.engine.client_sampler._loss_seen.any()
+
+    def test_price_comm_survives_default_latency(self):
+        # latency=None means "implicit constant" — price_comm must still
+        # reach the engine instead of being silently dropped
+        spec = tiny_spec("semisync", latency=None, price_comm=True,
+                         ).override("method", MethodSpec(name="scaffold"))
+        engine = build(spec)
+        assert engine.latency_model.comm_method == "scaffold"
+        unpriced = build(tiny_spec("semisync", latency=None))
+        assert engine.latency_model.latency(0, 0) > unpriced.latency_model.latency(0, 0)
+
+    def test_conv_arch_needs_image_data(self):
+        arch, kw = resolve_model_alias("conv")
+        assert arch == "resnet-lite-18" and kw == {"width": 4}
+        spec = tiny_spec().override("model", ModelSpec(arch=arch, kwargs=kw))
+        with pytest.raises(ValueError, match="image-shaped"):
+            build(spec)  # fashion-mnist-lite is flat
+
+
+class TestCLI:
+    def test_spec_dump_is_loadable(self, capsys):
+        rc = cli_main(["spec", "dump", "--algorithm", "semisync", "--sampler",
+                       "utility", "--latency", "lognormal", "--clients", "6"])
+        assert rc == 0
+        spec = ExperimentSpec.from_json(capsys.readouterr().out)
+        assert spec.runtime.kind == "semisync"
+        assert spec.runtime.sampler == "utility"
+        assert spec.data.clients == 6
+
+    def test_cli_defaults_derive_from_dataclasses(self, capsys):
+        rc = cli_main(["spec", "dump"])
+        assert rc == 0
+        spec = ExperimentSpec.from_json(capsys.readouterr().out)
+        # the old CLI's drifted defaults (batch 10, participation 0.25) are
+        # gone: absent flags leave the FLConfig/DataSpec defaults untouched
+        assert spec.config.batch_size == FLConfig().batch_size
+        assert spec.config.participation == FLConfig().participation
+        assert spec.data == DataSpec()
+
+    def test_spec_dump_matches_runtime_defaults(self, capsys):
+        # the dumped spec must be the spec `runtime` would actually run:
+        # timed kinds default to the lognormal latency model
+        rc = cli_main(["spec", "dump", "--algorithm", "fedasync"])
+        assert rc == 0
+        spec = ExperimentSpec.from_json(capsys.readouterr().out)
+        assert spec.runtime.latency == "lognormal"
+
+    def test_spec_validate(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        tiny_spec("fedbuff").save(str(good))
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"runtime": {"kind": "warp"}}')
+        assert cli_main(["spec", "validate", str(good)]) == 0
+        assert cli_main(["spec", "validate", str(good), str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "INVALID" in err
+
+    def test_run_with_config_and_set(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        tiny_spec("semisync").save(str(path))
+        rc = cli_main(["run", "--config", str(path), "--set", "config.rounds=1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total virtual time" in out  # engine kind came from the file
+
+    def test_flags_override_config_file(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        tiny_spec("sync").save(str(path))
+        rc = cli_main(["run", "--config", str(path), "--rounds", "1",
+                       "--method", "fedcm"])
+        assert rc == 0
+
+    def test_explicit_method_conflicting_with_async_config_errors(
+            self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        tiny_spec("fedbuff").save(str(path))
+        rc = cli_main(["run", "--config", str(path), "--method", "fedavg",
+                       "--rounds", "1"])
+        assert rc == 2
+        assert "conflicts with engine kind" in capsys.readouterr().err
+
+    def test_explicit_method_overrides_semisync_config(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        tiny_spec("semisync").save(str(path))
+        rc = cli_main(["spec", "dump", "--config", str(path),
+                       "--method", "scaffold"])
+        assert rc == 0
+        spec = ExperimentSpec.from_json(capsys.readouterr().out)
+        assert spec.method.name == "scaffold"  # flag beats the file
+
+    def test_sync_run_maps_sampler_and_warns_on_timing_flags(
+            self, tmp_path, capsys):
+        # a sync-kind config through `runtime` warns for every dropped flag
+        path = tmp_path / "spec.json"
+        tiny_spec("sync").save(str(path))
+        rc = cli_main(["spec", "dump", "--config", str(path),
+                       "--latency", "pareto", "--sampler", "score"])
+        assert rc == 0
+        out, err = capsys.readouterr()
+        assert "--latency has no effect" in err
+        spec = ExperimentSpec.from_json(out)
+        assert spec.runtime.sampler == "score"  # sync does consume this
+
+    def test_bad_override_exits_2(self, capsys):
+        rc = cli_main(["run", "--set", "config.rounds=soon"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_config_exits_2(self, capsys):
+        rc = cli_main(["run", "--config", "/nonexistent/spec.json"])
+        assert rc == 2
+
+    def test_compare_with_async_config_errors_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        tiny_spec("fedbuff").save(str(path))
+        rc = cli_main(["compare", "--config", str(path),
+                       "--methods", "fedavg,fedcm"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

@@ -329,6 +329,50 @@ class TestTimeAwareSamplers:
         assert slow.any()
         assert (util[slow] / s._stat[slow]).max() < 1.0
 
+    def test_utility_loss_feedback_reweights(self, ds):
+        ctx, _, s = self._bound(ds, UtilitySampler(alpha=0.0))
+        base = s.statistical_utilities().copy()
+        # before any report the loss term is 1: stat utilities unchanged
+        assert np.allclose(base, s._stat)
+        s.observe_loss(0, 4.0)
+        s.observe_loss(1, 1.0)
+        util = s.statistical_utilities()
+        # client 1 (low loss) discounted 4x relative to client 0
+        assert util[1] / s._stat[1] == pytest.approx(0.25)
+        assert util[0] / s._stat[0] == pytest.approx(1.0)
+        # unexplored clients take the optimistic max-loss prior
+        assert util[5] / s._stat[5] == pytest.approx(1.0)
+        # EMA smoothing on repeat reports
+        s.observe_loss(1, 1.0)
+        assert s._loss[1] == pytest.approx(1.0)
+        # reset forgets losses
+        s.reset()
+        assert not s._loss_seen.any()
+        assert np.allclose(s.statistical_utilities(), s._stat)
+
+    def test_utility_loss_feedback_off(self, ds):
+        ctx, _, s = self._bound(ds, UtilitySampler(alpha=0.0, loss_feedback=False))
+        s.observe_loss(0, 10.0)
+        assert np.allclose(s.statistical_utilities(), s._stat)
+
+    def test_observe_loss_requires_bind(self):
+        with pytest.raises(RuntimeError):
+            UtilitySampler().observe_loss(0, 1.0)
+
+    def test_semisync_feeds_losses_into_utility_sampler(self, ds):
+        sampler = UtilitySampler()
+        sim = SemiSyncFederatedSimulation(
+            FedAvg(), _model_builder(), ds, _cfg(),
+            latency_model=LognormalLatency(sigma=1.0),
+            client_sampler=sampler,
+        )
+        h = sim.run()
+        # participants reported their mean local training loss
+        assert sampler._loss_seen.any()
+        assert (sampler._loss[sampler._loss_seen] > 0).all()
+        # and every computed update carries the loss it reported
+        assert len(h.records) == sim.ctx.config.rounds
+
     def test_utility_score_blend_validation(self, ds):
         with pytest.raises(ValueError):
             UtilitySampler(score_blend=1.5)
