@@ -2,7 +2,7 @@
 evaluates against (Tables 1/2/7, Figures 3/7/18/19)."""
 
 from repro.algorithms.base import ClientUpdate, FederatedAlgorithm, LocalSGDMixin, size_weights
-from repro.algorithms.async_fl import FedAsync, FedBuff
+from repro.algorithms.async_fl import AsyncAdapter, FedAsync, FedBuff
 from repro.algorithms.fedavg import FedAvg, FedProx, FedAvgM
 from repro.algorithms.scaffold import Scaffold
 from repro.algorithms.feddyn import FedDyn
@@ -20,13 +20,20 @@ from repro.algorithms.variants import (
     fedcm_with_balance_loss,
     fedcm_with_balanced_sampler,
 )
-from repro.algorithms.registry import MethodBundle, make_method, METHOD_NAMES
+from repro.algorithms.registry import (
+    MethodBundle,
+    make_method,
+    method_is_stateful,
+    method_requires_aggregate,
+    METHOD_NAMES,
+)
 
 __all__ = [
     "ClientUpdate",
     "FederatedAlgorithm",
     "LocalSGDMixin",
     "size_weights",
+    "AsyncAdapter",
     "FedAsync",
     "FedBuff",
     "FedAvg",
@@ -56,4 +63,6 @@ __all__ = [
     "MethodBundle",
     "make_method",
     "METHOD_NAMES",
+    "method_is_stateful",
+    "method_requires_aggregate",
 ]

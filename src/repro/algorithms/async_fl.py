@@ -33,7 +33,7 @@ import numpy as np
 from repro.algorithms.base import ClientUpdate, FederatedAlgorithm, LocalSGDMixin, size_weights
 from repro.simulation.context import SimulationContext
 
-__all__ = ["FedAsync", "FedBuff"]
+__all__ = ["FedAsync", "FedBuff", "AsyncAdapter"]
 
 
 class _AsyncLocalSGD(LocalSGDMixin, FederatedAlgorithm):
@@ -163,3 +163,80 @@ class FedBuff(_AsyncLocalSGD):
 
     def round_extras(self) -> dict:
         return {"buffer_fill": len(self._buffer)}
+
+
+class AsyncAdapter(FederatedAlgorithm):
+    """Run any registry method's *local* rule under an async *server* rule.
+
+    The asynchronous engines are their aggregation rule (FedAsync mixing /
+    FedBuff buffering), which until now restricted them to plain local SGD.
+    This adapter splits the two roles: ``base`` supplies ``client_update``
+    (any :class:`FederatedAlgorithm` — SCAFFOLD's control-variate correction,
+    FedDyn's dynamic regularizer, the SAM family's perturbed gradients) and
+    ``rule`` (a :class:`FedAsync` or :class:`FedBuff` instance) supplies the
+    staleness-aware server step applied to the returned displacement.
+
+    Per-client state declared through the base method's pack/unpack contract
+    travels through the event loop's state store (snapshot at dispatch,
+    commit at completion); server-side method state absorbs each arrival via
+    ``base.server_absorb`` with weight ``1/K`` — the per-arrival analogue of
+    the synchronous participation-weighted mean.
+    """
+
+    def __init__(self, base: FederatedAlgorithm, rule: _AsyncLocalSGD) -> None:
+        if not hasattr(rule, "server_apply"):
+            raise TypeError(
+                f"{type(rule).__name__} has no server_apply(); the adapter rule "
+                "must be a staleness-aware method (fedasync, fedbuff)"
+            )
+        if hasattr(base, "server_apply"):
+            raise ValueError(
+                f"{type(base).__name__} is already staleness-aware; "
+                "run it directly instead of wrapping it"
+            )
+        if getattr(base, "requires_aggregate_broadcast", False):
+            raise ValueError(
+                f"{getattr(base, 'name', type(base).__name__)} broadcasts "
+                "server state that only aggregate() refreshes; under an async "
+                "rule that state would stay frozen and the method would "
+                "silently degenerate — run it under the semisync engine instead"
+            )
+        self.base = base
+        self.rule = rule
+        self.name = f"{rule.name}+{base.name}"
+
+    @property
+    def stateful_per_client(self) -> bool:
+        return self.base.stateful_per_client
+
+    @property
+    def last_train_loss(self):
+        return getattr(self.base, "last_train_loss", None)
+
+    def setup(self, ctx: SimulationContext) -> None:
+        self.base.setup(ctx)
+        self.rule.setup(ctx)
+
+    def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
+        return self.base.client_update(ctx, round_idx, client_id, x_global)
+
+    def pack_client_state(self, client_id: int) -> dict:
+        return self.base.pack_client_state(client_id)
+
+    def unpack_client_state(self, client_id: int, state: dict) -> None:
+        self.base.unpack_client_state(client_id, state)
+
+    def server_apply(self, ctx, x, update, staleness, x_dispatch) -> np.ndarray | None:
+        x_new = self.rule.server_apply(ctx, x, update, staleness, x_dispatch)
+        self.base.server_absorb(ctx, update, 1.0 / ctx.num_clients)
+        return x_new
+
+    def finalize(self, ctx, x) -> np.ndarray | None:
+        return self.rule.finalize(ctx, x)
+
+    def aggregate(self, ctx, round_idx, selected, updates, x_global) -> np.ndarray:
+        # synchronous fallback mirrors the rule's (zero staleness for all)
+        return self.rule.aggregate(ctx, round_idx, selected, updates, x_global)
+
+    def round_extras(self) -> dict:
+        return {**self.base.round_extras(), **self.rule.round_extras()}

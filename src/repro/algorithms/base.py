@@ -61,12 +61,52 @@ def size_weights(updates: list[ClientUpdate]) -> np.ndarray:
 
 
 class FederatedAlgorithm:
-    """Base class; concrete methods override the three protocol methods."""
+    """Base class; concrete methods override the three protocol methods.
+
+    Methods that keep *persistent per-client* state (SCAFFOLD's control
+    variates, FedDyn's dual variables) additionally implement the client-state
+    contract — ``stateful_per_client = True`` plus :meth:`pack_client_state` /
+    :meth:`unpack_client_state` — so the event-driven runtimes
+    (:mod:`repro.runtime.events`) can snapshot a client's state at dispatch
+    time and commit the trained state at completion time, independent of the
+    algorithm's internal storage layout.  Synchronous engines never touch the
+    contract (state stays in the algorithm's own arrays, exactly as before).
+    """
 
     name = "base"
 
+    #: True when client_update reads/writes state keyed by ``client_id`` that
+    #: must persist across that client's participations.  Stateful methods run
+    #: serially (the process pool cannot ship per-client state).
+    stateful_per_client = False
+
+    #: True when ``client_update`` consumes server state that only
+    #: ``aggregate`` refreshes (momentum broadcasts like FedCM's Delta,
+    #: FedSMOO's shared ascent estimate, FedLESAM's previous global model).
+    #: Such methods cannot run under the asynchronous server rules — their
+    #: loop never calls ``aggregate``, so the broadcast state would silently
+    #: stay frozen at its initial value; :class:`AsyncAdapter` refuses them.
+    requires_aggregate_broadcast = False
+
     def setup(self, ctx: SimulationContext) -> None:  # pragma: no cover - trivial
         pass
+
+    def pack_client_state(self, client_id: int) -> dict:
+        """Copy of ``client_id``'s persistent local state (empty if stateless)."""
+        return {}
+
+    def unpack_client_state(self, client_id: int, state: dict) -> None:
+        """Restore a client's persistent state from :meth:`pack_client_state`."""
+
+    def server_absorb(self, ctx: SimulationContext, update: "ClientUpdate",
+                      weight: float) -> None:
+        """Fold one asynchronously-arrived update into server-side state.
+
+        Called by :class:`repro.algorithms.async_fl.AsyncAdapter` once per
+        arrival with ``weight = 1/K`` — the per-arrival analogue of the
+        synchronous participation-weighted mean (m clients at weight m/K each
+        contribute their share).  Default: no server-side method state.
+        """
 
     def client_update(
         self, ctx: SimulationContext, round_idx: int, client_id: int, x_global: np.ndarray
@@ -127,6 +167,10 @@ class LocalSGDMixin:
         loss_batches = 0
         cap = cfg.max_batches_per_round
         done = False
+        # grad_eval paths (the SAM family) evaluate the loss inside
+        # _plain_gradient; trace those calls so the batch's first evaluation —
+        # the pre-perturbation loss — still feeds loss-aware samplers
+        self._plain_losses: list[float] = []
         for _ in range(epochs):
             if done:
                 break
@@ -137,21 +181,29 @@ class LocalSGDMixin:
                     loss_batches += 1
                     g = ctx.flat_gradient()
                 else:
+                    mark = len(self._plain_losses)
                     g = grad_eval(xs[bidx], ys[bidx], loss, x)
+                    if len(self._plain_losses) > mark:
+                        loss_sum += self._plain_losses[mark]
+                        loss_batches += 1
                 d = g if direction_fn is None else direction_fn(g, x)
                 x -= lr * d
                 nb += 1
                 if cap is not None and nb >= cap:
                     done = True
                     break
+        self._plain_losses = []
         # mean training loss of this client's local pass, for loss-aware
-        # samplers (Oort statistical utility); None when the plain loss was
-        # never evaluated (grad_eval paths such as SAM)
+        # samplers (Oort statistical utility); the grad_eval trace above keeps
+        # SAM-family methods reporting instead of falling back to the prior
         self.last_train_loss = loss_sum / loss_batches if loss_batches else None
         return x, nb
 
     def _plain_gradient(self, ctx: SimulationContext, x: np.ndarray, xb, yb, loss) -> np.ndarray:
         """Gradient of ``loss`` at parameters ``x`` on batch ``(xb, yb)``."""
         ctx.load_params(x)
-        forward_backward(ctx.model, xb, yb, loss)
+        value = forward_backward(ctx.model, xb, yb, loss)
+        trace = getattr(self, "_plain_losses", None)
+        if trace is not None:
+            trace.append(float(value))
         return ctx.flat_gradient()

@@ -24,6 +24,7 @@ __all__ = ["FedDyn"]
 
 class FedDyn(LocalSGDMixin, FederatedAlgorithm):
     name = "feddyn"
+    stateful_per_client = True
 
     def __init__(self, alpha: float = 0.1) -> None:
         if alpha <= 0:
@@ -33,6 +34,18 @@ class FedDyn(LocalSGDMixin, FederatedAlgorithm):
     def setup(self, ctx: SimulationContext) -> None:
         self._hi = np.zeros((ctx.num_clients, ctx.dim), dtype=np.float64)
         self._h = np.zeros(ctx.dim, dtype=np.float64)
+
+    # client-state contract (see FederatedAlgorithm): h_i rides the event
+    # loop's state store under the asynchronous runtimes
+    def pack_client_state(self, client_id: int) -> dict:
+        return {"hi": self._hi[client_id].copy()}
+
+    def unpack_client_state(self, client_id: int, state: dict) -> None:
+        self._hi[client_id] = state["hi"]
+
+    def server_absorb(self, ctx, update, weight: float) -> None:
+        # per-arrival analogue of aggregate's h += alpha * (m/K) * mean(disp)
+        self._h += self.alpha * weight * update.displacement
 
     def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
         a = self.alpha

@@ -64,6 +64,7 @@ class MoFedSAM(FedSAM):
     """FedCM-style momentum applied on top of local SAM gradients."""
 
     name = "mofedsam"
+    requires_aggregate_broadcast = True
 
     def __init__(self, rho: float = 0.05, alpha: float = 0.1, weighted: bool = True) -> None:
         super().__init__(rho=rho, weighted=weighted)

@@ -44,6 +44,7 @@ class FedWCM(LocalSGDMixin, FederatedAlgorithm):
     """
 
     name = "fedwcm"
+    requires_aggregate_broadcast = True
 
     def __init__(
         self,

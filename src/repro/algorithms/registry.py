@@ -29,7 +29,13 @@ from repro.algorithms.variants import (
     fedcm_with_focal,
 )
 
-__all__ = ["MethodBundle", "make_method", "METHOD_NAMES"]
+__all__ = [
+    "MethodBundle",
+    "make_method",
+    "method_is_stateful",
+    "method_requires_aggregate",
+    "METHOD_NAMES",
+]
 
 
 @dataclass
@@ -93,3 +99,29 @@ def make_method(name: str, **kwargs) -> MethodBundle:
         algo, loss_b, sampler_b = _VARIANTS[key](**kwargs)
         return MethodBundle(algorithm=algo, loss_builder=loss_b, sampler_builder=sampler_b)
     raise KeyError(f"unknown method {name!r}; available: {METHOD_NAMES}")
+
+
+def method_is_stateful(name: str) -> bool:
+    """True when the named method keeps persistent per-client state.
+
+    Answers from the class attribute without instantiating, so spec
+    validation can gate stateful-method knobs (e.g. no process pool for
+    SCAFFOLD/FedDyn) before any engine is built.  Variant factories are
+    FedCM-based and stateless.
+    """
+    return bool(getattr(_SIMPLE.get(name.lower()), "stateful_per_client", False))
+
+
+def method_requires_aggregate(name: str) -> bool:
+    """True when the named method's client rule reads aggregate-refreshed state.
+
+    Such methods (FedCM's momentum broadcast, FedSMOO's shared ascent
+    estimate, FedLESAM's previous global model, ...) cannot run under the
+    asynchronous server rules — ``aggregate`` is never called there, so the
+    broadcast state would silently stay frozen.  The ``fedcm+*`` variant
+    factories build FedCM instances and inherit its answer.
+    """
+    key = name.lower()
+    if key in _VARIANTS:  # all current variants are FedCM-based
+        return FedCM.requires_aggregate_broadcast
+    return bool(getattr(_SIMPLE.get(key), "requires_aggregate_broadcast", False))

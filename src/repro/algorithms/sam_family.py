@@ -83,6 +83,10 @@ class FedSMOO(LocalSGDMixin, FederatedAlgorithm):
     """
 
     name = "fedsmoo"
+    stateful_per_client = True
+    # mu is refreshed only in aggregate, so async wrapping is refused even
+    # though the per-client h_i state implements the pack/unpack contract
+    requires_aggregate_broadcast = True
 
     def __init__(self, rho: float = 0.05, alpha: float = 0.1, weighted: bool = True) -> None:
         if rho <= 0 or alpha <= 0:
@@ -94,6 +98,13 @@ class FedSMOO(LocalSGDMixin, FederatedAlgorithm):
     def setup(self, ctx: SimulationContext) -> None:
         self._hi = np.zeros((ctx.num_clients, ctx.dim), dtype=np.float64)
         self._mu = np.zeros(ctx.dim, dtype=np.float64)  # shared ascent estimate
+
+    # client-state contract: the dual variable h_i per client
+    def pack_client_state(self, client_id: int) -> dict:
+        return {"hi": self._hi[client_id].copy()}
+
+    def unpack_client_state(self, client_id: int, state: dict) -> None:
+        self._hi[client_id] = state["hi"]
 
     def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
         rho, a = self.rho, self.alpha
@@ -142,6 +153,7 @@ class FedLESAM(LocalSGDMixin, FederatedAlgorithm):
     """
 
     name = "fedlesam"
+    requires_aggregate_broadcast = True
 
     def __init__(self, rho: float = 0.05, weighted: bool = True) -> None:
         if rho <= 0:

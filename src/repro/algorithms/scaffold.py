@@ -22,10 +22,24 @@ __all__ = ["Scaffold"]
 
 class Scaffold(LocalSGDMixin, FederatedAlgorithm):
     name = "scaffold"
+    stateful_per_client = True
 
     def setup(self, ctx: SimulationContext) -> None:
         self._c = np.zeros(ctx.dim, dtype=np.float64)
         self._ci = np.zeros((ctx.num_clients, ctx.dim), dtype=np.float64)
+
+    # client-state contract: the control variate c_i travels through the
+    # event-driven runtimes' state store (snapshot at dispatch, commit at
+    # completion) instead of being read in completion order
+    def pack_client_state(self, client_id: int) -> dict:
+        return {"ci": self._ci[client_id].copy()}
+
+    def unpack_client_state(self, client_id: int, state: dict) -> None:
+        self._ci[client_id] = state["ci"]
+
+    def server_absorb(self, ctx, update, weight: float) -> None:
+        # per-arrival analogue of aggregate's (m/K) * mean(delta_ci)
+        self._c += weight * update.extras["delta_ci"]
 
     def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
         c, ci = self._c, self._ci[client_id]

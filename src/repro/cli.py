@@ -25,6 +25,8 @@ Examples::
     python -m repro compare --methods fedavg,fedcm,fedwcm --if 0.05
     python -m repro runtime --algorithm semisync --adaptive-deadline 0.3 \\
         --sampler utility --price-comm --base-method scaffold
+    python -m repro runtime --algorithm semisync --deadline 2.5 --late-policy trickle
+    python -m repro runtime --algorithm fedbuff --base-method scaffold --sampler fast
     python -m repro spec dump --algorithm fedbuff --latency pareto > my_spec.json
     python -m repro spec validate examples/specs/*.json
 """
@@ -141,7 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--staleness-exponent", type=float, default=_SUPPRESS,
                        help="polynomial staleness discount exponent")
         p.add_argument("--base-method", default=_SUPPRESS, choices=METHOD_NAMES,
-                       help="wrapped algorithm for --algorithm semisync (default: fedavg)")
+                       help="wrapped algorithm: the method semisync rounds drive, or "
+                            "the local rule an async engine runs through an "
+                            "AsyncAdapter (default: fedavg / the kind's own rule)")
         p.add_argument("--deadline", type=float, default=_SUPPRESS,
                        help="semisync round deadline in virtual seconds "
                             "(default: wait for all)")
@@ -151,11 +155,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "(--deadline, if given, seeds the controller)")
         p.add_argument("--late-weight", type=float, default=_SUPPRESS,
                        help="semisync weight for deadline-missing clients (0 = drop)")
+        p.add_argument("--late-policy", default=_SUPPRESS,
+                       choices=("downweight", "trickle"),
+                       help="semisync late-client handling: downweight merges late "
+                            "updates same-round (scaled by --late-weight), trickle "
+                            "merges each into the round open at its actual arrival")
         p.add_argument("--staleness-budget", type=float, default=_SUPPRESS,
                        help="AIMD-tune async concurrency toward this mean staleness "
                             "(--concurrency seeds the initial limit)")
         p.add_argument("--sampler", default=_SUPPRESS, choices=sorted(SAMPLERS),
-                       help="semisync cohort sampler (time-aware: fast, long-idle, utility)")
+                       help="cohort sampler: per-round for semisync, per-dispatch "
+                            "for the async engines (time-aware: fast, long-idle, "
+                            "utility)")
         p.add_argument("--price-comm", action="store_true", default=_SUPPRESS,
                        help="price the algorithm's CommunicationModel payload into "
                             "latency (FedCM/SCAFFOLD multipliers reach virtual time)")
@@ -227,6 +238,7 @@ _SEMISYNC_MAP = (
     ("deadline", "runtime.deadline"),
     ("adaptive_deadline", "runtime.adaptive_deadline"),
     ("late_weight", "runtime.late_weight"),
+    ("late_policy", "runtime.late_policy"),
     ("sampler", "runtime.sampler"),
 )
 _ASYNC_MAP = (
@@ -234,6 +246,7 @@ _ASYNC_MAP = (
     ("max_updates", "runtime.max_updates"),
     ("staleness_budget", "runtime.staleness_budget"),
     ("workers", "runtime.workers"),
+    ("sampler", "runtime.sampler"),
 )
 
 
@@ -269,18 +282,23 @@ def spec_from_args(args) -> ExperimentSpec:
         items.append(("model.arch", arch))
         items.append(("model.kwargs", kwargs))
 
-    # which algorithm trains: --method (run), --base-method (semisync), or
-    # the engine kind itself (fedasync / fedbuff)
+    # which algorithm trains: --method (run), --base-method (semisync and the
+    # async engines' wrapped local rule), or the engine kind itself
     if kind in ("fedasync", "fedbuff"):
-        explicit = getattr(args, "method", None)
-        if explicit is not None and explicit != kind:
+        bm = getattr(args, "base_method", None)
+        m = getattr(args, "method", None)
+        if bm is not None and m is not None and bm != m:
             raise ValueError(
-                f"--method {explicit} conflicts with engine kind {kind!r} "
-                f"(from {'--algorithm' if hasattr(args, 'algorithm') else 'the config file'}); "
-                "async engines train their own aggregation rule — use "
-                "--algorithm semisync to wrap a synchronous method"
+                f"--base-method {bm} and --method {m} disagree; "
+                "set just one for an async run"
             )
-        items.append(("method.name", kind))
+        explicit = bm if bm is not None else m
+        if explicit is not None:
+            # the kind's own name runs it plain; anything else wraps that
+            # method's local rule in an AsyncAdapter under the kind's rule
+            items.append(("method.name", explicit))
+        elif args.config is None:
+            items.append(("method.name", kind))
         for attr, key in (("mixing", "mixing"), ("buffer_size", "buffer_size"),
                           ("staleness_exponent", "staleness_exponent")):
             if hasattr(args, attr) and _kwarg_applies(kind, attr):
@@ -347,8 +365,8 @@ _KNOB_FLAGS = {
 _METHOD_FLAGS_UNUSED = {
     "sync": ("mixing", "buffer_size", "staleness_exponent", "base_method"),
     "semisync": ("mixing", "buffer_size", "staleness_exponent"),
-    "fedasync": ("buffer_size", "base_method"),
-    "fedbuff": ("mixing", "base_method"),
+    "fedasync": ("buffer_size",),
+    "fedbuff": ("mixing",),
 }
 
 

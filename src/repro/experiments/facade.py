@@ -21,7 +21,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.algorithms import make_method
+from repro.algorithms import AsyncAdapter, make_method
 from repro.data import load_federated_dataset
 from repro.data.registry import FederatedDataset
 from repro.experiments.spec import ExperimentSpec
@@ -184,17 +184,37 @@ def build(spec: ExperimentSpec):
             latency_model=make_latency(),
             deadline=deadline,
             late_weight=rt.late_weight,
+            late_policy=rt.late_policy,
             loss_builder=bundle.loss_builder,
             sampler_builder=bundle.sampler_builder,
             client_sampler=_build_sampler(spec, timed=True),
         )
 
     # fedasync / fedbuff: the method registry rebuilds the algorithm for
-    # worker replicas with the exact same hyper-parameters
+    # worker replicas with the exact same hyper-parameters.  A method other
+    # than the kind itself runs its local rule under the kind's server rule
+    # via an AsyncAdapter; the rule's knobs may ride in method.kwargs and are
+    # routed to the rule, everything else to the base method.
+    kind = rt.kind
     mname, mkwargs = spec.method.name, dict(spec.method.kwargs)
+    if mname.lower() == kind:
+        def algo_builder():
+            return make_method(mname, **mkwargs).algorithm
 
-    def algo_builder():
-        return make_method(mname, **mkwargs).algorithm
+        bundle = None
+    else:
+        rule_keys = {
+            "fedasync": ("mixing", "staleness_exponent"),
+            "fedbuff": ("buffer_size", "staleness_exponent"),
+        }[kind]
+        rule_kwargs = {k: mkwargs.pop(k) for k in rule_keys if k in mkwargs}
+        bundle = make_method(mname, **mkwargs)
+
+        def algo_builder():
+            return AsyncAdapter(
+                make_method(mname, **mkwargs).algorithm,
+                make_method(kind, **rule_kwargs).algorithm,
+            )
 
     controller = None
     if rt.staleness_budget is not None:
@@ -211,6 +231,9 @@ def build(spec: ExperimentSpec):
         workers=rt.workers,
         model_builder=model_builder,
         algo_builder=algo_builder,
+        sampler=_build_sampler(spec, timed=True),
+        loss_builder=bundle.loss_builder if bundle is not None else None,
+        sampler_builder=bundle.sampler_builder if bundle is not None else None,
     )
 
 

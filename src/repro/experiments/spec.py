@@ -29,10 +29,10 @@ import types
 import typing
 from dataclasses import dataclass, field
 
-from repro.algorithms import METHOD_NAMES
+from repro.algorithms import METHOD_NAMES, method_is_stateful, method_requires_aggregate
 from repro.data import DATASET_REGISTRY
 from repro.nn.models import MODEL_REGISTRY
-from repro.runtime import LATENCY_MODELS, SAMPLERS, TimeAwareSampler
+from repro.runtime import LATE_POLICIES, LATENCY_MODELS, SAMPLERS, TimeAwareSampler
 from repro.simulation import FLConfig
 from repro.utils.validation import check_fraction, check_positive
 
@@ -58,14 +58,12 @@ _ASYNC_KINDS = ("fedasync", "fedbuff")
 KIND_FORBIDDEN_KNOBS: dict[str, tuple[str, ...]] = {
     "sync": (
         "latency", "price_comm", "deadline", "adaptive_deadline",
-        "late_weight", "concurrency", "staleness_budget",
+        "late_weight", "late_policy", "concurrency", "staleness_budget",
         "max_updates", "workers",
     ),
     "semisync": ("concurrency", "staleness_budget", "max_updates", "workers"),
-    "fedasync": ("deadline", "adaptive_deadline", "late_weight",
-                 "sampler", "sampler_kwargs"),
-    "fedbuff": ("deadline", "adaptive_deadline", "late_weight",
-                "sampler", "sampler_kwargs"),
+    "fedasync": ("deadline", "adaptive_deadline", "late_weight", "late_policy"),
+    "fedbuff": ("deadline", "adaptive_deadline", "late_weight", "late_policy"),
 }
 
 
@@ -142,9 +140,14 @@ class ModelSpec:
 class MethodSpec:
     """The federated algorithm: registry name plus hyper-parameters.
 
-    For ``runtime.kind`` in ``("fedasync", "fedbuff")`` the name must match
-    the engine kind (the async engines *are* their aggregation rule); kwargs
-    then carry e.g. ``mixing`` / ``buffer_size`` / ``staleness_exponent``.
+    Under ``runtime.kind`` in ``("fedasync", "fedbuff")`` the name selects
+    the *local* training rule: naming the kind itself runs plain
+    FedAsync/FedBuff, while any other method (SCAFFOLD, FedDyn, the SAM
+    family, ...) is wrapped in an :class:`~repro.algorithms.AsyncAdapter` —
+    its ``client_update`` under the kind's staleness-aware server rule.  In
+    the wrapped case the rule's knobs (``mixing`` / ``buffer_size`` /
+    ``staleness_exponent``) may still ride in ``kwargs``; they are routed to
+    the rule, everything else to the base method.
     """
 
     name: str = "fedavg"
@@ -173,18 +176,26 @@ class RuntimeSpec:
         price_comm: resolve the method's :class:`CommunicationModel` payload
             into the priced latency (``comm_method="auto"``).
         sampler: cohort sampler registry name (``uniform`` keeps the
-            context's default stream).
+            context's default stream).  For semisync the sampler draws whole
+            cohorts; for fedasync/fedbuff it must be time-aware and picks
+            each replacement dispatch (``pick_next``).
         sampler_kwargs: forwarded to the sampler constructor.
         deadline: semi-sync round deadline in virtual seconds (None = wait
             for the slowest client).
         adaptive_deadline: drop-rate budget for a
             :class:`~repro.runtime.scheduling.DeadlineController` (None =
             fixed deadline); ``deadline`` then seeds the controller.
-        late_weight: semi-sync weight for deadline-missing clients.
+        late_weight: semi-sync weight for deadline-missing clients
+            (``late_policy="downweight"`` only).
+        late_policy: semi-sync late-client handling — ``"downweight"``
+            merges late updates into their own round scaled by
+            ``late_weight`` (the same-round approximation), ``"trickle"``
+            merges each into the round open at its actual arrival.
         concurrency: async clients in flight (None = sync cohort size).
         staleness_budget: AIMD concurrency control target (None = fixed).
         max_updates: async total client updates (None = rounds x cohort).
-        workers: process-pool workers for async batched training (None = 1).
+        workers: process-pool workers for async batched training (None = 1;
+            stateful methods such as SCAFFOLD must run serially).
     """
 
     kind: str = "sync"
@@ -196,6 +207,7 @@ class RuntimeSpec:
     deadline: float | None = None
     adaptive_deadline: float | None = None
     late_weight: float = 0.0
+    late_policy: str = "downweight"
     concurrency: int | None = None
     staleness_budget: float | None = None
     max_updates: int | None = None
@@ -223,6 +235,15 @@ class RuntimeSpec:
             )
         if not 0.0 <= self.late_weight <= 1.0:
             raise ValueError(f"late_weight must be in [0, 1], got {self.late_weight}")
+        if self.late_policy not in LATE_POLICIES:
+            raise ValueError(
+                f"late_policy must be one of {LATE_POLICIES}, got {self.late_policy!r}"
+            )
+        if self.late_policy == "trickle" and self.late_weight != 0.0:
+            raise ValueError(
+                "late_weight only applies to late_policy='downweight' "
+                "(trickled updates merge at full weight when they arrive)"
+            )
         if self.concurrency is not None and self.concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
         if self.staleness_budget is not None and self.staleness_budget < 0:
@@ -244,6 +265,16 @@ class RuntimeSpec:
                 f"sampler {self.sampler!r} is time-aware and needs a priced "
                 "engine; use kind='semisync'"
             )
+        if (
+            self.kind in _ASYNC_KINDS
+            and self.sampler.lower() != "uniform"
+            and not issubclass(SAMPLERS[self.sampler.lower()], TimeAwareSampler)
+        ):
+            raise ValueError(
+                f"sampler {self.sampler!r} has no per-dispatch interface; the "
+                "async engines need a time-aware sampler "
+                "(fast, long-idle, utility) or 'uniform'"
+            )
         if self.sampler.lower() == "uniform" and self.sampler_kwargs:
             raise ValueError(
                 "sampler_kwargs requires a non-uniform sampler "
@@ -263,6 +294,7 @@ class RuntimeSpec:
             "deadline": self.deadline is not None,
             "adaptive_deadline": self.adaptive_deadline is not None,
             "late_weight": self.late_weight != 0.0,
+            "late_policy": self.late_policy != "downweight",
             "concurrency": self.concurrency is not None,
             "staleness_budget": self.staleness_budget is not None,
             "max_updates": self.max_updates is not None,
@@ -294,31 +326,52 @@ class ExperimentSpec:
     def __post_init__(self) -> None:
         kind = self.runtime.kind
         mname = self.method.name.lower()
-        # sync/semisync accept any method (fedasync/fedbuff have a synchronous
-        # fallback aggregate), but the event-driven kinds ARE their
-        # aggregation rule, so the method must match
-        if kind in _ASYNC_KINDS and mname != kind:
+        # the event-driven kinds ARE their aggregation rule; any *other*
+        # method runs its local rule under that rule via an AsyncAdapter —
+        # except a second staleness-aware rule, which cannot nest
+        if kind in _ASYNC_KINDS and mname in _ASYNC_KINDS and mname != kind:
             raise ValueError(
-                f"runtime.kind={kind!r} requires method.name={kind!r} (the async "
-                f"engines are their aggregation rule), got {self.method.name!r}; "
-                "wrap synchronous methods with runtime.kind='semisync' instead"
+                f"method.name={self.method.name!r} is itself a staleness-aware "
+                f"rule and cannot run under runtime.kind={kind!r}; name the "
+                "kind's own method, or a synchronous method to wrap"
+            )
+        if kind in _ASYNC_KINDS and method_requires_aggregate(mname):
+            raise ValueError(
+                f"method {self.method.name!r} broadcasts server state that "
+                "only aggregate() refreshes (frozen under async rules); use "
+                "runtime.kind='semisync' for deadline-based straggler handling"
+            )
+        if (
+            kind in _ASYNC_KINDS
+            and method_is_stateful(mname)
+            and (self.runtime.workers or 1) > 1
+        ):
+            raise ValueError(
+                f"method {self.method.name!r} keeps per-client state and must "
+                "run serially under the async engines; drop runtime.workers"
             )
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> dict:
         """Lossless nested-dict form (JSON-safe).
 
+        Named lr schedules (``{"name": "cosine", ...}``) serialize as-is;
+        bare callables don't.
+
         Raises:
-            ValueError: when ``config.lr_schedule`` is set — callables don't
-                serialize; attach schedules programmatically after loading.
+            ValueError: when ``config.lr_schedule`` is a callable — use the
+                named form, or attach the callable after loading.
         """
-        if self.config.lr_schedule is not None:
+        schedule = self.config.lr_schedule
+        if schedule is not None and not isinstance(schedule, dict):
             raise ValueError(
-                "config.lr_schedule is a callable and cannot be serialized; "
-                "set it to None before to_dict() and re-attach after loading"
+                "config.lr_schedule is a bare callable and cannot be "
+                "serialized; use the named form {'name': 'cosine', ...} "
+                "(see repro.nn.schedules), or re-attach it after loading"
             )
         out = dataclasses.asdict(self)
-        del out["config"]["lr_schedule"]
+        if schedule is None:
+            del out["config"]["lr_schedule"]
         return out
 
     @classmethod
@@ -458,8 +511,11 @@ def _section_from_dict(cls, section: str, value):
     if not isinstance(value, dict):
         raise ValueError(f"section {section!r} must be a mapping, got {value!r}")
     names = {f.name for f in dataclasses.fields(cls) if f.init}
-    if section == "config":
-        names.discard("lr_schedule")  # callable: never in serialized form
+    if section == "config" and callable(value.get("lr_schedule")):
+        raise ValueError(
+            "config.lr_schedule in a serialized spec must be the named "
+            "{'name': ...} form, not a callable"
+        )
     unknown = sorted(set(value) - names)
     if unknown:
         raise ValueError(

@@ -10,7 +10,18 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["ConstantSchedule", "StepSchedule", "CosineSchedule", "WarmupSchedule", "make_schedule"]
+__all__ = [
+    "ConstantSchedule",
+    "StepSchedule",
+    "CosineSchedule",
+    "WarmupSchedule",
+    "SCHEDULE_NAMES",
+    "make_schedule",
+]
+
+#: names accepted by :func:`make_schedule` (and by the serializable
+#: ``{"name": ...}`` form of ``FLConfig.lr_schedule``)
+SCHEDULE_NAMES = ("constant", "step", "cosine", "warmup-cosine")
 
 
 class ConstantSchedule:
@@ -89,4 +100,4 @@ def make_schedule(name: str, total_rounds: int, **kwargs):
             warmup_rounds=warmup,
             after=CosineSchedule(total_rounds=max(total_rounds - warmup, 1), **kwargs),
         )
-    raise KeyError(f"unknown schedule {name!r}")
+    raise KeyError(f"unknown schedule {name!r}; available: {SCHEDULE_NAMES}")

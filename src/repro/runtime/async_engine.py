@@ -22,11 +22,26 @@ batches dispatches that started from the same global model version through
 at first need, which lets FedBuff-style runs (where the model changes only
 every K arrivals) parallelise near-perfectly while remaining bit-identical
 to the serial schedule.
+
+The loop itself lives in :class:`repro.runtime.events.AsyncPolicy`; this
+class is the construction-and-validation facade.  Beyond plain FedAsync /
+FedBuff it supports
+
+* *stateful per-client methods* — algorithms declaring
+  ``stateful_per_client`` (SCAFFOLD, FedDyn — typically wrapped in an
+  :class:`~repro.algorithms.AsyncAdapter`) have each client's state
+  snapshotted at dispatch and committed at completion through the event
+  core's :class:`~repro.runtime.events.ClientStateStore`; they must run
+  serially (``workers=1``);
+* *per-dispatch time-aware sampling* — pass ``sampler`` (a
+  :class:`~repro.runtime.scheduling.TimeAwareSampler`) and each replacement
+  dispatch is chosen by ``sampler.pick_next(idle, now)`` instead of the
+  uniform idle draw, with priced latencies and training losses fed back as
+  completions land.
 """
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import replace
 from typing import Callable, Sequence
@@ -36,16 +51,12 @@ import numpy as np
 from repro.data.registry import FederatedDataset
 from repro.nn.module import Module
 from repro.parallel.pool import ParallelClientRunner, resolve_workers
-from repro.runtime.clock import ConstantLatency, LatencyModel, VirtualClock
+from repro.runtime.clock import ConstantLatency, LatencyModel
+from repro.runtime.events import AsyncPolicy, EventCore
 from repro.runtime.scheduling import ConcurrencyController, resolve_auto_comm
-from repro.simulation.config import FLConfig
+from repro.simulation.config import FLConfig, resolve_lr_schedule
 from repro.simulation.context import SimulationContext
-from repro.simulation.engine import (
-    History,
-    TimedRoundRecord,
-    attach_train_loss,
-    evaluate_into_record,
-)
+from repro.simulation.engine import History
 
 __all__ = ["AsyncFederatedSimulation"]
 
@@ -105,9 +116,11 @@ class AsyncFederatedSimulation:
 
     Args:
         algorithm: an algorithm implementing ``server_apply(ctx, x, update,
-            staleness, x_dispatch)`` (e.g. :class:`repro.algorithms.FedAsync`
-            or :class:`~repro.algorithms.FedBuff`); ``client_update`` must be
-            stateless (reads only broadcast state), as in the process pool.
+            staleness, x_dispatch)`` (e.g. :class:`repro.algorithms.FedAsync`,
+            :class:`~repro.algorithms.FedBuff`, or an
+            :class:`~repro.algorithms.AsyncAdapter` wrapping any method's
+            local rule).  Stateless ``client_update`` is required for
+            ``workers > 1``; stateful methods run serially.
         model / dataset / config: the problem definition (as the sync engine).
         latency_model: prices each dispatch in virtual seconds (default
             :class:`~repro.runtime.clock.ConstantLatency`); bound to the
@@ -127,15 +140,19 @@ class AsyncFederatedSimulation:
         model_builder / algo_builder: zero-arg factories for worker replicas;
             required when ``workers > 1`` (``algo_builder`` defaults to the
             algorithm's class called with no arguments).
+        sampler: optional :class:`~repro.runtime.scheduling.TimeAwareSampler`
+            picking each replacement dispatch (``pick_next``); None keeps the
+            uniform idle draw.
         loss_builder / sampler_builder / metric_hooks: as the sync engine.
 
     Notes:
         ``FLConfig.lr_schedule`` is evaluated per evaluation *window* (one
         window = one synchronous round's client work), so scheduled-lr runs
         stay comparable to synchronous baselines.  Models with BatchNorm
-        buffers are supported but their running statistics stay frozen at
-        their initial values (a warning is emitted); use GroupNorm models
-        for meaningful async accuracy.
+        buffers keep a server-side exponential moving average over arriving
+        clients' post-training statistics in serial mode; worker pools
+        cannot ship buffers back and keep them frozen at their initial
+        values (a warning is emitted).
     """
 
     def __init__(
@@ -151,6 +168,7 @@ class AsyncFederatedSimulation:
         workers: int | None = None,
         model_builder: Callable | None = None,
         algo_builder: Callable | None = None,
+        sampler=None,
         loss_builder=None,
         sampler_builder=None,
         metric_hooks: Sequence = (),
@@ -158,26 +176,19 @@ class AsyncFederatedSimulation:
         if not hasattr(algorithm, "server_apply"):
             raise TypeError(
                 f"{type(algorithm).__name__} has no server_apply(); use a "
-                "staleness-aware method (fedasync, fedbuff) or wrap a "
-                "synchronous one in SemiSyncFederatedSimulation"
+                "staleness-aware method (fedasync, fedbuff), wrap one in an "
+                "AsyncAdapter, or run it under SemiSyncFederatedSimulation"
             )
         self.algorithm = algorithm
         self.window = max(1, int(round(config.participation * dataset.num_clients)))
-        if config.lr_schedule is not None:
+        schedule = resolve_lr_schedule(config.lr_schedule, config.rounds)
+        if schedule is not None:
             # client_update receives the dispatch sequence number as its
             # round index (for unique RNG streams), so remap the schedule to
             # evaluation windows — one window = one synchronous round's work —
             # keeping scheduled-lr runs comparable to the sync baseline
-            base_schedule, window = config.lr_schedule, self.window
-            config = replace(config, lr_schedule=lambda seq: base_schedule(seq // window))
-        if model.buffers:
-            warnings.warn(
-                "model has BatchNorm-style buffers; the async engine keeps "
-                "them frozen at their initial values (no staleness-aware "
-                "buffer aggregation yet — see ROADMAP open items). Prefer "
-                "GroupNorm models for async runs.",
-                stacklevel=2,
-            )
+            window = self.window
+            config = replace(config, lr_schedule=lambda seq: schedule(seq // window))
         self.ctx = SimulationContext(
             model, dataset, config, loss_builder=loss_builder, sampler_builder=sampler_builder
         )
@@ -197,173 +208,68 @@ class AsyncFederatedSimulation:
         if self.max_updates < 1:
             raise ValueError(f"max_updates must be >= 1, got {self.max_updates}")
         self.workers = 1 if workers is None else resolve_workers(workers)
+        if self.workers > 1 and getattr(algorithm, "stateful_per_client", False):
+            raise ValueError(
+                f"{getattr(algorithm, 'name', type(algorithm).__name__)} keeps "
+                "per-client state and must run serially (workers=1); the "
+                "process pool cannot ship client state"
+            )
         if self.workers > 1 and model_builder is None:
             raise ValueError("workers > 1 requires a model_builder for worker replicas")
+        if self.workers > 1 and model.buffers:
+            warnings.warn(
+                "worker pools cannot ship BatchNorm-style buffers back; "
+                "buffers stay frozen at their initial values (run serially "
+                "for the server-side buffer moving average)",
+                stacklevel=2,
+            )
         self._model_builder = model_builder
         if algo_builder is None and self.workers > 1:
             _warn_on_replica_config_mismatch(algorithm)
         self._algo_builder = algo_builder or type(algorithm)
         self._loss_builder = loss_builder
         self._sampler_builder = sampler_builder
+        self.sampler = sampler
+        if sampler is not None:
+            if not hasattr(sampler, "pick_next"):
+                raise TypeError(
+                    f"{type(sampler).__name__} has no pick_next(idle, now); "
+                    "async dispatch needs a TimeAwareSampler"
+                )
+            sampler.bind(self.ctx, self.latency_model)
         self.metric_hooks = list(metric_hooks)
         self.final_params: np.ndarray | None = None
         self.total_virtual_time = 0.0
 
     def run(self, verbose: bool = False) -> History:
-        ctx = self.ctx
-        cfg = ctx.config
-        algo = self.algorithm
-        algo.setup(ctx)
-        if self.concurrency_controller is not None:
-            # restart from the seeded limit so a re-run reproduces the first
-            self.concurrency_controller.reset()
-            self.concurrency = self.concurrency_controller.limit
-
-        x = ctx.x0.copy()
-        history = History(algorithm=getattr(algo, "name", type(algo).__name__))
-        clock = VirtualClock()
-        buf0 = ctx.model.get_buffers(copy=True) if ctx.model.buffers else None
-
         runner: ParallelClientRunner | None = None
         if self.workers > 1:
             runner = ParallelClientRunner(
                 self._model_builder,
-                ctx.dataset,
-                cfg,
+                self.ctx.dataset,
+                self.ctx.config,
                 self._algo_builder,
                 loss_builder=self._loss_builder,
                 sampler_builder=self._sampler_builder,
                 workers=self.workers,
             )
-
-        in_flight: dict[int, tuple[int, int, np.ndarray]] = {}  # seq -> (cid, version, x_ref)
-        pending: list[tuple[int, int, np.ndarray]] = []  # uncomputed (seq, cid, x_ref)
-        results: dict[int, object] = {}
-        busy: dict[int, int] = {}  # client -> outstanding dispatches
-        state = {"dispatched": 0, "version": 0, "applied": 0}
-
-        def dispatch() -> None:
-            # choose among idle clients with a stream keyed by dispatch index,
-            # so the schedule is independent of execution details
-            rng = np.random.default_rng((cfg.seed, 0xA7, state["dispatched"]))
-            avail = np.array(
-                [k for k in range(ctx.num_clients) if not busy.get(k)], dtype=np.int64
-            )
-            if avail.size == 0:  # concurrency exceeds the client pool
-                avail = np.arange(ctx.num_clients, dtype=np.int64)
-            cid = int(avail[rng.integers(avail.size)])
-            seq = state["dispatched"]
-            state["dispatched"] += 1
-            clock.schedule(self.latency_model.latency(cid, seq), client_id=cid, seq=seq)
-            in_flight[seq] = (cid, state["version"], x)
-            pending.append((seq, cid, x))
-            busy[cid] = busy.get(cid, 0) + 1
-
-        def flush() -> None:
-            # compute every pending dispatch, batching groups that share a
-            # broadcast vector (consecutive by construction: x only advances)
-            while pending:
-                x_ref = pending[0][2]
-                n = 1
-                while n < len(pending) and pending[n][2] is x_ref:
-                    n += 1
-                group = pending[:n]
-                del pending[:n]
-                if runner is not None and len(group) > 1:
-                    outs = runner.run_jobs([(s, c) for s, c, _ in group], x_ref)
-                else:
-                    outs = []
-                    for s, c, _ in group:
-                        if buf0 is not None:
-                            ctx.model.set_buffers(buf0)
-                        outs.append(attach_train_loss(algo, algo.client_update(ctx, s, c, x_ref)))
-                for (s, _, _), upd in zip(group, outs):
-                    results[s] = upd
-
-        completed = 0
-        round_idx = 0
-        win_tau: list[float] = []
-        win_conc: list[int] = []
-        win_clients: list[int] = []
-        t0 = time.perf_counter()
-
+        policy = AsyncPolicy(
+            self.latency_model,
+            window=self.window,
+            concurrency=self.concurrency,
+            max_updates=self.max_updates,
+            concurrency_controller=self.concurrency_controller,
+            sampler=self.sampler,
+            runner=runner,
+        )
+        core = EventCore(
+            self.ctx, self.algorithm, policy, metric_hooks=self.metric_hooks
+        )
         try:
-            for _ in range(min(self.concurrency, self.max_updates)):
-                dispatch()
-
-            while len(clock):
-                ev = clock.pop()
-                seq = ev.data["seq"]
-                if seq not in results:
-                    flush()
-                update = results.pop(seq)
-                cid, v_dispatch, x_dispatch = in_flight.pop(seq)
-                if busy.get(cid, 0) <= 1:
-                    busy.pop(cid, None)
-                else:
-                    busy[cid] -= 1
-
-                tau = state["version"] - v_dispatch
-                x_new = algo.server_apply(ctx, x, update, tau, x_dispatch)
-                if x_new is not None:
-                    x = x_new
-                    state["version"] += 1
-                    state["applied"] += 1
-                completed += 1
-                win_tau.append(float(tau))
-                win_conc.append(len(in_flight) + 1)
-                win_clients.append(cid)
-
-                if self.concurrency_controller is not None:
-                    limit = self.concurrency_controller.observe(float(tau))
-                else:
-                    limit = self.concurrency
-                # refill up to the (possibly AIMD-adjusted) in-flight limit;
-                # when the limit drops, replacements pause until the
-                # in-flight population drains below it
-                while state["dispatched"] < self.max_updates and len(in_flight) < limit:
-                    dispatch()
-
-                if completed % self.window == 0 or completed == self.max_updates:
-                    if completed == self.max_updates:
-                        x_final = algo.finalize(ctx, x)
-                        if x_final is not None:
-                            x = x_final
-                            state["version"] += 1
-                            state["applied"] += 1
-                    rec = TimedRoundRecord(
-                        round=round_idx,
-                        selected=np.asarray(win_clients, dtype=np.int64),
-                        wall_time=time.perf_counter() - t0,
-                        virtual_time=clock.now,
-                        staleness=float(np.mean(win_tau)),
-                        concurrency=float(np.mean(win_conc)),
-                        updates_applied=state["applied"],
-                    )
-                    t0 = time.perf_counter()
-                    if (round_idx % cfg.eval_every == 0) or (completed == self.max_updates):
-                        if buf0 is not None:
-                            ctx.model.set_buffers(buf0)
-                        evaluate_into_record(ctx, rec, round_idx, x, self.metric_hooks)
-                    rec.extras["concurrency_limit"] = (
-                        self.concurrency_controller.limit
-                        if self.concurrency_controller is not None
-                        else self.concurrency
-                    )
-                    rec.extras.update(algo.round_extras())
-                    history.records.append(rec)
-                    if verbose and not np.isnan(rec.test_accuracy):
-                        print(
-                            f"[{history.algorithm}] window {round_idx:4d}  "
-                            f"t={clock.now:9.2f}s  acc={rec.test_accuracy:.4f}  "
-                            f"stale={rec.staleness:.2f}"
-                        )
-                    round_idx += 1
-                    win_tau, win_conc, win_clients = [], [], []
+            history = core.run(verbose=verbose)
         finally:
             if runner is not None:
                 runner.close()
-
-        self.final_params = x
-        self.total_virtual_time = clock.now
+        self.final_params = core.x
+        self.total_virtual_time = core.clock.now
         return history

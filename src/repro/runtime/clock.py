@@ -107,6 +107,17 @@ class VirtualClock:
         self.now += float(dt)
         return self.now
 
+    def clear(self) -> int:
+        """Drop all pending events without advancing ``now``.
+
+        Used by round policies at the end of a run to abandon in-flight
+        trickle completions the stopped server can no longer merge; returns
+        the number of events dropped.
+        """
+        n = len(self._heap)
+        self._heap.clear()
+        return n
+
 
 class LatencyModel:
     """Price a client update in simulated seconds.

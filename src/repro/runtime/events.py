@@ -1,0 +1,771 @@
+"""One event loop for every engine kind.
+
+Before this module the repo carried three training loops — lock-step rounds
+(:class:`repro.simulation.FederatedSimulation`), deadline rounds
+(:class:`repro.runtime.SemiSyncFederatedSimulation`) and the asynchronous
+event loop (:class:`repro.runtime.AsyncFederatedSimulation`) — each
+re-implementing dispatch, completion handling, sampler binding and history
+recording.  They are now all *policies* over one :class:`EventCore`:
+
+* :class:`BarrierPolicy` — synchronous rounds: every cohort member is
+  dispatched at once, completions land immediately, the round closes when
+  the barrier (a :class:`DeadlineTick`) pops.  No latency, plain
+  :class:`~repro.simulation.RoundRecord` history.
+* :class:`DeadlinePolicy` — semi-synchronous rounds on the virtual clock:
+  cohort completions are priced by a latency model, a ``DeadlineTick``
+  closes the round, and late clients follow one of two late policies —
+  ``"downweight"`` (the historical same-round approximation: late
+  displacements are scaled by ``late_weight`` — or dropped at 0 — and merged
+  *before they arrive*, which is exactly why it cannot be expressed as
+  honest events and bypasses the queue) or ``"trickle"`` (the honest event
+  path: the late completion stays in the queue and merges into the round
+  that is open when it actually arrives).
+* :class:`AsyncPolicy` — continuous dispatch: a bounded number of clients
+  in flight, each completion immediately applied through the algorithm's
+  ``server_apply`` and replaced, with FedAsync/FedBuff semantics living in
+  the algorithm.  Supports per-dispatch time-aware samplers
+  (:meth:`~repro.runtime.scheduling.TimeAwareSampler.pick_next`) and —
+  through the :class:`ClientStateStore` — stateful per-client methods
+  (SCAFFOLD/FedDyn control variates snapshotted at dispatch, committed at
+  completion).
+
+Events are typed (:class:`Dispatch`, :class:`Completion`,
+:class:`DeadlineTick`) and ride the deterministic
+:class:`~repro.runtime.clock.VirtualClock`; ties pop in schedule order, so
+every run remains a pure function of its seed.  For the pre-existing knob
+space, all three policies reproduce the retired loops' histories
+bit-for-bit (``tests/test_engine_equivalence.py`` pins this against frozen
+copies of the old code).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.runtime.clock import VirtualClock
+from repro.simulation.engine import (
+    BufferAverager,
+    History,
+    RoundRecord,
+    TimedRoundRecord,
+    attach_train_loss,
+    evaluate_into_record,
+)
+
+__all__ = [
+    "Dispatch",
+    "Completion",
+    "DeadlineTick",
+    "ClientStateStore",
+    "EventCore",
+    "BarrierPolicy",
+    "DeadlinePolicy",
+    "AsyncPolicy",
+    "LATE_POLICIES",
+]
+
+LATE_POLICIES = ("downweight", "trickle")
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """One unit of client work issued by a policy.
+
+    Attributes:
+        seq: global dispatch counter (unique per run).
+        client_id: which client trains.
+        round_idx: RNG round key handed to ``client_update`` (the round for
+            barrier/deadline policies, the dispatch sequence for async).
+        issued_at: virtual time the dispatch was issued.
+        version: server model version at dispatch (async staleness anchor).
+        cohort_pos: position inside the round's cohort (-1 for async).
+        late: True when the dispatch is already known to miss its deadline.
+        x_ref: the broadcast parameter vector trained from.
+        state: per-client state snapshot (stateful methods under async).
+    """
+
+    seq: int
+    client_id: int
+    round_idx: int
+    issued_at: float
+    version: int = 0
+    cohort_pos: int = -1
+    late: bool = False
+    x_ref: np.ndarray | None = field(default=None, repr=False, compare=False)
+    state: dict | None = field(default=None, repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A dispatch finishing at its priced virtual time.
+
+    Round policies precompute ``update`` when the dispatch is issued (their
+    compute order is the cohort order, not the arrival order — that is what
+    keeps buffer averaging and aggregation sums bit-identical to the
+    synchronous loops); the async policy resolves updates lazily through the
+    core's batched trainer.
+    """
+
+    dispatch: Dispatch
+    latency: float
+    update: object | None = field(default=None, repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class DeadlineTick:
+    """Round boundary marker: ``phase="open"`` starts, ``"close"`` settles."""
+
+    round_idx: int
+    phase: str = "close"
+
+
+class ClientStateStore:
+    """Canonical per-client algorithm state for the event-driven policies.
+
+    Synchronous rounds leave state inside the algorithm's own arrays (their
+    compute order is the commit order, so nothing extra is needed).  The
+    async policy instead snapshots a client's state when a dispatch is
+    issued and commits the trained state when the completion is applied —
+    making state visibility a function of virtual time, not of Python
+    execution order, and keeping oversubscribed clients (two dispatches in
+    flight) training from the state they physically had.
+    """
+
+    def __init__(self, algorithm, num_clients: int, active: bool = True) -> None:
+        self.active = active and bool(getattr(algorithm, "stateful_per_client", False))
+        self._algo = algorithm
+        self._num = int(num_clients)
+        self._state: dict[int, dict] = {}
+
+    def capture_initial(self) -> None:
+        """Snapshot every client's post-``setup`` state (called once)."""
+        if self.active:
+            self._state = {k: self._algo.pack_client_state(k) for k in range(self._num)}
+
+    def snapshot(self, client_id: int) -> dict | None:
+        """State a dispatch issued now should train from."""
+        return self._state[client_id] if self.active else None
+
+    def commit(self, client_id: int, state: dict | None) -> None:
+        """Make a completed dispatch's trained state the canonical one."""
+        if self.active and state is not None:
+            self._state[client_id] = state
+
+
+class EventCore:
+    """Shared machinery of every engine kind: one clock, one loop.
+
+    The core owns the virtual clock, the global model vector, the history,
+    the client-state store and cohort selection; a *policy* object decides
+    when to dispatch whom and how completions merge.  ``run`` processes the
+    event queue until the policy stops scheduling.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        algorithm,
+        policy,
+        metric_hooks: Sequence = (),
+        client_sampler=None,
+    ) -> None:
+        self.ctx = ctx
+        self.algorithm = algorithm
+        self.policy = policy
+        self.metric_hooks = list(metric_hooks)
+        self.client_sampler = client_sampler
+        self.verbose = False
+        self.x: np.ndarray | None = None
+        self.clock = VirtualClock()
+        self.history: History | None = None
+        self.state_store: ClientStateStore | None = None
+        self._seq = 0
+
+    # -- primitives policies build on ---------------------------------------
+    def next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def post(self, delay: float, payload, client_id: int = -1):
+        """Schedule a typed event ``delay`` virtual seconds from now."""
+        return self.clock.schedule(delay, client_id=client_id, event=payload)
+
+    def select_cohort(self, round_idx: int) -> np.ndarray:
+        """The round's cohort: the context's default stream or a sampler."""
+        if self.client_sampler is None:
+            return self.ctx.sample_clients(round_idx)
+        return np.asarray(self.client_sampler(self.ctx, round_idx))
+
+    def run_client(self, round_idx: int, client_id: int, x_ref: np.ndarray):
+        """One client update through the algorithm (train-loss attached)."""
+        u = self.algorithm.client_update(self.ctx, round_idx, client_id, x_ref)
+        return attach_train_loss(self.algorithm, u)
+
+    def record(self, rec: RoundRecord, evaluate: bool, round_idx: int) -> RoundRecord:
+        """Optionally evaluate into ``rec``, stamp extras, append to history."""
+        if evaluate:
+            evaluate_into_record(self.ctx, rec, round_idx, self.x, self.metric_hooks)
+        rec.extras.update(self.algorithm.round_extras())
+        self.history.records.append(rec)
+        return rec
+
+    # -- the loop ------------------------------------------------------------
+    def run(self, verbose: bool = False) -> History:
+        ctx, algo = self.ctx, self.algorithm
+        self.verbose = verbose
+        algo.setup(ctx)
+        self.x = ctx.x0.copy()
+        self.history = History(algorithm=getattr(algo, "name", type(algo).__name__))
+        self.clock = VirtualClock()
+        self._seq = 0
+        self.state_store = ClientStateStore(
+            algo, ctx.num_clients, active=self.policy.uses_state_store
+        )
+        self.state_store.capture_initial()
+
+        self.policy.begin(self)
+        while len(self.clock):
+            ev = self.clock.pop()
+            payload = ev.data["event"]
+            if isinstance(payload, Completion):
+                self.policy.on_completion(self, payload, ev.time)
+            elif isinstance(payload, DeadlineTick):
+                self.policy.on_deadline(self, payload)
+            else:  # pragma: no cover - policies only post the two kinds above
+                raise TypeError(f"unknown event payload {payload!r}")
+        self.policy.finish(self)
+        return self.history
+
+
+class _RoundPolicy:
+    """Skeleton shared by the barrier and deadline policies.
+
+    A round is two ticks: ``open`` samples the cohort, computes its updates
+    in cohort order and schedules their completions plus the ``close`` tick;
+    completions popped in between stash; ``close`` merges the stash (current
+    round sorted back to cohort order, trickled arrivals appended in arrival
+    order), aggregates, records and opens the next round.
+    """
+
+    uses_state_store = False
+
+    def begin(self, core: EventCore) -> None:
+        self._stash: list[Completion] = []
+        self._late_stash: list[tuple[int, object]] = []
+        self._pending_late = 0
+        self.reset_scheduling(core)
+        core.post(0.0, DeadlineTick(0, "open"))
+
+    def reset_scheduling(self, core: EventCore) -> None:
+        """Forget adapted scheduling state so re-runs reproduce run one."""
+        if core.client_sampler is not None and hasattr(core.client_sampler, "reset"):
+            core.client_sampler.reset()
+
+    def on_completion(self, core: EventCore, comp: Completion, now: float) -> None:
+        self._stash.append(comp)
+        if comp.dispatch.late:
+            self._pending_late -= 1
+
+    def on_deadline(self, core: EventCore, tick: DeadlineTick) -> None:
+        if tick.phase == "open":
+            self.open_round(core, tick.round_idx)
+        else:
+            self.close_round(core, tick.round_idx)
+
+    def finish(self, core: EventCore) -> None:
+        pass
+
+    # subclasses implement
+    def open_round(self, core: EventCore, r: int) -> None:
+        raise NotImplementedError
+
+    def close_round(self, core: EventCore, r: int) -> None:
+        raise NotImplementedError
+
+
+class BarrierPolicy(_RoundPolicy):
+    """Lock-step synchronous rounds (the classic FedAvg loop).
+
+    Every cohort member is dispatched at virtual delay 0, so completions pop
+    in cohort order before the barrier tick; no latency model, no timing
+    fields — histories are plain :class:`RoundRecord` sequences, bit-equal
+    to the retired ``FederatedSimulation`` loop.
+    """
+
+    def open_round(self, core: EventCore, r: int) -> None:
+        ctx = core.ctx
+        self._t0 = time.perf_counter()
+        selected = core.select_cohort(r)
+        self._selected = selected
+        bufavg = BufferAverager(ctx.model)
+        for i, k in enumerate(selected):
+            bufavg.before_client()
+            u = core.run_client(r, int(k), core.x)
+            bufavg.after_client()
+            d = Dispatch(
+                seq=core.next_seq(), client_id=int(k), round_idx=r,
+                issued_at=core.clock.now, cohort_pos=i, x_ref=core.x,
+            )
+            core.post(0.0, Completion(d, 0.0, update=u), client_id=int(k))
+        bufavg.commit()
+        core.post(0.0, DeadlineTick(r, "close"))
+
+    def close_round(self, core: EventCore, r: int) -> None:
+        ctx, cfg, algo = core.ctx, core.ctx.config, core.algorithm
+        updates = [c.update for c in self._stash]  # pop order == cohort order
+        self._stash = []
+        core.x = algo.aggregate(ctx, r, self._selected, updates, core.x)
+        rec = RoundRecord(
+            round=r, selected=self._selected, wall_time=time.perf_counter() - self._t0
+        )
+        do_eval = (r % cfg.eval_every == 0) or (r == cfg.rounds - 1)
+        core.record(rec, do_eval, r)
+        if core.verbose and not np.isnan(rec.test_accuracy):
+            print(f"[{core.history.algorithm}] round {r:4d}  acc={rec.test_accuracy:.4f}")
+        if r + 1 < cfg.rounds:
+            core.post(0.0, DeadlineTick(r + 1, "open"))
+
+
+class DeadlinePolicy(_RoundPolicy):
+    """Deadline-based semi-synchronous rounds on the virtual clock.
+
+    Args:
+        latency_model: bound model pricing each sampled client's response.
+        deadline: fixed round deadline in virtual seconds, or None to wait
+            for the slowest client (pure synchronous timing).
+        deadline_controller: optional adaptive controller; wins over
+            ``deadline`` (which then only seeds it).
+        late_weight: ``"downweight"`` mode's scale on late displacements
+            (0 drops them without computing).
+        late_policy: ``"downweight"`` merges late clients into their own
+            round (the historical approximation); ``"trickle"`` keeps their
+            completions in the event queue and merges each into the round
+            open at its actual arrival (leftovers at the end of the run are
+            abandoned and counted).
+    """
+
+    def __init__(
+        self,
+        latency_model,
+        deadline: float | None = None,
+        deadline_controller=None,
+        late_weight: float = 0.0,
+        late_policy: str = "downweight",
+    ) -> None:
+        if late_policy not in LATE_POLICIES:
+            raise ValueError(
+                f"late_policy must be one of {LATE_POLICIES}, got {late_policy!r}"
+            )
+        if late_policy == "trickle" and late_weight != 0.0:
+            raise ValueError(
+                "late_weight only applies to late_policy='downweight' "
+                "(trickled updates merge at full weight when they arrive)"
+            )
+        self.latency_model = latency_model
+        self.deadline = deadline
+        self.deadline_controller = deadline_controller
+        self.late_weight = late_weight
+        self.late_policy = late_policy
+
+    def reset_scheduling(self, core: EventCore) -> None:
+        super().reset_scheduling(core)
+        if self.deadline_controller is not None:
+            self.deadline_controller.reset()
+
+    def round_latencies(self, num_clients: int, round_idx: int, selected) -> np.ndarray:
+        """Priced cohort response times (unique stream per (round, k)).
+
+        The single home of the latency-stream keying; the engine facade's
+        public ``round_latencies`` delegates here so benchmarks calibrating
+        deadlines from it can never drift from what the rounds price.
+        """
+        return np.array(
+            [
+                self.latency_model.latency(int(k), round_idx * num_clients + int(k))
+                for k in selected
+            ]
+        )
+
+    def open_round(self, core: EventCore, r: int) -> None:
+        ctx = core.ctx
+        sampler = core.client_sampler
+        self._t0 = time.perf_counter()
+        selected = core.select_cohort(r)
+        latencies = self.round_latencies(ctx.num_clients, r, selected)
+        if self.deadline_controller is not None:
+            deadline = self.deadline_controller.start(latencies)
+        else:
+            deadline = self.deadline
+        if deadline is None:
+            on_time = np.ones(len(selected), dtype=bool)
+            round_time = float(latencies.max())
+        else:
+            on_time = latencies <= deadline
+            if not on_time.any():
+                # empty round: keep the fastest client and wait for it, so
+                # the clock reflects the forced overrun
+                keep = int(np.argmin(latencies))
+                on_time[keep] = True
+                round_time = float(latencies[keep])
+            elif on_time.all():
+                round_time = float(latencies.max())
+            else:
+                # the server closes at the deadline, dropping the tail
+                round_time = deadline
+        if self.deadline_controller is not None:
+            self.deadline_controller.observe(int((~on_time).sum()), len(selected))
+        if sampler is not None and hasattr(sampler, "observe"):
+            # feed priced completions back (stragglers included: the server
+            # eventually learns their speed, independent of the deadline)
+            for i, k in enumerate(selected):
+                sampler.observe(int(k), float(latencies[i]))
+
+        trickle = self.late_policy == "trickle"
+        if trickle:
+            include = np.ones(len(selected), dtype=bool)
+        elif self.late_weight == 0.0:
+            include = on_time
+        else:
+            include = np.ones(len(selected), dtype=bool)
+
+        bufavg = BufferAverager(ctx.model)
+        for i, k in enumerate(selected):
+            if not include[i]:
+                continue
+            bufavg.before_client()
+            u = core.run_client(r, int(k), core.x)
+            if not on_time[i] and not trickle:
+                u.displacement = u.displacement * self.late_weight
+            bufavg.after_client()
+            d = Dispatch(
+                seq=core.next_seq(), client_id=int(k), round_idx=r,
+                issued_at=core.clock.now, cohort_pos=i, late=not on_time[i],
+                x_ref=core.x,
+            )
+            if on_time[i]:
+                core.post(latencies[i], Completion(d, float(latencies[i]), update=u),
+                          client_id=int(k))
+            elif trickle:
+                # the honest event path: the update arrives when it arrives
+                core.post(latencies[i], Completion(d, float(latencies[i]), update=u),
+                          client_id=int(k))
+                self._pending_late += 1
+            else:
+                # the same-round approximation merges an update *before* its
+                # arrival time — inexpressible as an event, hence no queue
+                self._late_stash.append((i, u))
+        bufavg.commit()
+        core.post(round_time, DeadlineTick(r, "close"))
+        self._round_meta = (selected, on_time, deadline, round_time)
+
+    def close_round(self, core: EventCore, r: int) -> None:
+        ctx, cfg, algo = core.ctx, core.ctx.config, core.algorithm
+        sampler = core.client_sampler
+        selected, on_time, deadline, round_time = self._round_meta
+
+        current = [c for c in self._stash if c.dispatch.round_idx == r and not c.dispatch.late]
+        trickled = [c for c in self._stash if c.dispatch.late]
+        self._stash = []
+        # current-round completions sort back to cohort order (aggregation
+        # and loss feedback stay bit-identical to the synchronous loops);
+        # downweighted late updates interleave at their cohort positions
+        merged = sorted(
+            [(c.dispatch.cohort_pos, c.update) for c in current] + self._late_stash
+        )
+        self._late_stash = []
+        updates = [u for _, u in merged] + [c.update for c in trickled]
+        included_ids = [int(u.client_id) for u in updates]
+
+        if sampler is not None and hasattr(sampler, "observe_loss"):
+            # Oort statistical utility: participants report their local
+            # training loss back (dropped clients never trained)
+            for u in updates:
+                if "train_loss" in u.extras:
+                    sampler.observe_loss(int(u.client_id), float(u.extras["train_loss"]))
+
+        core.x = algo.aggregate(
+            ctx, r, np.asarray(included_ids, dtype=np.int64), updates, core.x
+        )
+
+        n_late = int((~on_time).sum())
+        rec = TimedRoundRecord(
+            round=r,
+            selected=np.asarray(included_ids, dtype=np.int64),
+            wall_time=time.perf_counter() - self._t0,
+            virtual_time=core.clock.now,
+            staleness=float(n_late),
+            concurrency=float(len(selected)),
+            updates_applied=r + 1,
+        )
+        rec.extras["n_late"] = n_late
+        rec.extras["n_dropped"] = (
+            0 if self.late_policy == "trickle"
+            else int(len(selected) - len(included_ids))
+        )
+        if deadline is not None:
+            rec.extras["deadline"] = float(deadline)
+        if self.late_policy == "trickle":
+            rec.extras["n_trickled_in"] = len(trickled)
+            rec.extras["n_pending"] = self._pending_late
+            if r == cfg.rounds - 1 and self._pending_late:
+                # the server stops here; in-flight late updates are lost
+                rec.extras["n_abandoned"] = self._pending_late
+        do_eval = (r % cfg.eval_every == 0) or (r == cfg.rounds - 1)
+        core.record(rec, do_eval, r)
+        if core.verbose and not np.isnan(rec.test_accuracy):
+            print(
+                f"[{core.history.algorithm}] round {r:4d}  t={core.clock.now:9.2f}s  "
+                f"acc={rec.test_accuracy:.4f}  late={n_late}"
+            )
+        if r + 1 < cfg.rounds:
+            core.post(0.0, DeadlineTick(r + 1, "open"))
+        else:
+            # drop still-flying trickle completions without letting them
+            # advance the clock past the final round's close
+            core.clock.clear()
+
+
+class AsyncPolicy:
+    """Continuous staleness-aware dispatch (FedAsync / FedBuff).
+
+    The direct translation of the retired ``AsyncFederatedSimulation`` loop
+    onto the core: a bounded population of in-flight dispatches, each
+    completion applied through ``server_apply`` and immediately replaced.
+    Additions over the old loop, all default-off so existing runs stay
+    bit-identical:
+
+    * ``sampler`` — a :class:`~repro.runtime.scheduling.TimeAwareSampler`
+      consulted per dispatch (``pick_next(idle, now)``) instead of the
+      uniform idle draw, fed priced latencies and training losses as
+      completions land;
+    * stateful per-client methods — when the algorithm declares
+      ``stateful_per_client``, dispatches snapshot the client's state from
+      the core's :class:`ClientStateStore` and completions commit it;
+    * BatchNorm-style buffers — instead of freezing at their initial
+      values, the server keeps an exponential moving average over arriving
+      clients' post-training buffers (serial mode; worker pools keep the
+      frozen-buffer behavior).
+    """
+
+    uses_state_store = True
+
+    def __init__(
+        self,
+        latency_model,
+        window: int,
+        concurrency: int,
+        max_updates: int,
+        concurrency_controller=None,
+        sampler=None,
+        runner=None,
+    ) -> None:
+        self.latency_model = latency_model
+        self.window = int(window)
+        self.concurrency = int(concurrency)
+        self.max_updates = int(max_updates)
+        self.concurrency_controller = concurrency_controller
+        self.sampler = sampler
+        self.runner = runner
+
+    # -- lifecycle -----------------------------------------------------------
+    def begin(self, core: EventCore) -> None:
+        if self.concurrency_controller is not None:
+            # restart from the seeded limit so a re-run reproduces the first
+            self.concurrency_controller.reset()
+            self.concurrency = self.concurrency_controller.limit
+        if self.sampler is not None and hasattr(self.sampler, "reset"):
+            self.sampler.reset()
+        ctx = core.ctx
+        self._in_flight: dict[int, Dispatch] = {}
+        self._pending: list[Dispatch] = []
+        self._results: dict[int, tuple] = {}
+        self._busy: dict[int, int] = {}
+        self._state = {"dispatched": 0, "version": 0, "applied": 0}
+        self._completed = 0
+        self._round_idx = 0
+        self._win_tau: list[float] = []
+        self._win_conc: list[int] = []
+        self._win_clients: list[int] = []
+        self._buf0 = ctx.model.get_buffers(copy=True) if ctx.model.buffers else None
+        # serial runs keep a live server-side buffer estimate (EMA over
+        # arrivals); worker pools cannot ship buffers and stay frozen
+        self._buffers = (
+            {k: v.copy() for k, v in self._buf0.items()}
+            if self._buf0 is not None and self.runner is None
+            else None
+        )
+        self._t0 = time.perf_counter()
+        for _ in range(min(self.concurrency, self.max_updates)):
+            self.dispatch(core)
+
+    def finish(self, core: EventCore) -> None:
+        pass
+
+    def on_deadline(self, core: EventCore, tick) -> None:  # pragma: no cover
+        raise TypeError("the async policy schedules no deadline ticks")
+
+    # -- dispatch ------------------------------------------------------------
+    def dispatch(self, core: EventCore) -> None:
+        ctx, cfg = core.ctx, core.ctx.config
+        st, busy = self._state, self._busy
+        avail = np.array(
+            [k for k in range(ctx.num_clients) if not busy.get(k)], dtype=np.int64
+        )
+        if avail.size == 0:  # concurrency exceeds the client pool
+            avail = np.arange(ctx.num_clients, dtype=np.int64)
+        if self.sampler is None:
+            # choose among idle clients with a stream keyed by dispatch
+            # index, so the schedule is independent of execution details
+            rng = np.random.default_rng((cfg.seed, 0xA7, st["dispatched"]))
+            cid = int(avail[rng.integers(avail.size)])
+        else:
+            cid = int(self.sampler.pick_next(avail, core.clock.now))
+        seq = st["dispatched"]
+        st["dispatched"] += 1
+        lat = self.latency_model.latency(cid, seq)
+        d = Dispatch(
+            seq=seq, client_id=cid, round_idx=seq, issued_at=core.clock.now,
+            version=st["version"], x_ref=core.x,
+            state=core.state_store.snapshot(cid),
+        )
+        core.post(lat, Completion(d, float(lat)), client_id=cid)
+        self._in_flight[seq] = d
+        self._pending.append(d)
+        busy[cid] = busy.get(cid, 0) + 1
+
+    def flush(self, core: EventCore) -> None:
+        """Compute every pending dispatch, batching shared-broadcast groups.
+
+        Groups that trained from the same parameter vector (consecutive by
+        construction: ``x`` only advances) go to the worker pool in one
+        batch; training is lazy, so FedBuff-style runs parallelise while
+        remaining bit-identical to the serial schedule.
+        """
+        ctx, algo, store = core.ctx, core.algorithm, core.state_store
+        while self._pending:
+            x_ref = self._pending[0].x_ref
+            n = 1
+            while n < len(self._pending) and self._pending[n].x_ref is x_ref:
+                n += 1
+            group = self._pending[:n]
+            del self._pending[:n]
+            if self.runner is not None and len(group) > 1:
+                outs = self.runner.run_jobs(
+                    [(d.round_idx, d.client_id) for d in group], x_ref
+                )
+                for d, upd in zip(group, outs):
+                    self._results[d.seq] = (upd, None, None)
+            else:
+                for d in group:
+                    if self._buffers is not None:
+                        ctx.model.set_buffers(self._buffers)
+                    elif self._buf0 is not None:
+                        ctx.model.set_buffers(self._buf0)
+                    if store.active:
+                        algo.unpack_client_state(d.client_id, d.state)
+                    upd = core.run_client(d.round_idx, d.client_id, x_ref)
+                    new_state = (
+                        algo.pack_client_state(d.client_id) if store.active else None
+                    )
+                    bufs = (
+                        ctx.model.get_buffers(copy=True)
+                        if self._buffers is not None
+                        else None
+                    )
+                    self._results[d.seq] = (upd, new_state, bufs)
+
+    # -- completions ---------------------------------------------------------
+    def on_completion(self, core: EventCore, comp: Completion, now: float) -> None:
+        ctx, algo = core.ctx, core.algorithm
+        st = self._state
+        seq = comp.dispatch.seq
+        if seq not in self._results:
+            self.flush(core)
+        update, new_state, client_bufs = self._results.pop(seq)
+        d = self._in_flight.pop(seq)
+        cid = d.client_id
+        core.state_store.commit(cid, new_state)
+        if self._busy.get(cid, 0) <= 1:
+            self._busy.pop(cid, None)
+        else:
+            self._busy[cid] -= 1
+
+        tau = st["version"] - d.version
+        x_new = algo.server_apply(ctx, core.x, update, tau, d.x_ref)
+        if x_new is not None:
+            core.x = x_new
+            st["version"] += 1
+            st["applied"] += 1
+        self._completed += 1
+        self._win_tau.append(float(tau))
+        self._win_conc.append(len(self._in_flight) + 1)
+        self._win_clients.append(cid)
+        if self._buffers is not None and client_bufs is not None:
+            # staleness-robust EMA over arriving clients' buffer statistics
+            beta = 1.0 / self.window
+            for k, v in client_bufs.items():
+                self._buffers[k] += beta * (v - self._buffers[k])
+        if self.sampler is not None:
+            self.sampler.observe(cid, float(comp.latency))
+            if hasattr(self.sampler, "observe_loss") and "train_loss" in update.extras:
+                self.sampler.observe_loss(cid, float(update.extras["train_loss"]))
+
+        if self.concurrency_controller is not None:
+            limit = self.concurrency_controller.observe(float(tau))
+        else:
+            limit = self.concurrency
+        # refill up to the (possibly AIMD-adjusted) in-flight limit; when the
+        # limit drops, replacements pause until the population drains
+        while st["dispatched"] < self.max_updates and len(self._in_flight) < limit:
+            self.dispatch(core)
+
+        if self._completed % self.window == 0 or self._completed == self.max_updates:
+            self.close_window(core)
+
+    def close_window(self, core: EventCore) -> None:
+        ctx, cfg, algo = core.ctx, core.ctx.config, core.algorithm
+        st = self._state
+        if self._completed == self.max_updates:
+            x_final = algo.finalize(ctx, core.x)
+            if x_final is not None:
+                core.x = x_final
+                st["version"] += 1
+                st["applied"] += 1
+        round_idx = self._round_idx
+        rec = TimedRoundRecord(
+            round=round_idx,
+            selected=np.asarray(self._win_clients, dtype=np.int64),
+            wall_time=time.perf_counter() - self._t0,
+            virtual_time=core.clock.now,
+            staleness=float(np.mean(self._win_tau)),
+            concurrency=float(np.mean(self._win_conc)),
+            updates_applied=st["applied"],
+        )
+        self._t0 = time.perf_counter()
+        do_eval = (round_idx % cfg.eval_every == 0) or (
+            self._completed == self.max_updates
+        )
+        if do_eval:
+            if self._buffers is not None:
+                ctx.model.set_buffers(self._buffers)
+            elif self._buf0 is not None:
+                ctx.model.set_buffers(self._buf0)
+        rec.extras["concurrency_limit"] = (
+            self.concurrency_controller.limit
+            if self.concurrency_controller is not None
+            else self.concurrency
+        )
+        core.record(rec, do_eval, round_idx)
+        if core.verbose and not np.isnan(rec.test_accuracy):
+            print(
+                f"[{core.history.algorithm}] window {round_idx:4d}  "
+                f"t={core.clock.now:9.2f}s  acc={rec.test_accuracy:.4f}  "
+                f"stale={rec.staleness:.2f}"
+            )
+        self._round_idx += 1
+        self._win_tau, self._win_conc, self._win_clients = [], [], []

@@ -256,6 +256,15 @@ class TimeAwareSampler:
     subclasses read :meth:`expected_seconds` — an exponential moving average
     of observations, falling back to the latency model's deterministic base
     cost for clients never observed — when drawing a cohort.
+
+    Two sampling interfaces share that state:
+
+    * *per-round* — ``sampler(ctx, round_idx)`` draws a whole cohort (the
+      semi-synchronous engine);
+    * *per-dispatch* — :meth:`pick_next` chooses one replacement client
+      among the currently idle set (the asynchronous engine), weighted by
+      :meth:`dispatch_weights` from a dedicated per-dispatch RNG stream so
+      runs stay pure functions of the seed.
     """
 
     def __init__(self, ema: float = 0.3) -> None:
@@ -265,6 +274,9 @@ class TimeAwareSampler:
         self._prior: np.ndarray | None = None
         self._observed: np.ndarray | None = None
         self._seen: np.ndarray | None = None
+        self._seed = 0
+        self._dispatch_count = 0
+        self._last_dispatch: np.ndarray | None = None
 
     def bind(self, ctx: SimulationContext, latency_model: LatencyModel) -> "TimeAwareSampler":
         k = ctx.num_clients
@@ -273,6 +285,9 @@ class TimeAwareSampler:
         self._prior = np.array([latency_model.latency(c, 0) for c in range(k)])
         self._observed = self._prior.copy()
         self._seen = np.zeros(k, dtype=bool)
+        self._seed = ctx.config.seed
+        self._dispatch_count = 0
+        self._last_dispatch = np.full(k, -np.inf)
         return self
 
     def reset(self) -> None:
@@ -280,6 +295,30 @@ class TimeAwareSampler:
         if self._prior is not None:
             self._observed = self._prior.copy()
             self._seen[:] = False
+            self._dispatch_count = 0
+            self._last_dispatch[:] = -np.inf
+
+    # -- per-dispatch interface (async engine) -------------------------------
+    def dispatch_weights(self, idle: np.ndarray, now: float) -> np.ndarray:
+        """Unnormalized pick weights over the ``idle`` client ids."""
+        return np.ones(len(idle))
+
+    def pick_next(self, idle: np.ndarray, now: float) -> int:
+        """Choose the next client to dispatch among the idle set.
+
+        Weighted draw over :meth:`dispatch_weights` from a stream keyed by
+        ``(seed, tag, dispatch_count)`` — independent of execution details,
+        like every other stream in the library.
+        """
+        if self._observed is None:
+            raise RuntimeError("sampler.bind(ctx, latency_model) must run before pick_next()")
+        idle = np.asarray(idle, dtype=np.int64)
+        w = np.maximum(self.dispatch_weights(idle, now), 1e-12)
+        rng = np.random.default_rng((self._seed, 0xD1, self._dispatch_count))
+        self._dispatch_count += 1
+        cid = int(idle[rng.choice(idle.size, p=w / w.sum())])
+        self._last_dispatch[cid] = now
+        return cid
 
     def observe(self, client_id: int, seconds: float) -> None:
         """Blend one priced completion into the client's latency estimate."""
@@ -327,6 +366,10 @@ class FastFirstSampler(TimeAwareSampler):
         rng = ctx.round_rng(round_idx)
         return np.sort(rng.choice(ctx.num_clients, size=m, replace=False, p=p))
 
+    def dispatch_weights(self, idle: np.ndarray, now: float) -> np.ndarray:
+        lat = self.expected_seconds()[idle]
+        return np.power(np.maximum(lat, 1e-12), -self.power)
+
 
 class LongIdleSampler(TimeAwareSampler):
     """Deterministic longest-idle-first rotation.
@@ -358,6 +401,16 @@ class LongIdleSampler(TimeAwareSampler):
         chosen = np.sort(order[:m])
         self._last[chosen] = round_idx
         return chosen
+
+    def pick_next(self, idle: np.ndarray, now: float) -> int:
+        """Deterministic: the idle client unselected longest (ties by id)."""
+        if self._prior is None:
+            raise RuntimeError("sampler.bind(ctx, latency_model) must run before pick_next()")
+        idle = np.asarray(idle, dtype=np.int64)
+        waited = now - self._last_dispatch[idle]
+        cid = int(idle[int(np.argmax(waited))])  # argmax takes first on ties
+        self._last_dispatch[cid] = now
+        return cid
 
 
 class UtilitySampler(TimeAwareSampler):
@@ -478,6 +531,11 @@ class UtilitySampler(TimeAwareSampler):
         m = self.cohort_size(ctx)
         rng = ctx.round_rng(round_idx)
         return np.sort(rng.choice(ctx.num_clients, size=m, replace=False, p=p))
+
+    def dispatch_weights(self, idle: np.ndarray, now: float) -> np.ndarray:
+        if self._stat is None:
+            raise RuntimeError("sampler.bind(ctx, latency_model) must run before pick_next()")
+        return self.utilities()[idle]
 
 
 SAMPLERS: dict[str, type] = {

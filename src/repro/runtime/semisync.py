@@ -2,14 +2,21 @@
 
 The server broadcasts, prices every sampled client's response time with a
 :class:`~repro.runtime.clock.LatencyModel`, and closes the round at a fixed
-``deadline``:
+``deadline``.  Late clients follow one of two policies:
 
-* clients inside the deadline participate normally;
-* late clients are either *dropped* (``late_weight = 0``, their updates are
-  never computed — this is where the compute savings come from) or merged
-  with their displacement scaled by ``late_weight`` (an approximation of
-  next-round trickle-in merging);
-* the fastest client is always kept, so a round can never be empty.
+* ``late_policy="downweight"`` (historical default) — late clients are
+  either *dropped* (``late_weight = 0``, their updates are never computed —
+  this is where the compute savings come from) or merged into their own
+  round with displacement scaled by ``late_weight`` (a same-round
+  approximation of trickle-in: the update merges before it physically
+  arrives);
+* ``late_policy="trickle"`` — true trickle-in through the event queue: a
+  late client's completion stays scheduled at its actual arrival time and
+  merges, at full weight, into whichever round is open when it lands (the
+  stale displacement is the cost; still-flying updates when the run ends
+  are abandoned and counted).
+
+The fastest client is always kept, so a round can never be empty.
 
 With ``deadline=None`` the server waits for the slowest sampled client —
 exactly the synchronous engine's semantics, but with each round priced on
@@ -21,29 +28,25 @@ with simulated time.
 
 The wrapped algorithm is any :class:`repro.algorithms.FederatedAlgorithm`
 (FedAvg, FedCM, FedWCM, ...) — its three protocol methods are called
-unchanged.
+unchanged.  The round loop itself lives in
+:class:`repro.runtime.events.DeadlinePolicy`; this class is the
+construction-and-validation facade around it.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 import numpy as np
 
 from repro.data.registry import FederatedDataset
 from repro.nn.module import Module
-from repro.runtime.clock import ConstantLatency, LatencyModel, VirtualClock
+from repro.runtime.clock import ConstantLatency, LatencyModel
+from repro.runtime.events import DeadlinePolicy, EventCore
 from repro.runtime.scheduling import DeadlineController, resolve_auto_comm
 from repro.simulation.config import FLConfig
 from repro.simulation.context import SimulationContext
-from repro.simulation.engine import (
-    BufferAverager,
-    History,
-    TimedRoundRecord,
-    attach_train_loss,
-    evaluate_into_record,
-)
+from repro.simulation.engine import History
 
 __all__ = ["SemiSyncFederatedSimulation"]
 
@@ -62,7 +65,11 @@ class SemiSyncFederatedSimulation:
             it per round toward a drop-rate budget; None waits for the
             slowest client (pure synchronous timing).
         late_weight: weight in [0, 1] applied to deadline-missing clients'
-            displacements; 0 drops them without computing their update.
+            displacements under ``late_policy="downweight"``; 0 drops them
+            without computing their update.
+        late_policy: ``"downweight"`` (same-round approximation) or
+            ``"trickle"`` (late updates merge into the round open at their
+            actual arrival).
         loss_builder / sampler_builder / metric_hooks / client_sampler: as
             :class:`repro.simulation.FederatedSimulation`; time-aware
             samplers (:mod:`repro.runtime.scheduling`) are bound to the
@@ -78,6 +85,7 @@ class SemiSyncFederatedSimulation:
         latency_model: LatencyModel | None = None,
         deadline: "float | DeadlineController | None" = None,
         late_weight: float = 0.0,
+        late_policy: str = "downweight",
         loss_builder=None,
         sampler_builder=None,
         metric_hooks: Sequence = (),
@@ -100,130 +108,35 @@ class SemiSyncFederatedSimulation:
         self.latency_model = latency_model.bind(self.ctx)
         self.deadline = deadline
         self.late_weight = late_weight
+        self.late_policy = late_policy
         self.metric_hooks = list(metric_hooks)
         self.client_sampler = client_sampler
         if client_sampler is not None and hasattr(client_sampler, "bind"):
             client_sampler.bind(self.ctx, self.latency_model)
+        # constructing the policy validates late_policy / late_weight combos
+        self._policy = DeadlinePolicy(
+            self.latency_model,
+            deadline=self.deadline,
+            deadline_controller=self.deadline_controller,
+            late_weight=self.late_weight,
+            late_policy=self.late_policy,
+        )
         self.final_params: np.ndarray | None = None
         self.total_virtual_time = 0.0
 
     def round_latencies(self, round_idx: int, selected: np.ndarray) -> np.ndarray:
         """Virtual response times of a cohort (unique stream per (round, k))."""
-        k_total = self.ctx.num_clients
-        return np.array(
-            [
-                self.latency_model.latency(int(k), round_idx * k_total + int(k))
-                for k in selected
-            ]
-        )
+        return self._policy.round_latencies(self.ctx.num_clients, round_idx, selected)
 
     def run(self, verbose: bool = False) -> History:
-        ctx = self.ctx
-        cfg = ctx.config
-        algo = self.algorithm
-        algo.setup(ctx)
-        # like algo.setup, adapted scheduling state restarts fresh so a
-        # second run() reproduces the first bit-for-bit
-        if self.deadline_controller is not None:
-            self.deadline_controller.reset()
-        if self.client_sampler is not None and hasattr(self.client_sampler, "reset"):
-            self.client_sampler.reset()
-
-        x = ctx.x0.copy()
-        history = History(algorithm=getattr(algo, "name", type(algo).__name__))
-        clock = VirtualClock()
-
-        for r in range(cfg.rounds):
-            t0 = time.perf_counter()
-            if self.client_sampler is None:
-                selected = ctx.sample_clients(r)
-            else:
-                selected = np.asarray(self.client_sampler(ctx, r))
-
-            latencies = self.round_latencies(r, selected)
-            if self.deadline_controller is not None:
-                deadline = self.deadline_controller.start(latencies)
-            else:
-                deadline = self.deadline
-            if deadline is None:
-                on_time = np.ones(len(selected), dtype=bool)
-                round_time = float(latencies.max())
-            else:
-                on_time = latencies <= deadline
-                if not on_time.any():
-                    # empty round: keep the fastest client and wait for it,
-                    # so the clock reflects the forced overrun
-                    keep = int(np.argmin(latencies))
-                    on_time[keep] = True
-                    round_time = float(latencies[keep])
-                elif on_time.all():
-                    round_time = float(latencies.max())
-                else:
-                    # the server closes at the deadline, dropping the tail
-                    round_time = deadline
-            if self.deadline_controller is not None:
-                self.deadline_controller.observe(int((~on_time).sum()), len(selected))
-            if self.client_sampler is not None and hasattr(self.client_sampler, "observe"):
-                # feed priced completions back (stragglers included: the
-                # server eventually learns their speed, and the estimate
-                # stays independent of the deadline)
-                for i, k in enumerate(selected):
-                    self.client_sampler.observe(int(k), float(latencies[i]))
-            include = on_time if self.late_weight == 0.0 else np.ones(len(selected), dtype=bool)
-
-            updates = []
-            included_ids = []
-            bufavg = BufferAverager(ctx.model)
-            for i, k in enumerate(selected):
-                if not include[i]:
-                    continue
-                bufavg.before_client()
-                u = algo.client_update(ctx, r, int(k), x)
-                attach_train_loss(algo, u)
-                if not on_time[i]:
-                    u.displacement = u.displacement * self.late_weight
-                updates.append(u)
-                included_ids.append(int(k))
-                bufavg.after_client()
-            bufavg.commit()
-
-            if self.client_sampler is not None and hasattr(self.client_sampler, "observe_loss"):
-                # Oort statistical utility: participants report their local
-                # training loss back to the sampler (dropped clients never
-                # trained, so there is nothing to report for them)
-                for u in updates:
-                    if "train_loss" in u.extras:
-                        self.client_sampler.observe_loss(
-                            int(u.client_id), float(u.extras["train_loss"])
-                        )
-
-            x = algo.aggregate(ctx, r, np.asarray(included_ids, dtype=np.int64), updates, x)
-            clock.advance(round_time)
-
-            n_late = int((~on_time).sum())
-            rec = TimedRoundRecord(
-                round=r,
-                selected=np.asarray(included_ids, dtype=np.int64),
-                wall_time=time.perf_counter() - t0,
-                virtual_time=clock.now,
-                staleness=float(n_late),
-                concurrency=float(len(selected)),
-                updates_applied=r + 1,
-            )
-            rec.extras["n_late"] = n_late
-            rec.extras["n_dropped"] = int(len(selected) - len(included_ids))
-            if deadline is not None:
-                rec.extras["deadline"] = float(deadline)
-            if (r % cfg.eval_every == 0) or (r == cfg.rounds - 1):
-                evaluate_into_record(ctx, rec, r, x, self.metric_hooks)
-            rec.extras.update(algo.round_extras())
-            history.records.append(rec)
-            if verbose and not np.isnan(rec.test_accuracy):
-                print(
-                    f"[{history.algorithm}] round {r:4d}  t={clock.now:9.2f}s  "
-                    f"acc={rec.test_accuracy:.4f}  late={n_late}"
-                )
-
-        self.final_params = x
-        self.total_virtual_time = clock.now
+        core = EventCore(
+            self.ctx,
+            self.algorithm,
+            self._policy,
+            metric_hooks=self.metric_hooks,
+            client_sampler=self.client_sampler,
+        )
+        history = core.run(verbose=verbose)
+        self.final_params = core.x
+        self.total_virtual_time = core.clock.now
         return history

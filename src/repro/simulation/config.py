@@ -11,7 +11,30 @@ from typing import Callable
 
 from repro.utils.validation import check_fraction, check_positive
 
-__all__ = ["FLConfig"]
+__all__ = ["FLConfig", "resolve_lr_schedule"]
+
+
+def resolve_lr_schedule(
+    schedule: "Callable[[int], float] | dict | None", rounds: int
+) -> "Callable[[int], float] | None":
+    """Materialize a config's ``lr_schedule`` into a callable.
+
+    Accepts the three forms :class:`FLConfig` allows: None (constant lr), a
+    bare callable (used as-is), or the serializable named form
+    ``{"name": "cosine", ...}`` resolved through
+    :func:`repro.nn.schedules.make_schedule` — extra keys forward to the
+    schedule constructor and ``total_rounds`` defaults to the run's round
+    count, so specs survive the JSON round-trip without hand-attaching
+    callables.
+    """
+    if schedule is None or callable(schedule):
+        return schedule
+    from repro.nn.schedules import make_schedule
+
+    kwargs = dict(schedule)
+    name = kwargs.pop("name")
+    total = kwargs.pop("total_rounds", rounds)
+    return make_schedule(name, total, **kwargs)
 
 
 @dataclass
@@ -30,8 +53,11 @@ class FLConfig:
         seed: master seed for client sampling and local shuffling.
         max_batches_per_round: optional hard cap on local batches (speed knob
             for tests; None = no cap).
-        lr_schedule: optional callable ``round_idx -> multiplier`` applied to
-            ``lr_local`` (see :mod:`repro.nn.schedules`); None = constant.
+        lr_schedule: optional multiplier on ``lr_local`` per round — either a
+            callable ``round_idx -> multiplier`` (in-process only) or the
+            serializable named form ``{"name": "cosine", ...}`` resolved from
+            :mod:`repro.nn.schedules` (extra keys forward to the schedule;
+            ``total_rounds`` defaults to ``rounds``); None = constant.
     """
 
     rounds: int = 50
@@ -44,7 +70,7 @@ class FLConfig:
     eval_per_class: bool = False
     seed: int = 0
     max_batches_per_round: int | None = None
-    lr_schedule: Callable[[int], float] | None = None
+    lr_schedule: Callable[[int], float] | dict | None = None
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -60,8 +86,18 @@ class FLConfig:
             raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
         if self.max_batches_per_round is not None and self.max_batches_per_round < 1:
             raise ValueError("max_batches_per_round must be >= 1 or None")
-        if self.lr_schedule is not None and not callable(self.lr_schedule):
+        if isinstance(self.lr_schedule, dict):
+            from repro.nn.schedules import SCHEDULE_NAMES
+
+            name = self.lr_schedule.get("name")
+            if name not in SCHEDULE_NAMES:
+                raise ValueError(
+                    "named lr_schedule needs a 'name' key from "
+                    f"{SCHEDULE_NAMES}, got {self.lr_schedule!r}"
+                )
+        elif self.lr_schedule is not None and not callable(self.lr_schedule):
             raise TypeError(
-                "lr_schedule must be a callable round_idx -> multiplier or None, "
+                "lr_schedule must be a callable round_idx -> multiplier, a "
+                "{'name': ...} schedule spec, or None, "
                 f"got {type(self.lr_schedule).__name__}"
             )

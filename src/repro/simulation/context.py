@@ -16,7 +16,7 @@ from repro.data.registry import FederatedDataset
 from repro.data.sampler import UniformBatchSampler
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
-from repro.simulation.config import FLConfig
+from repro.simulation.config import FLConfig, resolve_lr_schedule
 from repro.utils.pytree import ParamSpec, flatten_params, unflatten_params
 
 __all__ = ["SimulationContext"]
@@ -49,6 +49,9 @@ class SimulationContext:
         self.config = config
         self.loss_builder = loss_builder or _default_loss_builder
         self.sampler_builder = sampler_builder or _default_sampler_builder
+        # named {"name": ...} schedules materialize once here, so lr_at stays
+        # a cheap per-round call and specs can carry schedules through JSON
+        self._lr_schedule = resolve_lr_schedule(config.lr_schedule, config.rounds)
 
         flat, spec = flatten_params(model.params)
         self.spec: ParamSpec = spec
@@ -103,8 +106,8 @@ class SimulationContext:
     def lr_at(self, round_idx: int) -> float:
         """Local learning rate for a round (base lr x optional schedule)."""
         lr = self.config.lr_local
-        if self.config.lr_schedule is not None:
-            lr *= float(self.config.lr_schedule(round_idx))
+        if self._lr_schedule is not None:
+            lr *= float(self._lr_schedule(round_idx))
         return lr
 
     # -- determinism ------------------------------------------------------------

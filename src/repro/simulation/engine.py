@@ -8,7 +8,6 @@ Algorithms implement the :class:`FederatedAlgorithm` protocol
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -206,41 +205,21 @@ class FederatedSimulation:
         self.client_sampler = client_sampler  # see repro.simulation.sampling
 
     def run(self, verbose: bool = False) -> History:
-        ctx = self.ctx
-        cfg = ctx.config
-        algo = self.algorithm
-        algo.setup(ctx)
+        # the round loop lives in the shared event core: synchronous rounds
+        # are the barrier policy (zero-latency dispatches, a barrier tick
+        # closing each round).  Imported lazily — repro.runtime builds on
+        # this module's records, not the other way around.
+        from repro.runtime.events import BarrierPolicy, EventCore
 
-        x = ctx.x0.copy()
-        history = History(algorithm=getattr(algo, "name", type(algo).__name__))
-
-        for r in range(cfg.rounds):
-            t0 = time.perf_counter()
-            if self.client_sampler is None:
-                selected = ctx.sample_clients(r)
-            else:
-                selected = np.asarray(self.client_sampler(ctx, r))
-            updates = []
-            bufavg = BufferAverager(ctx.model)
-            for k in selected:
-                bufavg.before_client()
-                u = algo.client_update(ctx, r, int(k), x)
-                attach_train_loss(algo, u)
-                updates.append(u)
-                bufavg.after_client()
-            bufavg.commit()
-            x = algo.aggregate(ctx, r, selected, updates, x)
-
-            rec = RoundRecord(round=r, selected=selected, wall_time=time.perf_counter() - t0)
-            if (r % cfg.eval_every == 0) or (r == cfg.rounds - 1):
-                evaluate_into_record(ctx, rec, r, x, self.metric_hooks)
-            rec.extras.update(algo.round_extras())
-            history.records.append(rec)
-            if verbose and not np.isnan(rec.test_accuracy):
-                print(
-                    f"[{history.algorithm}] round {r:4d}  acc={rec.test_accuracy:.4f}"
-                )
-        self.final_params = x
+        core = EventCore(
+            self.ctx,
+            self.algorithm,
+            BarrierPolicy(),
+            metric_hooks=self.metric_hooks,
+            client_sampler=self.client_sampler,
+        )
+        history = core.run(verbose=verbose)
+        self.final_params = core.x
         return history
 
 

@@ -413,3 +413,40 @@ class TestDeterminism:
         h1 = run_method("fedavg", small_problem, seed=1)
         h2 = run_method("fedavg", small_problem, seed=2)
         assert not np.array_equal(h1.accuracy, h2.accuracy)
+
+
+class TestSamFamilyTrainLoss:
+    """SAM-style methods must still report a training loss for loss-aware
+    samplers: the grad_eval path records the batch's first (pre-perturbation)
+    plain-loss evaluation instead of skipping loss tracking entirely."""
+
+    @pytest.mark.parametrize(
+        "name", ["fedsam", "mofedsam", "fedspeed", "fedsmoo", "fedlesam"]
+    )
+    def test_grad_eval_methods_report_train_loss(self, small_problem, name):
+        from repro.simulation.context import SimulationContext
+        from repro.simulation.engine import attach_train_loss
+
+        algo = make_method(name).algorithm
+        ctx = SimulationContext(
+            make_mlp(32, 10, seed=0), small_problem,
+            FLConfig(rounds=1, local_epochs=1, max_batches_per_round=2, seed=0),
+        )
+        algo.setup(ctx)
+        u = attach_train_loss(algo, algo.client_update(ctx, 0, 0, ctx.x0))
+        assert "train_loss" in u.extras
+        assert np.isfinite(u.extras["train_loss"])
+        assert u.extras["train_loss"] > 0.0
+
+    def test_plain_methods_unchanged(self, small_problem):
+        from repro.simulation.context import SimulationContext
+        from repro.simulation.engine import attach_train_loss
+
+        algo = make_method("fedavg").algorithm
+        ctx = SimulationContext(
+            make_mlp(32, 10, seed=0), small_problem,
+            FLConfig(rounds=1, local_epochs=1, max_batches_per_round=2, seed=0),
+        )
+        algo.setup(ctx)
+        u = attach_train_loss(algo, algo.client_update(ctx, 0, 0, ctx.x0))
+        assert "train_loss" in u.extras

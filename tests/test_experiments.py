@@ -76,13 +76,39 @@ class TestSpecValidation:
         with pytest.raises(ValueError):
             RuntimeSpec(kind="fedasync", concurrency=0)
 
-    def test_async_kind_requires_matching_method(self):
-        with pytest.raises(ValueError, match="requires method.name"):
-            ExperimentSpec(method=MethodSpec(name="fedavg"),
+    def test_async_kind_wraps_other_methods_but_not_async_rules(self):
+        # any synchronous method may run under an async kind (its local
+        # rule is wrapped in an AsyncAdapter by the facade) ...
+        ExperimentSpec(method=MethodSpec(name="scaffold"),
+                       runtime=RuntimeSpec(kind="fedasync"))
+        # ... but a second staleness-aware rule cannot nest
+        with pytest.raises(ValueError, match="cannot run under"):
+            ExperimentSpec(method=MethodSpec(name="fedbuff"),
                            runtime=RuntimeSpec(kind="fedasync"))
-        # but async methods may run in the synchronous fallback engines
+        # async methods may still run in the synchronous fallback engines
         ExperimentSpec(method=MethodSpec(name="fedbuff"),
                        runtime=RuntimeSpec(kind="sync"))
+
+    def test_stateful_method_needs_serial_async_engine(self):
+        with pytest.raises(ValueError, match="serially"):
+            ExperimentSpec(method=MethodSpec(name="scaffold"),
+                           runtime=RuntimeSpec(kind="fedbuff", workers=2))
+        # stateless local rules parallelise fine
+        ExperimentSpec(method=MethodSpec(name="fedsam"),
+                       runtime=RuntimeSpec(kind="fedbuff", workers=2))
+
+    def test_aggregate_broadcast_methods_rejected_under_async(self):
+        # FedCM's momentum broadcast only refreshes in aggregate(): under an
+        # async rule it would stay frozen, so the spec refuses it up front
+        with pytest.raises(ValueError, match="aggregate"):
+            ExperimentSpec(method=MethodSpec(name="fedcm"),
+                           runtime=RuntimeSpec(kind="fedbuff"))
+        with pytest.raises(ValueError, match="aggregate"):
+            ExperimentSpec(method=MethodSpec(name="fedwcm"),
+                           runtime=RuntimeSpec(kind="fedasync"))
+        # the semisync engine drives them unchanged
+        ExperimentSpec(method=MethodSpec(name="fedcm"),
+                       runtime=RuntimeSpec(kind="semisync"))
 
     def test_kind_rejects_unconsumable_knobs(self):
         with pytest.raises(ValueError, match="no effect"):
@@ -94,7 +120,20 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="no effect"):
             RuntimeSpec(kind="fedasync", deadline=1.0)
         with pytest.raises(ValueError, match="no effect"):
-            RuntimeSpec(kind="fedbuff", sampler="fast")
+            RuntimeSpec(kind="fedbuff", late_policy="trickle")
+
+    def test_late_policy_validated(self):
+        with pytest.raises(ValueError, match="late_policy"):
+            RuntimeSpec(kind="semisync", late_policy="teleport")
+        with pytest.raises(ValueError, match="late_weight only applies"):
+            RuntimeSpec(kind="semisync", late_policy="trickle", late_weight=0.5)
+        RuntimeSpec(kind="semisync", late_policy="trickle", deadline=1.0)  # fine
+
+    def test_async_sampler_must_be_time_aware(self):
+        with pytest.raises(ValueError, match="per-dispatch"):
+            RuntimeSpec(kind="fedbuff", sampler="score")
+        RuntimeSpec(kind="fedbuff", sampler="fast")  # fine
+        RuntimeSpec(kind="fedasync", sampler="utility")  # fine
 
     def test_latency_kwargs_require_latency(self):
         with pytest.raises(ValueError, match="latency_kwargs requires"):
@@ -105,9 +144,8 @@ class TestSpecValidation:
     def test_sampler_kwargs_validated(self):
         with pytest.raises(ValueError, match="non-uniform sampler"):
             RuntimeSpec(kind="semisync", sampler_kwargs={"power": 2.0})
-        with pytest.raises(ValueError, match="no effect"):
-            RuntimeSpec(kind="fedbuff", sampler="fast",
-                        sampler_kwargs={"power": 2.0})
+        RuntimeSpec(kind="fedbuff", sampler="fast",
+                    sampler_kwargs={"power": 2.0})  # per-dispatch: fine now
         RuntimeSpec(kind="semisync", sampler="fast",
                     sampler_kwargs={"power": 2.0})  # fine
 
@@ -377,14 +415,20 @@ class TestCLI:
                        "--method", "fedcm"])
         assert rc == 0
 
-    def test_explicit_method_conflicting_with_async_config_errors(
-            self, tmp_path, capsys):
+    def test_explicit_method_wraps_under_async_config(self, tmp_path, capsys):
         path = tmp_path / "spec.json"
         tiny_spec("fedbuff").save(str(path))
-        rc = cli_main(["run", "--config", str(path), "--method", "fedavg",
+        rc = cli_main(["spec", "dump", "--config", str(path),
+                       "--method", "scaffold"])
+        assert rc == 0
+        spec = ExperimentSpec.from_json(capsys.readouterr().out)
+        # scaffold's local rule will run under the fedbuff server rule
+        assert (spec.runtime.kind, spec.method.name) == ("fedbuff", "scaffold")
+        # a second staleness-aware rule still cannot nest
+        rc = cli_main(["run", "--config", str(path), "--method", "fedasync",
                        "--rounds", "1"])
         assert rc == 2
-        assert "conflicts with engine kind" in capsys.readouterr().err
+        assert "cannot run under" in capsys.readouterr().err
 
     def test_explicit_method_overrides_semisync_config(self, tmp_path, capsys):
         path = tmp_path / "spec.json"
@@ -417,10 +461,72 @@ class TestCLI:
         rc = cli_main(["run", "--config", "/nonexistent/spec.json"])
         assert rc == 2
 
-    def test_compare_with_async_config_errors_cleanly(self, tmp_path, capsys):
+    def test_compare_with_nested_async_rule_errors_cleanly(self, tmp_path, capsys):
+        # racing methods over an async config is allowed for wrappable
+        # methods, but a second staleness-aware rule still fails cleanly
         path = tmp_path / "spec.json"
         tiny_spec("fedbuff").save(str(path))
         rc = cli_main(["compare", "--config", str(path),
-                       "--methods", "fedavg,fedcm"])
+                       "--methods", "fedavg,fedasync"])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestNamedLrSchedule:
+    """The serializable {"name": ...} form of config.lr_schedule."""
+
+    def test_named_schedule_survives_json_round_trip(self):
+        spec = ExperimentSpec(
+            config=FLConfig(rounds=10, lr_schedule={"name": "cosine", "floor": 0.1})
+        )
+        back = ExperimentSpec.from_json(spec.to_json())
+        assert back == spec
+        assert back.config.lr_schedule == {"name": "cosine", "floor": 0.1}
+
+    def test_callable_schedule_still_refuses_serialization(self):
+        spec = ExperimentSpec(config=FLConfig(lr_schedule=lambda r: 1.0))
+        with pytest.raises(ValueError, match="bare callable"):
+            spec.to_dict()
+
+    def test_unknown_schedule_name_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="named lr_schedule"):
+            FLConfig(lr_schedule={"name": "sawtooth"})
+        with pytest.raises(ValueError, match="named lr_schedule"):
+            FLConfig(lr_schedule={"floor": 0.1})  # missing name
+
+    def test_resolution_matches_make_schedule(self):
+        from repro.nn.schedules import make_schedule
+        from repro.simulation.config import resolve_lr_schedule
+
+        got = resolve_lr_schedule({"name": "cosine", "floor": 0.2}, rounds=40)
+        want = make_schedule("cosine", 40, floor=0.2)
+        assert [got(r) for r in range(40)] == [want(r) for r in range(40)]
+        # explicit total_rounds wins over the run's round count
+        got = resolve_lr_schedule(
+            {"name": "cosine", "total_rounds": 10}, rounds=40
+        )
+        assert got(10) == pytest.approx(0.0)
+
+    def test_engine_applies_named_schedule(self):
+        spec = tiny_spec("sync").override(
+            "config.lr_schedule", {"name": "step", "step_size": 1, "gamma": 0.5}
+        )
+        engine = build(spec)
+        assert engine.ctx.lr_at(0) == pytest.approx(spec.config.lr_local)
+        assert engine.ctx.lr_at(1) == pytest.approx(spec.config.lr_local * 0.5)
+
+    def test_override_accepts_schedule_dict(self):
+        spec = tiny_spec("sync").apply_overrides(
+            ['config.lr_schedule={"name": "cosine"}']
+        )
+        assert spec.config.lr_schedule == {"name": "cosine"}
+
+    def test_async_engine_remaps_named_schedule_per_window(self):
+        spec = tiny_spec("fedasync").override(
+            "config.lr_schedule", {"name": "step", "step_size": 1, "gamma": 0.5}
+        )
+        engine = build(spec)
+        w = engine.window
+        sched = engine.ctx.config.lr_schedule
+        assert sched(0) == 1.0
+        assert sched(w) == 0.5

@@ -277,20 +277,42 @@ class TestAsyncEngine:
         assert sched(w) == 0.5
         assert sched(3 * w) == 0.5 ** 3
 
-    def test_batchnorm_model_warns(self):
+    def test_batchnorm_buffers_tracked_serially_frozen_with_workers(self):
+        """Serial async runs keep a server-side EMA over arriving clients'
+        BatchNorm statistics (no warning, buffers move); worker pools cannot
+        ship buffers back and warn that they stay frozen."""
+        import warnings as warnings_mod
+
         from repro.nn import build_model
 
         ds_img = load_federated_dataset(
             "svhn-lite", imbalance_factor=0.3, beta=0.3, num_clients=6, seed=0, scale=0.2
         )
         shape = ds_img.info.shape
-        model = build_model(
-            "resnet-lite-18", in_channels=shape[0], image_size=shape[1],
-            num_classes=ds_img.num_classes, width=2, seed=0, norm="batch",
+
+        def mb():
+            return build_model(
+                "resnet-lite-18", in_channels=shape[0], image_size=shape[1],
+                num_classes=ds_img.num_classes, width=2, seed=0, norm="batch",
+            )
+
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            sim = AsyncFederatedSimulation(
+                FedAsync(), mb(), ds_img, _tiny_cfg(), latency_model=ConstantLatency()
+            )
+            assert not caught
+        buf0 = {k: v.copy() for k, v in sim.ctx.model.buffers.items()}
+        sim.run()
+        moved = any(
+            not np.array_equal(sim.ctx.model.buffers[k], buf0[k]) for k in buf0
         )
+        assert moved  # eval used the EMA estimate, not the initial buffers
+
         with pytest.warns(UserWarning, match="frozen"):
             AsyncFederatedSimulation(
-                FedAsync(), model, ds_img, _tiny_cfg(), latency_model=ConstantLatency()
+                FedAsync(), mb(), ds_img, _tiny_cfg(), latency_model=ConstantLatency(),
+                workers=2, model_builder=mb,
             )
 
     def test_default_algo_builder_warns_on_config_mismatch(self, ds):
