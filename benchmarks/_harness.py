@@ -17,7 +17,7 @@ paper-vs-measured comparison for every experiment.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -26,8 +26,10 @@ from repro.experiments import (
     ExperimentSpec,
     MethodSpec,
     ModelSpec,
+    SweepResult,
     resolve_model_alias,
     run,
+    run_point,
 )
 from repro.parallel import parallel_map, resolve_workers
 from repro.simulation import FLConfig
@@ -119,21 +121,46 @@ def sweep(specs: list[RunSpec], workers: int | None = None) -> list[dict]:
     return parallel_map(execute, specs, workers=workers or WORKERS)
 
 
-def mean_over_seeds(specs: list[RunSpec], seeds: tuple[int, ...] = (0,)) -> list[dict]:
-    """Run each spec for several seeds and average the summary accuracies."""
-    grid = [replace(s, seed=seed) for s in specs for seed in seeds]
-    results = sweep(grid)
+def mean_over_seeds(
+    specs: list[RunSpec], seeds: tuple[int, ...] = (0,), workers: int | None = None
+) -> list[dict]:
+    """Run each spec for several seeds and average the summary accuracies.
+
+    Every ``spec x seed`` point goes through one shared ``parallel_map``
+    pool (cross-spec parallelism, as the grids are wide and the seed axis
+    narrow); the multi-seed bookkeeping itself lives in the experiments
+    facade — each spec's chunk is aggregated by
+    :meth:`repro.experiments.SweepResult.aggregate`.
+    """
+    seed_axis = {"config.seed": [int(s) for s in seeds]}
+    flat = [
+        spec.to_experiment_spec().override("config.seed", int(seed))
+        for spec in specs
+        for seed in seeds
+    ]
+    results = parallel_map(run_point, flat, workers=workers or WORKERS)
+    metrics = {
+        "final": lambda r: r.final_accuracy,
+        "best": lambda r: r.best_accuracy,
+        "tail": lambda r: r.history.tail_accuracy(3),
+    }
     out = []
     for i, spec in enumerate(specs):
-        chunk = results[i * len(seeds) : (i + 1) * len(seeds)]
+        sweep_result = SweepResult(
+            base=spec.to_experiment_spec(),
+            grid=dict(seed_axis),
+            assignments=[{"config.seed": s} for s in seed_axis["config.seed"]],
+            results=results[i * len(seeds) : (i + 1) * len(seeds)],
+        )
+        agg = sweep_result.aggregate(metrics=metrics)[0]
         out.append(
             {
                 "label": spec.label(),
                 "method": spec.method,
                 "spec": spec,
-                "final": float(np.mean([c["final"] for c in chunk])),
-                "best": float(np.mean([c["best"] for c in chunk])),
-                "tail": float(np.mean([c["tail"] for c in chunk])),
+                "final": agg["final_mean"],
+                "best": agg["best_mean"],
+                "tail": agg["tail_mean"],
             }
         )
     return out

@@ -158,6 +158,21 @@ def main(argv: list[str] | None = None) -> int:
             ("runtime.sampler", "fast"),
             ("runtime.sampler_kwargs", {"power": 2.0}),
         ]
+        # the execution-backend matrix: SCAFFOLD's local rule (stateful per
+        # client) under FedBuff, serially and on the process pool — packed
+        # client state rides the job contract, so the two runs must be
+        # bit-identical (the PASS/FAIL verdict below pins it in CI)
+        scaffold_buff: list[tuple[str, object]] = [
+            ("runtime.kind", "fedbuff"),
+            ("method.name", "scaffold"),
+            ("method.kwargs", {"buffer_size": 3}),
+        ]
+        variants["fedbuff-scaffold"] = scaffold_buff
+        variants["fedbuff-scaffold-pool"] = [
+            *scaffold_buff,
+            ("runtime.backend", "process"),
+            ("runtime.workers", 2),
+        ]
     for name, overrides in variants.items():
         runs[name] = run(base.override_many([("name", name), *overrides]))
 
@@ -210,6 +225,22 @@ def main(argv: list[str] | None = None) -> int:
             f"(t={t_trickle if t_trickle is not None else 'never'}s)"
         )
         ok = ok and trickle_ok
+        # pool-vs-serial equivalence: identical accuracy trajectory and
+        # final parameters, or the backend layer broke bit-identity
+        serial_r = runs["fedbuff-scaffold"]
+        pool_r = runs["fedbuff-scaffold-pool"]
+        pool_ok = bool(
+            np.array_equal(
+                serial_r.history.accuracy, pool_r.history.accuracy, equal_nan=True
+            )
+            and np.array_equal(serial_r.final_params, pool_r.final_params)
+        )
+        verdict += (
+            "\nfedbuff+scaffold process-pool == serial: "
+            f"{'PASS' if pool_ok else 'FAIL'} "
+            f"(final={pool_r.final_accuracy:.4f}, serial={serial_r.final_accuracy:.4f})"
+        )
+        ok = ok and pool_ok
 
     series = {
         name: (

@@ -24,6 +24,7 @@ from repro.algorithms.registry import (
     MethodBundle,
     make_method,
     method_is_stateful,
+    method_is_parallel_safe,
     method_requires_aggregate,
     METHOD_NAMES,
 )
@@ -64,5 +65,6 @@ __all__ = [
     "make_method",
     "METHOD_NAMES",
     "method_is_stateful",
+    "method_is_parallel_safe",
     "method_requires_aggregate",
 ]

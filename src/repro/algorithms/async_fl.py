@@ -210,6 +210,10 @@ class AsyncAdapter(FederatedAlgorithm):
         return self.base.stateful_per_client
 
     @property
+    def parallel_safe(self) -> bool:
+        return getattr(self.base, "parallel_safe", True)
+
+    @property
     def last_train_loss(self):
         return getattr(self.base, "last_train_loss", None)
 
@@ -225,6 +229,12 @@ class AsyncAdapter(FederatedAlgorithm):
 
     def unpack_client_state(self, client_id: int, state: dict) -> None:
         self.base.unpack_client_state(client_id, state)
+
+    def pack_broadcast_state(self) -> dict:
+        return self.base.pack_broadcast_state()
+
+    def unpack_broadcast_state(self, state: dict) -> None:
+        self.base.unpack_broadcast_state(state)
 
     def server_apply(self, ctx, x, update, staleness, x_dispatch) -> np.ndarray | None:
         x_new = self.rule.server_apply(ctx, x, update, staleness, x_dispatch)

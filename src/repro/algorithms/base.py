@@ -19,6 +19,7 @@ injection are all one-liners under this interface).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -76,9 +77,25 @@ class FederatedAlgorithm:
     name = "base"
 
     #: True when client_update reads/writes state keyed by ``client_id`` that
-    #: must persist across that client's participations.  Stateful methods run
-    #: serially (the process pool cannot ship per-client state).
+    #: must persist across that client's participations.  The execution
+    #: backends (:mod:`repro.parallel.backend`) ship it to workers through
+    #: the pack/unpack contract, so stateful methods run on every backend.
     stateful_per_client = False
+
+    #: Names of *server-side* attributes ``client_update`` reads (SCAFFOLD's
+    #: control variate ``c``, FedCM's momentum ``Delta``).  Non-serial
+    #: execution backends snapshot these via :meth:`pack_broadcast_state`
+    #: and restore them on worker replicas before each job; methods that
+    #: keep such state without declaring it here cannot run off the serial
+    #: backend correctly.
+    broadcast_attrs: tuple = ()
+
+    #: False when ``client_update`` touches mutable state *outside* the
+    #: pack/unpack and ``broadcast_attrs`` contracts (e.g. FedGraB's
+    #: per-client gradient balancers).  Worker replicas would evolve their
+    #: own divergent copies, so non-serial backends refuse such methods
+    #: instead of silently producing scheduling-dependent results.
+    parallel_safe = True
 
     #: True when ``client_update`` consumes server state that only
     #: ``aggregate`` refreshes (momentum broadcasts like FedCM's Delta,
@@ -97,6 +114,15 @@ class FederatedAlgorithm:
 
     def unpack_client_state(self, client_id: int, state: dict) -> None:
         """Restore a client's persistent state from :meth:`pack_client_state`."""
+
+    def pack_broadcast_state(self) -> dict:
+        """Deep copy of the declared ``broadcast_attrs`` (empty if none)."""
+        return {k: copy.deepcopy(getattr(self, k)) for k in self.broadcast_attrs}
+
+    def unpack_broadcast_state(self, state: dict) -> None:
+        """Restore server-side broadcast state from :meth:`pack_broadcast_state`."""
+        for k, v in state.items():
+            setattr(self, k, v)
 
     def server_absorb(self, ctx: SimulationContext, update: "ClientUpdate",
                       weight: float) -> None:

@@ -34,6 +34,7 @@ class FedCM(LocalSGDMixin, FederatedAlgorithm):
 
     name = "fedcm"
     requires_aggregate_broadcast = True
+    broadcast_attrs = ("_delta",)
 
     def __init__(self, alpha: float = 0.1, weighted: bool = True) -> None:
         if not 0.0 < alpha <= 1.0:

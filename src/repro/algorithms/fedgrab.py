@@ -93,6 +93,12 @@ class FedGraB(LocalSGDMixin, FederatedAlgorithm):
         self.kappa = kappa
         self.weighted = weighted
 
+    # the per-client GradientBalancers accumulate pivot state across a
+    # client's participations but are not declared through the pack/unpack
+    # contract — worker replicas would diverge, so the execution backends
+    # refuse to run this method off the serial backend
+    parallel_safe = False
+
     def setup(self, ctx: SimulationContext) -> None:
         # DPA: prior estimate from aggregated counts; one SGB per client
         counts = ctx.dataset.client_counts.astype(np.float64)

@@ -65,6 +65,7 @@ class MoFedSAM(FedSAM):
 
     name = "mofedsam"
     requires_aggregate_broadcast = True
+    broadcast_attrs = ("_delta",)
 
     def __init__(self, rho: float = 0.05, alpha: float = 0.1, weighted: bool = True) -> None:
         super().__init__(rho=rho, weighted=weighted)

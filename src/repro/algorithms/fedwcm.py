@@ -45,6 +45,7 @@ class FedWCM(LocalSGDMixin, FederatedAlgorithm):
 
     name = "fedwcm"
     requires_aggregate_broadcast = True
+    broadcast_attrs = ("momentum",)
 
     def __init__(
         self,

@@ -112,6 +112,18 @@ def method_is_stateful(name: str) -> bool:
     return bool(getattr(_SIMPLE.get(name.lower()), "stateful_per_client", False))
 
 
+def method_is_parallel_safe(name: str) -> bool:
+    """True when the named method's client rule is safe on non-serial backends.
+
+    Methods whose ``client_update`` mutates state outside the pack/unpack
+    and ``broadcast_attrs`` contracts (FedGraB's per-client balancers)
+    declare ``parallel_safe = False``; worker replicas would silently
+    diverge, so spec validation and the backends refuse them off the
+    serial backend.  Variant factories are FedCM-based and safe.
+    """
+    return bool(getattr(_SIMPLE.get(name.lower()), "parallel_safe", True))
+
+
 def method_requires_aggregate(name: str) -> bool:
     """True when the named method's client rule reads aggregate-refreshed state.
 

@@ -84,6 +84,7 @@ class FedSMOO(LocalSGDMixin, FederatedAlgorithm):
 
     name = "fedsmoo"
     stateful_per_client = True
+    broadcast_attrs = ("_mu",)
     # mu is refreshed only in aggregate, so async wrapping is refused even
     # though the per-client h_i state implements the pack/unpack contract
     requires_aggregate_broadcast = True
@@ -154,6 +155,7 @@ class FedLESAM(LocalSGDMixin, FederatedAlgorithm):
 
     name = "fedlesam"
     requires_aggregate_broadcast = True
+    broadcast_attrs = ("_x_prev",)
 
     def __init__(self, rho: float = 0.05, weighted: bool = True) -> None:
         if rho <= 0:

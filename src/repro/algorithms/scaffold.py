@@ -23,6 +23,8 @@ __all__ = ["Scaffold"]
 class Scaffold(LocalSGDMixin, FederatedAlgorithm):
     name = "scaffold"
     stateful_per_client = True
+    # the server variate c is read by every client_update: ship it to replicas
+    broadcast_attrs = ("_c",)
 
     def setup(self, ctx: SimulationContext) -> None:
         self._c = np.zeros(ctx.dim, dtype=np.float64)

@@ -14,6 +14,8 @@ Commands:
                  deadline-based rounds, with pluggable client latency models.
 * ``compare``  — race several methods on one problem (a spec sweep over
                  ``method.name``), ASCII plot + table.
+* ``sweep``    — run a grid of dotted-path overrides (optionally across an
+                 execution backend), report mean/std over ``config.seed``.
 * ``spec``     — ``dump`` a spec as JSON, or ``validate`` spec files.
 * ``methods``  — list available algorithms.
 * ``datasets`` — list available -lite datasets.
@@ -26,7 +28,10 @@ Examples::
     python -m repro runtime --algorithm semisync --adaptive-deadline 0.3 \\
         --sampler utility --price-comm --base-method scaffold
     python -m repro runtime --algorithm semisync --deadline 2.5 --late-policy trickle
-    python -m repro runtime --algorithm fedbuff --base-method scaffold --sampler fast
+    python -m repro runtime --algorithm fedbuff --base-method scaffold \\
+        --backend process --workers 4
+    python -m repro sweep --grid method.name=fedavg,fedcm \\
+        --grid config.seed=0,1,2 --backend process --workers 4
     python -m repro spec dump --algorithm fedbuff --latency pareto > my_spec.json
     python -m repro spec validate examples/specs/*.json
 """
@@ -34,6 +39,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import fields as dataclass_fields
 
@@ -46,9 +52,11 @@ from repro.experiments import (
     ExperimentSpec,
     expand,
     resolve_model_alias,
+    run_sweep,
 )
 from repro.experiments import run as run_spec
 from repro.nn.models import MODEL_REGISTRY
+from repro.parallel import BACKENDS
 from repro.runtime import LATENCY_MODELS, SAMPLERS
 from repro.simulation import FLConfig, save_checkpoint, save_history
 from repro.viz import ascii_barchart, history_plot
@@ -170,8 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--price-comm", action="store_true", default=_SUPPRESS,
                        help="price the algorithm's CommunicationModel payload into "
                             "latency (FedCM/SCAFFOLD multipliers reach virtual time)")
+        p.add_argument("--backend", default=_SUPPRESS, choices=sorted(BACKENDS),
+                       help="execution backend for client compute (default: auto "
+                            "— REPRO_BACKEND, or process when --workers > 1)")
         p.add_argument("--workers", type=int, default=_SUPPRESS,
-                       help="process-pool workers for batched client training")
+                       help="worker count for the process/thread backends")
+        p.add_argument("--buffer-ema", default=_SUPPRESS,
+                       choices=("fixed", "staleness"),
+                       help="async BatchNorm-buffer EMA: fixed 1/window blend, or "
+                            "staleness-discounted 1/(window*(1+tau))")
 
     def add_outputs(p: argparse.ArgumentParser, timed: bool) -> None:
         if timed:
@@ -190,6 +205,26 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--methods", default="fedavg,fedcm,fedwcm",
                        help="comma-separated method names")
     add_common(cmp_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a grid of spec overrides, aggregate over seeds"
+    )
+    sweep_p.add_argument("--method", default=_SUPPRESS, choices=METHOD_NAMES,
+                         help="algorithm registry name for the base spec")
+    add_common(sweep_p)
+    sweep_p.add_argument("--grid", action="append", required=True,
+                         metavar="KEY.PATH=V1,V2,...",
+                         help="grid axis (repeatable): dotted spec path = "
+                              "comma-separated or JSON-list values, e.g. "
+                              "--grid config.seed=0,1,2")
+    # distinct dests: these drive sweep *dispatch*, not the per-run
+    # runtime.backend knob (set that via --set runtime.backend=...)
+    sweep_p.add_argument("--backend", dest="sweep_backend", default=None,
+                         choices=sorted(BACKENDS),
+                         help="where grid points execute (default: serial, or "
+                              "REPRO_BACKEND / process when --workers > 1)")
+    sweep_p.add_argument("--workers", dest="sweep_workers", type=int, default=None,
+                         help="worker count for parallel sweep execution")
 
     rt_p = sub.add_parser("runtime", help="event-driven run under a virtual clock")
     add_common(rt_p)
@@ -240,12 +275,16 @@ _SEMISYNC_MAP = (
     ("late_weight", "runtime.late_weight"),
     ("late_policy", "runtime.late_policy"),
     ("sampler", "runtime.sampler"),
+    ("backend", "runtime.backend"),
+    ("workers", "runtime.workers"),
 )
 _ASYNC_MAP = (
     ("concurrency", "runtime.concurrency"),
     ("max_updates", "runtime.max_updates"),
     ("staleness_budget", "runtime.staleness_budget"),
+    ("backend", "runtime.backend"),
     ("workers", "runtime.workers"),
+    ("buffer_ema", "runtime.buffer_ema"),
     ("sampler", "runtime.sampler"),
 )
 
@@ -480,6 +519,83 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def parse_grid_axis(text: str) -> tuple[str, list]:
+    """Split one ``--grid dotted.path=v1,v2,...`` axis.
+
+    The value side parses as a JSON list, a single JSON scalar (wrapped into
+    a one-value axis), or a comma-separated sequence whose elements each
+    parse as JSON with a bare-string fallback — so both
+    ``--grid config.seed=0,1,2`` and ``--grid method.name=fedavg,fedcm``
+    read naturally.
+    """
+    if "=" not in text:
+        raise ValueError(f"grid axis {text!r} must look like key.path=v1,v2,...")
+    path, raw = text.split("=", 1)
+    path = path.strip()
+    if not path:
+        raise ValueError(f"grid axis {text!r} has an empty key path")
+    raw = raw.strip()
+    try:
+        value = json.loads(raw)
+        return path, value if isinstance(value, list) else [value]
+    except json.JSONDecodeError:
+        pass
+    values = []
+    for part in raw.split(","):
+        part = part.strip()
+        try:
+            values.append(json.loads(part))
+        except json.JSONDecodeError:
+            values.append(part)  # bare string
+    return path, values
+
+
+def cmd_sweep(args) -> int:
+    base = _assemble(args)
+    if base is None:
+        return 2
+    try:
+        grid: dict[str, list] = {}
+        for text in args.grid:
+            path, values = parse_grid_axis(text)
+            if path in grid:
+                raise ValueError(
+                    f"grid axis {path!r} given twice; merge the values into "
+                    "one --grid flag"
+                )
+            grid[path] = values
+        result = run_sweep(
+            base, grid, backend=args.sweep_backend, workers=args.sweep_workers
+        )
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for assignment, point in zip(result.assignments, result.results):
+        label = "  ".join(f"{k}={v}" for k, v in assignment.items()) or "(base)"
+        print(f"{label:60s} final={point.final_accuracy:.4f} "
+              f"best={point.best_accuracy:.4f}")
+    rows = result.aggregate()
+    print()
+    header = [*result.group_axes, "n", "final", "best"]
+    lines = [
+        [
+            *(str(row[a]) for a in result.group_axes),
+            str(row["n"]),
+            f"{row['final_mean']:.4f}±{row['final_std']:.4f}",
+            f"{row['best_mean']:.4f}±{row['best_std']:.4f}",
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[j]), max((len(r[j]) for r in lines), default=0))
+        for j in range(len(header))
+    ]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for r in lines:
+        print("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return 0
+
+
 def cmd_spec(args) -> int:
     if args.spec_command == "dump":
         spec = _assemble(args)
@@ -520,6 +636,7 @@ def main(argv: list[str] | None = None) -> int:
         return {
             "run": cmd_run,
             "compare": cmd_compare,
+            "sweep": cmd_sweep,
             "runtime": cmd_runtime,
             "spec": cmd_spec,
             "methods": cmd_methods,

@@ -36,7 +36,7 @@ from repro.experiments.spec import (
     apply_overrides,
     parse_override,
 )
-from repro.experiments.sweeps import expand, run_sweep
+from repro.experiments.sweeps import SweepResult, expand, run_point, run_sweep
 
 __all__ = [
     "DataSpec",
@@ -56,4 +56,6 @@ __all__ = [
     "run",
     "expand",
     "run_sweep",
+    "run_point",
+    "SweepResult",
 ]

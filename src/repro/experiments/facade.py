@@ -21,10 +21,11 @@ from typing import Callable
 
 import numpy as np
 
-from repro.algorithms import AsyncAdapter, make_method
+from repro.algorithms import AsyncAdapter, make_method, method_is_parallel_safe
 from repro.data import load_federated_dataset
 from repro.data.registry import FederatedDataset
 from repro.experiments.spec import ExperimentSpec
+from repro.parallel import resolve_backend
 from repro.nn import build_model, make_linear, make_mlp
 from repro.runtime import (
     AsyncFederatedSimulation,
@@ -121,6 +122,16 @@ def build_problem(
     return ds, model_builder, cfg
 
 
+def _method_builder(spec: ExperimentSpec) -> Callable:
+    """Zero-arg algorithm factory for worker replicas (sync/semisync kinds)."""
+    name, kwargs = spec.method.name, dict(spec.method.kwargs)
+
+    def algo_builder():
+        return make_method(name, **kwargs).algorithm
+
+    return algo_builder
+
+
 def _build_sampler(spec: ExperimentSpec, timed: bool):
     """Instantiate the cohort sampler, or None for the default uniform draw."""
     rt = spec.runtime
@@ -145,6 +156,14 @@ def build(spec: ExperimentSpec):
     """
     rt = spec.runtime
     ds, model_builder, cfg = build_problem(spec)
+    # spec-driven runs opt into the REPRO_BACKEND environment default
+    # ("auto" resolution); direct engine construction does not
+    backend = resolve_backend(rt.backend, rt.workers, env=True)
+    if backend != "serial" and not method_is_parallel_safe(spec.method.name):
+        # spec validation already rejects an *explicit* non-serial backend
+        # for such methods, so reaching here means a blanket REPRO_BACKEND
+        # default — quietly keep the only backend that runs them correctly
+        backend = "serial"
 
     def make_latency():
         # price_comm must reach the engine even under the default latency:
@@ -164,6 +183,10 @@ def build(spec: ExperimentSpec):
             model_builder(),
             ds,
             cfg,
+            backend=backend,
+            workers=rt.workers,
+            model_builder=model_builder,
+            algo_builder=_method_builder(spec),
             loss_builder=bundle.loss_builder,
             sampler_builder=bundle.sampler_builder,
             client_sampler=_build_sampler(spec, timed=False),
@@ -185,6 +208,10 @@ def build(spec: ExperimentSpec):
             deadline=deadline,
             late_weight=rt.late_weight,
             late_policy=rt.late_policy,
+            backend=backend,
+            workers=rt.workers,
+            model_builder=model_builder,
+            algo_builder=_method_builder(spec),
             loss_builder=bundle.loss_builder,
             sampler_builder=bundle.sampler_builder,
             client_sampler=_build_sampler(spec, timed=True),
@@ -228,10 +255,12 @@ def build(spec: ExperimentSpec):
         concurrency=rt.concurrency,
         concurrency_controller=controller,
         max_updates=rt.max_updates,
+        backend=backend,
         workers=rt.workers,
         model_builder=model_builder,
         algo_builder=algo_builder,
         sampler=_build_sampler(spec, timed=True),
+        buffer_ema=rt.buffer_ema,
         loss_builder=bundle.loss_builder if bundle is not None else None,
         sampler_builder=bundle.sampler_builder if bundle is not None else None,
     )

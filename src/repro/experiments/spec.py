@@ -29,10 +29,21 @@ import types
 import typing
 from dataclasses import dataclass, field
 
-from repro.algorithms import METHOD_NAMES, method_is_stateful, method_requires_aggregate
+from repro.algorithms import (
+    METHOD_NAMES,
+    method_is_parallel_safe,
+    method_requires_aggregate,
+)
 from repro.data import DATASET_REGISTRY
 from repro.nn.models import MODEL_REGISTRY
-from repro.runtime import LATE_POLICIES, LATENCY_MODELS, SAMPLERS, TimeAwareSampler
+from repro.parallel import BACKENDS
+from repro.runtime import (
+    BUFFER_EMA_MODES,
+    LATE_POLICIES,
+    LATENCY_MODELS,
+    SAMPLERS,
+    TimeAwareSampler,
+)
 from repro.simulation import FLConfig
 from repro.utils.validation import check_fraction, check_positive
 
@@ -54,14 +65,16 @@ ENGINE_KINDS = ("sync", "semisync", "fedasync", "fedbuff")
 _ASYNC_KINDS = ("fedasync", "fedbuff")
 
 # runtime knobs each engine kind cannot consume — the single source of truth
-# shared by RuntimeSpec validation and the CLI's unused-flag warnings
+# shared by RuntimeSpec validation and the CLI's unused-flag warnings.
+# backend / workers appear nowhere: every kind dispatches client compute
+# through the execution-backend layer (repro.parallel.backend)
 KIND_FORBIDDEN_KNOBS: dict[str, tuple[str, ...]] = {
     "sync": (
         "latency", "price_comm", "deadline", "adaptive_deadline",
         "late_weight", "late_policy", "concurrency", "staleness_budget",
-        "max_updates", "workers",
+        "max_updates", "buffer_ema",
     ),
-    "semisync": ("concurrency", "staleness_budget", "max_updates", "workers"),
+    "semisync": ("concurrency", "staleness_budget", "max_updates", "buffer_ema"),
     "fedasync": ("deadline", "adaptive_deadline", "late_weight", "late_policy"),
     "fedbuff": ("deadline", "adaptive_deadline", "late_weight", "late_policy"),
 }
@@ -194,8 +207,19 @@ class RuntimeSpec:
         concurrency: async clients in flight (None = sync cohort size).
         staleness_budget: AIMD concurrency control target (None = fixed).
         max_updates: async total client updates (None = rounds x cohort).
-        workers: process-pool workers for async batched training (None = 1;
-            stateful methods such as SCAFFOLD must run serially).
+        backend: execution backend for client compute, any engine kind —
+            ``"serial"``, ``"process"`` (fork pool), ``"thread"``, or
+            ``"auto"`` (default): the ``REPRO_BACKEND`` environment
+            variable if set, else ``"process"`` when ``workers`` asks for
+            more than one, else ``"serial"``.  Stateful methods and
+            BatchNorm buffers run bit-identically on every backend (packed
+            state rides the job contract).
+        workers: worker count for pool backends (None = the backend default:
+            ``REPRO_MAX_WORKERS`` or the capped CPU count).
+        buffer_ema: async server-side buffer EMA mode — ``"fixed"``
+            (1/window blend, default) or ``"staleness"`` (stale arrivals
+            discounted at ``1/(window * (1 + tau))``, mirroring the
+            parameter rule).
     """
 
     kind: str = "sync"
@@ -211,9 +235,14 @@ class RuntimeSpec:
     concurrency: int | None = None
     staleness_budget: float | None = None
     max_updates: int | None = None
+    backend: str = "auto"
     workers: int | None = None
+    buffer_ema: str = "fixed"
 
     def __post_init__(self) -> None:
+        # normalize once so every later comparison (and resolve_backend)
+        # sees the same casing
+        object.__setattr__(self, "backend", self.backend.lower())
         if self.kind not in ENGINE_KINDS:
             raise ValueError(f"unknown engine kind {self.kind!r}; available: {ENGINE_KINDS}")
         if self.latency is not None and self.latency.lower() not in LATENCY_MODELS:
@@ -252,8 +281,22 @@ class RuntimeSpec:
             )
         if self.max_updates is not None and self.max_updates < 1:
             raise ValueError(f"max_updates must be >= 1, got {self.max_updates}")
+        if self.backend != "auto" and self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; available: "
+                f"{['auto', *sorted(BACKENDS)]}"
+            )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.backend == "serial" and (self.workers or 1) > 1:
+            raise ValueError(
+                f"backend='serial' contradicts workers={self.workers}; "
+                "use backend='process' or 'thread' for parallel client compute"
+            )
+        if self.buffer_ema not in BUFFER_EMA_MODES:
+            raise ValueError(
+                f"buffer_ema must be one of {BUFFER_EMA_MODES}, got {self.buffer_ema!r}"
+            )
         # knobs the chosen engine kind cannot consume are hard errors here —
         # a spec that silently ignored them would lie about the run it names
         if (
@@ -298,7 +341,7 @@ class RuntimeSpec:
             "concurrency": self.concurrency is not None,
             "staleness_budget": self.staleness_budget is not None,
             "max_updates": self.max_updates is not None,
-            "workers": self.workers is not None,
+            "buffer_ema": self.buffer_ema != "fixed",
         }
         bad = [k for k in KIND_FORBIDDEN_KNOBS[self.kind] if set_knobs[k]]
         if bad:
@@ -341,14 +384,18 @@ class ExperimentSpec:
                 "only aggregate() refreshes (frozen under async rules); use "
                 "runtime.kind='semisync' for deadline-based straggler handling"
             )
-        if (
-            kind in _ASYNC_KINDS
-            and method_is_stateful(mname)
-            and (self.runtime.workers or 1) > 1
+        # stateful x workers needs no check anymore: packed client state
+        # rides the execution backends' job contract on every engine kind.
+        # Methods whose state stays OUTSIDE those contracts are the one
+        # remaining exception — worker replicas would silently diverge
+        if not method_is_parallel_safe(mname) and (
+            self.runtime.backend not in ("auto", "serial")
+            or (self.runtime.workers or 1) > 1
         ):
             raise ValueError(
-                f"method {self.method.name!r} keeps per-client state and must "
-                "run serially under the async engines; drop runtime.workers"
+                f"method {self.method.name!r} keeps client-visible state "
+                "outside the pack/unpack and broadcast_attrs contracts and "
+                "must run on the serial backend; drop runtime.backend/workers"
             )
 
     # -- serialization -------------------------------------------------------

@@ -4,17 +4,36 @@
 returns the cartesian product as fully validated specs — the declarative
 replacement for hand-written benchmark grids (``python -m repro compare`` is
 one ``expand`` over ``method.name``).
+
+``run_sweep`` executes the grid — serially, or through any
+:class:`~repro.parallel.backend.ExecutionBackend` (each grid point is one
+coarse-grained job; every run is a pure function of its spec, so parallel
+and serial sweeps produce identical results) — and returns a
+:class:`SweepResult`: the per-point :class:`~repro.experiments.RunResult`
+list plus dotted-path grouping with mean/std aggregation over
+``config.seed`` (the multi-seed bookkeeping that used to live in
+``benchmarks/_harness.py``).  ``python -m repro sweep`` drives it from the
+command line.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Mapping, Sequence
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.experiments.facade import RunResult, run
 from repro.experiments.spec import ExperimentSpec
+from repro.parallel import ExecutionBackend, make_backend, resolve_backend
 
-__all__ = ["expand", "run_sweep"]
+__all__ = ["expand", "run_sweep", "run_point", "SweepResult", "SEED_AXIS"]
+
+#: the grid axis treated as replication rather than variation: grouping
+#: collapses it and aggregation reports mean/std across it
+SEED_AXIS = "config.seed"
 
 
 def expand(spec: ExperimentSpec, grid: Mapping[str, Sequence]) -> list[ExperimentSpec]:
@@ -48,23 +67,162 @@ def expand(spec: ExperimentSpec, grid: Mapping[str, Sequence]) -> list[Experimen
     return out
 
 
+@dataclass
+class SweepResult:
+    """Outcome of one :func:`run_sweep`: every grid point, plus aggregation.
+
+    Attributes:
+        base: the spec every point was derived from.
+        grid: the expanded axes (``path -> list of values``).
+        assignments: one ``{path: value}`` dict per grid point, in
+            enumeration order (the last axis varies fastest).
+        results: the matching :class:`~repro.experiments.RunResult` per
+            point.
+    """
+
+    base: ExperimentSpec
+    grid: dict = field(repr=False)
+    assignments: list = field(repr=False)
+    results: list = field(repr=False)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def group_axes(self) -> tuple:
+        """Grid paths that define groups — every axis except the seed."""
+        return tuple(path for path in self.grid if path != SEED_AXIS)
+
+    def _grouped(self) -> dict:
+        """Canonical-key grouping: ``key -> (original values, results)``.
+
+        Axis values may be unhashable (``method.kwargs`` dicts, list-valued
+        knobs); those contribute a canonical JSON form to the key while the
+        original values are kept for reporting.
+        """
+        axes = self.group_axes
+        out: dict[tuple, tuple] = {}
+        for assignment, result in zip(self.assignments, self.results):
+            values = tuple(assignment[a] for a in axes)
+            key = tuple(_hashable(v) for v in values)
+            out.setdefault(key, (values, []))[1].append(result)
+        return out
+
+    def groups(self) -> dict:
+        """Results grouped by their non-seed axis values.
+
+        Returns an insertion-ordered mapping from the tuple of
+        :attr:`group_axes` values to the group's results (one per seed when
+        the grid sweeps ``config.seed``, otherwise a singleton).
+        Unhashable axis values (kwargs dicts) appear in their canonical
+        JSON form.
+        """
+        return {key: results for key, (_, results) in self._grouped().items()}
+
+    def aggregate(self, metrics: Mapping[str, Callable] | None = None) -> list[dict]:
+        """Mean/std per group over the ``config.seed`` axis.
+
+        Args:
+            metrics: ``name -> callable(RunResult) -> float``; defaults to
+                ``final`` / ``best`` accuracy.
+
+        Returns:
+            One row per group (enumeration order): the group's axis values
+            under their dotted paths, ``n`` (runs aggregated, i.e. seeds),
+            and ``<name>_mean`` / ``<name>_std`` per metric (population
+            std, 0.0 for singleton groups).
+        """
+        if metrics is None:
+            metrics = {
+                "final": lambda r: r.final_accuracy,
+                "best": lambda r: r.best_accuracy,
+            }
+        rows = []
+        for values, results in self._grouped().values():
+            row: dict = dict(zip(self.group_axes, values))
+            row["n"] = len(results)
+            for name, fn in metrics.items():
+                vals = np.array([fn(r) for r in results], dtype=float)
+                row[f"{name}_mean"] = float(vals.mean())
+                row[f"{name}_std"] = float(vals.std())
+            rows.append(row)
+        return rows
+
+
+def _hashable(value):
+    """A value usable in a group key: itself, or its canonical JSON form."""
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return json.dumps(value, sort_keys=True, default=repr)
+
+
+def run_point(spec: ExperimentSpec) -> RunResult:
+    """Execute one grid point; engine dropped so the result crosses processes.
+
+    The unit of work every parallel sweep dispatches (also used by the
+    benchmark harness) — module-level so it pickles into pool workers.
+    """
+    result = run(spec)
+    result.engine = None
+    return result
+
+
 def run_sweep(
     spec: ExperimentSpec,
     grid: Mapping[str, Sequence],
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
     verbose: bool = False,
     keep_engines: bool = False,
-) -> list[RunResult]:
-    """:func:`expand` the grid, then :func:`~repro.experiments.run` each point.
+) -> SweepResult:
+    """:func:`expand` the grid, run every point, aggregate into a
+    :class:`SweepResult`.
+
+    Args:
+        backend: where grid points execute — an
+            :class:`~repro.parallel.backend.ExecutionBackend` instance, a
+            registry name, or None to resolve from ``workers`` /
+            ``REPRO_BACKEND`` (serial by default).  Each point is one
+            coarse-grained ``backend.map`` job; since a run is a pure
+            function of its spec, parallel sweeps return the same
+            ``SweepResult`` as serial ones.
+        workers: worker count for pool backends.
+        keep_engines: keep each result's engine (serial backend only —
+            engines hold loaded datasets and cannot cross processes).
 
     Engines are dropped from the results by default — each one pins a fully
     loaded dataset and model, and a sweep would otherwise hold every grid
-    point's copy in memory simultaneously.  Pass ``keep_engines=True`` when
-    the engines themselves are needed (e.g. to probe latency models).
+    point's copy in memory simultaneously.
     """
-    out = []
-    for s in expand(spec, grid):
-        result = run(s, verbose=verbose)
-        if not keep_engines:
-            result.engine = None
-        out.append(result)
-    return out
+    axes = {path: list(values) for path, values in grid.items()}
+    specs = expand(spec, axes)
+    assignments = [
+        dict(zip(axes, combo))
+        for combo in itertools.product(*axes.values())
+    ]
+    if isinstance(backend, ExecutionBackend):
+        exec_backend = backend
+    else:
+        exec_backend = make_backend(
+            resolve_backend(backend, workers, env=True), workers=workers
+        )
+    if exec_backend.name != "serial":
+        if keep_engines:
+            raise ValueError(
+                "keep_engines requires the serial backend: engines pin "
+                "loaded datasets and cannot cross workers"
+            )
+        results = exec_backend.map(run_point, specs)
+    else:
+        results = []
+        for s in specs:
+            result = run(s, verbose=verbose)
+            if not keep_engines:
+                result.engine = None
+            results.append(result)
+    return SweepResult(base=spec, grid=axes, assignments=assignments, results=results)

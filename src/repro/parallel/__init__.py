@@ -1,5 +1,37 @@
-"""Parallel execution substrate mirroring the paper's multi-GPU setup."""
+"""Parallel execution substrate mirroring the paper's multi-GPU setup.
 
+:mod:`repro.parallel.backend` is the pluggable execution layer every engine
+speaks (the :class:`ClientJob` -> :class:`ClientResult` contract);
+:mod:`repro.parallel.pool` keeps the lower-level fork-pool primitives
+(:func:`parallel_map`, the per-round :class:`ParallelClientRunner`).
+"""
+
+from repro.parallel.backend import (
+    BACKENDS,
+    ClientJob,
+    ClientResult,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    execute_job,
+    make_backend,
+    resolve_backend,
+)
 from repro.parallel.pool import ParallelClientRunner, parallel_map, resolve_workers
 
-__all__ = ["ParallelClientRunner", "parallel_map", "resolve_workers"]
+__all__ = [
+    "ClientJob",
+    "ClientResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ThreadBackend",
+    "BACKENDS",
+    "make_backend",
+    "resolve_backend",
+    "execute_job",
+    "ParallelClientRunner",
+    "parallel_map",
+    "resolve_workers",
+]

@@ -1,0 +1,506 @@
+"""Pluggable execution backends: one job contract for every engine kind.
+
+Before this module the compute path was forked: the asynchronous policy had
+a serial branch (live algorithm, live model — the only branch that could
+carry packed client state and BatchNorm buffers) and a worker-pool branch
+(stateless jobs only), and parameter sweeps ran grid points one at a time.
+This module closes the fork with a task-runner/executor split (the same
+architecture OpenFL uses): engines describe client work as
+:class:`ClientJob` values and an :class:`ExecutionBackend` decides *where*
+the jobs run.
+
+The contract makes every job a pure function of its inputs::
+
+    ClientJob(round_idx, client_id, x_ref,
+              client_state, buffers, broadcast_state)
+        -> ClientResult(update, new_state, buffers, train_loss)
+
+* ``client_state`` — the client's persistent algorithm state (SCAFFOLD
+  control variates, FedDyn duals) packed through the
+  :class:`~repro.algorithms.base.FederatedAlgorithm` pack/unpack contract;
+  ``None`` for stateless methods (and for engines whose live algorithm
+  already holds the state, i.e. the serial backend under synchronous
+  rounds).
+* ``buffers`` — the server's current BatchNorm-style buffer estimate the
+  client starts training from; the post-training buffers come back in the
+  result.
+* ``broadcast_state`` — server-side state the method's ``client_update``
+  reads (SCAFFOLD's ``c``, FedCM's ``Delta``), declared per method via
+  ``broadcast_attrs``; ``None`` when the executing algorithm instance is
+  the live one.
+
+Because jobs are pure, the three implementations are interchangeable and
+bit-identical (``tests/test_backends.py`` pins this across all four engine
+kinds):
+
+* :class:`SerialBackend` — in-process against the engine's live context and
+  algorithm; the default, and the reference semantics.
+* :class:`ProcessPoolBackend` — a fork-based process pool whose workers
+  accept and return packed state and buffer dicts (the rework of the old
+  ``ParallelClientRunner.run_jobs`` path, which could ship neither).
+* :class:`ThreadBackend` — per-thread replicas; no fork, cheap to spin up —
+  meant for smoke/CI runs and platforms without ``fork``.
+
+Backends double as coarse-grained parallel mappers (:meth:`ExecutionBackend.map`)
+so :func:`repro.experiments.run_sweep` can dispatch whole grid points
+through the same abstraction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.parallel.pool import parallel_map, resolve_workers
+from repro.simulation.context import SimulationContext
+from repro.simulation.engine import attach_train_loss
+
+__all__ = [
+    "ClientJob",
+    "ClientResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ThreadBackend",
+    "BACKENDS",
+    "make_backend",
+    "resolve_backend",
+    "prepare_engine_backend",
+    "execute_job",
+    "warn_on_replica_config_mismatch",
+]
+
+
+@dataclass(frozen=True)
+class ClientJob:
+    """One unit of client work, self-contained and order-independent.
+
+    Attributes:
+        round_idx: RNG round key for ``client_update`` (the round for
+            barrier/deadline engines, the dispatch sequence for async).
+        client_id: which client trains.
+        x_ref: the broadcast parameter vector trained from.
+        client_state: packed per-client algorithm state to train from, or
+            None when the executing algorithm already holds it (stateless
+            methods, or the serial backend under synchronous rounds).
+        buffers: model buffers (BatchNorm running stats) to start from, or
+            None for buffer-free models.
+        broadcast_state: server-side method state ``client_update`` reads
+            (see ``FederatedAlgorithm.broadcast_attrs``), or None when the
+            executing instance is the live one.
+    """
+
+    round_idx: int
+    client_id: int
+    x_ref: np.ndarray = field(repr=False)
+    client_state: dict | None = field(default=None, repr=False)
+    buffers: dict | None = field(default=None, repr=False)
+    broadcast_state: dict | None = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class ClientResult:
+    """What one :class:`ClientJob` produced.
+
+    Attributes:
+        update: the algorithm's ``ClientUpdate`` (displacement + extras).
+        new_state: packed post-training client state (None if the job
+            carried no ``client_state``).
+        buffers: post-training model buffers (None if the job carried no
+            ``buffers``).
+        train_loss: mean local training loss, when the method reports one.
+    """
+
+    update: object = field(repr=False)
+    new_state: dict | None = field(default=None, repr=False)
+    buffers: dict | None = field(default=None, repr=False)
+    train_loss: float | None = None
+
+
+def execute_job(ctx: SimulationContext, algorithm, job: ClientJob) -> ClientResult:
+    """Run one job against ``(ctx, algorithm)`` — the single job semantics.
+
+    Every backend funnels through here, which is what makes them
+    interchangeable: restore buffers, broadcast state and client state from
+    the job, run ``client_update``, pack what changed back into the result.
+    """
+    if job.buffers is not None:
+        ctx.model.set_buffers(job.buffers)
+    if job.broadcast_state is not None:
+        algorithm.unpack_broadcast_state(job.broadcast_state)
+    if job.client_state is not None:
+        algorithm.unpack_client_state(job.client_id, job.client_state)
+    update = algorithm.client_update(ctx, job.round_idx, job.client_id, job.x_ref)
+    update = attach_train_loss(algorithm, update)
+    new_state = (
+        algorithm.pack_client_state(job.client_id)
+        if job.client_state is not None
+        else None
+    )
+    buffers = ctx.model.get_buffers(copy=True) if job.buffers is not None else None
+    loss = update.extras.get("train_loss")
+    return ClientResult(
+        update=update,
+        new_state=new_state,
+        buffers=buffers,
+        train_loss=float(loss) if loss is not None else None,
+    )
+
+
+def warn_on_replica_config_mismatch(algorithm) -> None:
+    """Default worker replicas are ``type(algorithm)()`` — flag silently
+    diverging hyperparameters.
+
+    Workers only run ``client_update``, so a replica built with default
+    constructor arguments is correct as long as every non-default
+    hyperparameter is server-side.  Algorithms declare such knobs via a
+    ``replica_safe_hyperparams`` class attribute (FedAsync/FedBuff whitelist
+    all of theirs); anything else that differs from the default-constructed
+    probe draws a warning instead of silently breaking the parallel ==
+    serial bit-identity guarantee.
+    """
+    try:
+        probe = type(algorithm)()
+    except TypeError:
+        warnings.warn(
+            f"{type(algorithm).__name__} cannot be rebuilt with no arguments "
+            "for worker replicas; pass algo_builder to the engine",
+            stacklevel=3,
+        )
+        return
+    # private attributes are runtime state (buffers, last-alpha traces), not
+    # constructor config, and declared server-side knobs cannot affect
+    # client_update — only the remaining public knobs are compared
+    safe = getattr(algorithm, "replica_safe_hyperparams", frozenset())
+
+    def config_of(obj) -> dict:
+        return {
+            k: v for k, v in vars(obj).items()
+            if not k.startswith("_") and k not in safe
+        }
+
+    a, b = config_of(algorithm), config_of(probe)
+    mismatched = set(a) ^ set(b)
+    for key in set(a) & set(b):
+        try:
+            if not bool(np.all(a[key] == b[key])):
+                mismatched.add(key)
+        except (TypeError, ValueError):
+            mismatched.add(key)
+    if mismatched:
+        warnings.warn(
+            f"worker replicas of {type(algorithm).__name__} are built with "
+            f"default hyperparameters but the main instance differs in "
+            f"{sorted(mismatched)}; pass algo_builder if any of these affect "
+            "client_update, or results will differ from the serial backend",
+            stacklevel=3,
+        )
+
+
+class ExecutionBackend:
+    """Where client jobs (and sweep grid points) execute.
+
+    Life cycle: construct (cheap, picks a worker count), :meth:`bind` to a
+    problem (the engine's context plus replica builders — this is where
+    pools spin up), :meth:`run_jobs` any number of times, :meth:`close`.
+    :meth:`map` needs no binding and is usable stand-alone for sweeps.
+
+    Attributes:
+        shares_state: True when jobs run against the engine's *live*
+            algorithm and model, so engine-side state is visible to jobs
+            without being shipped through the job contract.  Engines use
+            this to skip packing client/broadcast state for the serial
+            backend.
+    """
+
+    name = "base"
+    shares_state = False
+
+    def bind(
+        self,
+        ctx: SimulationContext,
+        algorithm,
+        model_builder: Callable | None = None,
+        algo_builder: Callable | None = None,
+        loss_builder=None,
+        sampler_builder=None,
+    ) -> "ExecutionBackend":
+        raise NotImplementedError
+
+    def run_jobs(self, jobs: Sequence[ClientJob]) -> list[ClientResult]:
+        raise NotImplementedError
+
+    def map(self, fn: Callable, items: list) -> list:
+        """Order-preserving parallel map over coarse-grained items."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution against the live context — the reference
+    semantics every other backend must reproduce bit-for-bit."""
+
+    name = "serial"
+    shares_state = True
+
+    def __init__(self, workers: int | None = None) -> None:
+        # accepts (and ignores) a worker count so make_backend is uniform
+        self._ctx: SimulationContext | None = None
+        self._algo = None
+
+    def bind(self, ctx, algorithm, model_builder=None, algo_builder=None,
+             loss_builder=None, sampler_builder=None) -> "SerialBackend":
+        self._ctx = ctx
+        self._algo = algorithm
+        return self
+
+    def run_jobs(self, jobs: Sequence[ClientJob]) -> list[ClientResult]:
+        return [execute_job(self._ctx, self._algo, job) for job in jobs]
+
+    def map(self, fn: Callable, items: list) -> list:
+        return [fn(item) for item in items]
+
+
+# -- process pool ------------------------------------------------------------
+# worker-global replica: (context, algorithm) built once per process
+_WORKER: dict = {}
+
+
+def _pool_worker_init(model_builder, dataset, config, loss_builder,
+                      sampler_builder, algo_builder) -> None:
+    ctx = SimulationContext(
+        model_builder(), dataset, config,
+        loss_builder=loss_builder, sampler_builder=sampler_builder,
+    )
+    algo = algo_builder()
+    algo.setup(ctx)
+    _WORKER["ctx"] = ctx
+    _WORKER["algo"] = algo
+
+
+def _pool_worker_run(job: ClientJob) -> ClientResult:
+    return execute_job(_WORKER["ctx"], _WORKER["algo"], job)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fork-based process pool speaking the full job contract.
+
+    The rework of the old ``ParallelClientRunner.run_jobs`` path: workers
+    now accept and return packed client state and buffer dicts, so stateful
+    methods (SCAFFOLD, FedDyn) and BatchNorm buffer tracking run under the
+    pool with results bit-identical to the serial backend.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        self._pool = None
+
+    def bind(self, ctx, algorithm, model_builder=None, algo_builder=None,
+             loss_builder=None, sampler_builder=None) -> "ProcessPoolBackend":
+        if model_builder is None:
+            raise ValueError(
+                f"backend {self.name!r} needs a model_builder for worker replicas"
+            )
+        if algo_builder is None:
+            warn_on_replica_config_mismatch(algorithm)
+            algo_builder = type(algorithm)
+        self.close()
+        self._pool = mp.get_context("fork").Pool(
+            processes=self.workers,
+            initializer=_pool_worker_init,
+            initargs=(model_builder, ctx.dataset, ctx.config,
+                      loss_builder, sampler_builder, algo_builder),
+        )
+        return self
+
+    def run_jobs(self, jobs: Sequence[ClientJob]) -> list[ClientResult]:
+        if self._pool is None:
+            raise RuntimeError("ProcessPoolBackend.run_jobs before bind()")
+        return self._pool.map(_pool_worker_run, list(jobs))
+
+    def map(self, fn: Callable, items: list) -> list:
+        # coarse-grained sweep map: a transient pool, independent of bind()
+        return parallel_map(fn, items, workers=self.workers)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread pool with per-thread replicas — no fork, cheap start-up.
+
+    Each worker thread lazily builds its own context and algorithm from the
+    bound builders (models are mutable and must not be shared), then runs
+    jobs through the same :func:`execute_job` semantics.  Meant for
+    smoke/CI runs and platforms without ``fork``; NumPy holds the GIL for
+    most of a job, so speed-ups are modest.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        self._local = threading.local()
+        self._builders = None
+        self._executor: ThreadPoolExecutor | None = None
+
+    def bind(self, ctx, algorithm, model_builder=None, algo_builder=None,
+             loss_builder=None, sampler_builder=None) -> "ThreadBackend":
+        if model_builder is None:
+            raise ValueError(
+                f"backend {self.name!r} needs a model_builder for worker replicas"
+            )
+        if algo_builder is None:
+            warn_on_replica_config_mismatch(algorithm)
+            algo_builder = type(algorithm)
+        self.close()
+        self._builders = (model_builder, ctx.dataset, ctx.config,
+                          loss_builder, sampler_builder, algo_builder)
+        self._local = threading.local()
+        self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        return self
+
+    def _replica(self):
+        if not hasattr(self._local, "ctx"):
+            model_builder, dataset, config, loss_b, sampler_b, algo_b = self._builders
+            ctx = SimulationContext(
+                model_builder(), dataset, config,
+                loss_builder=loss_b, sampler_builder=sampler_b,
+            )
+            algo = algo_b()
+            algo.setup(ctx)
+            self._local.ctx, self._local.algo = ctx, algo
+        return self._local.ctx, self._local.algo
+
+    def _run_one(self, job: ClientJob) -> ClientResult:
+        ctx, algo = self._replica()
+        return execute_job(ctx, algo, job)
+
+    def run_jobs(self, jobs: Sequence[ClientJob]) -> list[ClientResult]:
+        if self._executor is None:
+            raise RuntimeError("ThreadBackend.run_jobs before bind()")
+        return list(self._executor.map(self._run_one, jobs))
+
+    def map(self, fn: Callable, items: list) -> list:
+        # usable unbound (sweeps): a transient executor preserves order
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=min(self.workers, len(items))) as ex:
+            return list(ex.map(fn, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+BACKENDS: dict[str, type] = {
+    "serial": SerialBackend,
+    "process": ProcessPoolBackend,
+    "thread": ThreadBackend,
+}
+
+
+def make_backend(name: str, workers: int | None = None) -> ExecutionBackend:
+    """Instantiate a backend by registry name."""
+    try:
+        cls = BACKENDS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {sorted(BACKENDS)}"
+        ) from None
+    return cls(workers=workers)
+
+
+def prepare_engine_backend(
+    backend: "ExecutionBackend | str | None",
+    workers: int | None,
+    algorithm,
+    model_builder: Callable | None,
+    algo_builder: Callable | None,
+) -> tuple[str, "ExecutionBackend | None", Callable]:
+    """Shared engine-constructor plumbing for the ``backend`` argument.
+
+    Returns ``(backend_name, instance_or_None, algo_builder)``: an instance
+    only when the caller passed one (the engine then must not close it);
+    otherwise the engine builds a fresh backend per run from the name.
+    Validates the model-builder requirement and emits the replica-config
+    warning at construction time, before any compute is spent.
+    """
+    if isinstance(backend, ExecutionBackend):
+        name: str = backend.name
+        instance: ExecutionBackend | None = backend
+    else:
+        name, instance = resolve_backend(backend, workers), None
+    if name != "serial":
+        if not getattr(algorithm, "parallel_safe", True):
+            raise ValueError(
+                f"{getattr(algorithm, 'name', type(algorithm).__name__)} keeps "
+                "client-visible state outside the pack/unpack and "
+                "broadcast_attrs contracts; worker replicas would silently "
+                "diverge — run it on the serial backend"
+            )
+        if model_builder is None:
+            raise ValueError(
+                f"backend {name!r} requires a model_builder for worker replicas"
+            )
+        if algo_builder is None:
+            warn_on_replica_config_mismatch(algorithm)
+    return name, instance, algo_builder or type(algorithm)
+
+
+def resolve_backend(
+    name: str | None = None,
+    workers: int | None = None,
+    env: bool = False,
+) -> str:
+    """Resolve a backend name.
+
+    Precedence: explicit ``name`` (anything but None/"auto") > the
+    ``REPRO_BACKEND`` environment variable (only when ``env=True`` — the
+    spec facade and sweeps opt in; direct engine construction does not, so
+    tests and libraries keep explicit control) > ``"process"`` when
+    ``workers`` asks for more than one > ``"serial"``.
+
+    Inside a daemonic pool worker the implicit choices collapse to
+    ``"serial"``: nested process pools cannot fork.
+    """
+    if name is not None and name != "auto":
+        if name.lower() not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {name!r}; available: {sorted(BACKENDS)}"
+            )
+        return name.lower()
+    daemon = mp.current_process().daemon
+    if env:
+        env_name = os.environ.get("REPRO_BACKEND", "").strip().lower()
+        if env_name:
+            if env_name not in BACKENDS:
+                raise ValueError(
+                    f"REPRO_BACKEND must be one of {sorted(BACKENDS)}, "
+                    f"got {env_name!r}"
+                )
+            return "serial" if (daemon and env_name == "process") else env_name
+    if workers is not None and workers > 1:
+        return "serial" if daemon else "process"
+    return "serial"

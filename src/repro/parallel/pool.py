@@ -11,9 +11,13 @@ Determinism: client RNG streams are derived from ``(seed, round, client)``
 identical regardless of scheduling order or worker count — verified by
 ``tests/test_parallel.py``.
 
-Note: only stateless-per-client algorithms (FedAvg/FedProx/FedCM/FedWCM
-families, i.e. those whose ``client_update`` reads only broadcast state) are
-supported; stateful-per-client methods (SCAFFOLD, FedDyn) must run serially.
+Note: this runner ships only broadcast attributes; per-client state and
+model buffers do not travel with its jobs, so it remains limited to
+stateless-per-client algorithms.  The engines no longer use it — they speak
+the richer :class:`repro.parallel.backend.ClientJob` contract through
+:class:`~repro.parallel.backend.ProcessPoolBackend`, which carries packed
+client state and buffer dicts and therefore runs SCAFFOLD/FedDyn and
+BatchNorm models bit-identically to serial execution.
 """
 
 from __future__ import annotations
@@ -140,22 +144,6 @@ class ParallelClientRunner:
         """
         jobs = [(round_idx, int(k), x_global, broadcast_state) for k in selected]
         return self._pool.map(_worker_run, jobs)
-
-    def run_jobs(
-        self,
-        jobs: list[tuple[int, int]],
-        x_global: np.ndarray,
-        broadcast_state: dict | None = None,
-    ) -> list:
-        """Execute ``(round_idx, client_id)`` jobs sharing one broadcast vector.
-
-        The asynchronous runtime uses this to batch in-flight dispatches that
-        started from the same global model but carry distinct dispatch
-        indices (which seed each client's RNG stream).  Results are returned
-        in job order.
-        """
-        payload = [(int(r), int(k), x_global, broadcast_state) for r, k in jobs]
-        return self._pool.map(_worker_run, payload)
 
     def close(self) -> None:
         self._pool.close()

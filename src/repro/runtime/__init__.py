@@ -28,6 +28,7 @@ works unchanged — plus time-to-accuracy via ``History.time_to_accuracy``.
 """
 
 from repro.runtime.events import (
+    BUFFER_EMA_MODES,
     AsyncPolicy,
     BarrierPolicy,
     ClientStateStore,
@@ -74,6 +75,7 @@ __all__ = [
     "DeadlinePolicy",
     "AsyncPolicy",
     "LATE_POLICIES",
+    "BUFFER_EMA_MODES",
     "DeadlineController",
     "ConcurrencyController",
     "TimeAwareSampler",

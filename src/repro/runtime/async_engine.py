@@ -16,33 +16,36 @@ against synchronous baselines — per round *and* per simulated second.
 
 Determinism and parallelism: every client RNG stream is keyed by the
 dispatch sequence number, and event ties break on schedule order, so the
-run is a pure function of the seed.  With ``workers > 1`` the engine
-batches dispatches that started from the same global model version through
-:class:`repro.parallel.ParallelClientRunner` — training is computed lazily
-at first need, which lets FedBuff-style runs (where the model changes only
-every K arrivals) parallelise near-perfectly while remaining bit-identical
-to the serial schedule.
+run is a pure function of the seed.  Client compute goes through a
+pluggable :class:`~repro.parallel.backend.ExecutionBackend` — the engine
+batches dispatches lazily (training is computed at first need), which lets
+FedBuff-style runs parallelise near-perfectly on the process-pool or
+thread backends while remaining bit-identical to the serial schedule.
+Because jobs carry packed client state and buffer dicts, stateful methods
+(SCAFFOLD, FedDyn via :class:`~repro.algorithms.AsyncAdapter`) and
+BatchNorm buffer tracking work on *every* backend.
 
 The loop itself lives in :class:`repro.runtime.events.AsyncPolicy`; this
 class is the construction-and-validation facade.  Beyond plain FedAsync /
 FedBuff it supports
 
 * *stateful per-client methods* — algorithms declaring
-  ``stateful_per_client`` (SCAFFOLD, FedDyn — typically wrapped in an
-  :class:`~repro.algorithms.AsyncAdapter`) have each client's state
-  snapshotted at dispatch and committed at completion through the event
-  core's :class:`~repro.runtime.events.ClientStateStore`; they must run
-  serially (``workers=1``);
+  ``stateful_per_client`` have each client's state snapshotted at dispatch
+  and committed at completion through the event core's
+  :class:`~repro.runtime.events.ClientStateStore`;
 * *per-dispatch time-aware sampling* — pass ``sampler`` (a
   :class:`~repro.runtime.scheduling.TimeAwareSampler`) and each replacement
   dispatch is chosen by ``sampler.pick_next(idle, now)`` instead of the
   uniform idle draw, with priced latencies and training losses fed back as
-  completions land.
+  completions land;
+* *buffer EMA modes* — models with BatchNorm buffers keep a server-side
+  moving average over arriving clients' statistics; ``buffer_ema``
+  selects the fixed ``1/window`` blend or the staleness-discounted
+  ``1/(window * (1 + tau))`` rule.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import replace
 from typing import Callable, Sequence
 
@@ -50,65 +53,19 @@ import numpy as np
 
 from repro.data.registry import FederatedDataset
 from repro.nn.module import Module
-from repro.parallel.pool import ParallelClientRunner, resolve_workers
+from repro.parallel.backend import (
+    ExecutionBackend,
+    make_backend,
+    prepare_engine_backend,
+)
 from repro.runtime.clock import ConstantLatency, LatencyModel
-from repro.runtime.events import AsyncPolicy, EventCore
+from repro.runtime.events import BUFFER_EMA_MODES, AsyncPolicy, EventCore
 from repro.runtime.scheduling import ConcurrencyController, resolve_auto_comm
 from repro.simulation.config import FLConfig, resolve_lr_schedule
 from repro.simulation.context import SimulationContext
 from repro.simulation.engine import History
 
 __all__ = ["AsyncFederatedSimulation"]
-
-
-def _warn_on_replica_config_mismatch(algorithm) -> None:
-    """Default worker replicas are ``type(algorithm)()`` — flag silently
-    diverging hyperparameters.
-
-    Worker processes only run ``client_update``, so a replica built with
-    default constructor arguments is correct as long as every non-default
-    hyperparameter is server-side.  Algorithms declare such knobs via a
-    ``replica_safe_hyperparams`` class attribute (FedAsync/FedBuff whitelist
-    all of theirs); anything else that differs from the default-constructed
-    probe draws a warning instead of silently breaking the workers>1 ==
-    serial bit-identity guarantee.
-    """
-    try:
-        probe = type(algorithm)()
-    except TypeError:
-        warnings.warn(
-            f"{type(algorithm).__name__} cannot be rebuilt with no arguments "
-            "for worker replicas; pass algo_builder to AsyncFederatedSimulation",
-            stacklevel=3,
-        )
-        return
-    # private attributes are runtime state (buffers, last-alpha traces), not
-    # constructor config, and declared server-side knobs cannot affect
-    # client_update — only the remaining public knobs are compared
-    safe = getattr(algorithm, "replica_safe_hyperparams", frozenset())
-
-    def config_of(obj) -> dict:
-        return {
-            k: v for k, v in vars(obj).items()
-            if not k.startswith("_") and k not in safe
-        }
-
-    a, b = config_of(algorithm), config_of(probe)
-    mismatched = set(a) ^ set(b)
-    for key in set(a) & set(b):
-        try:
-            if not bool(np.all(a[key] == b[key])):
-                mismatched.add(key)
-        except (TypeError, ValueError):
-            mismatched.add(key)
-    if mismatched:
-        warnings.warn(
-            f"worker replicas of {type(algorithm).__name__} are built with "
-            f"default hyperparameters but the main instance differs in "
-            f"{sorted(mismatched)}; pass algo_builder if any of these affect "
-            "client_update, or results will differ from workers=1",
-            stacklevel=3,
-        )
 
 
 class AsyncFederatedSimulation:
@@ -119,8 +76,7 @@ class AsyncFederatedSimulation:
             staleness, x_dispatch)`` (e.g. :class:`repro.algorithms.FedAsync`,
             :class:`~repro.algorithms.FedBuff`, or an
             :class:`~repro.algorithms.AsyncAdapter` wrapping any method's
-            local rule).  Stateless ``client_update`` is required for
-            ``workers > 1``; stateful methods run serially.
+            local rule — stateful methods included, on any backend).
         model / dataset / config: the problem definition (as the sync engine).
         latency_model: prices each dispatch in virtual seconds (default
             :class:`~repro.runtime.clock.ConstantLatency`); bound to the
@@ -136,23 +92,28 @@ class AsyncFederatedSimulation:
         max_updates: total client updates to process (default
             ``config.rounds * cohort``, i.e. the same client work as the
             synchronous run — this makes time-to-accuracy comparisons fair).
-        workers: process count for batched client training (1 = in-process).
+        backend: execution backend for batched client training — an
+            :class:`~repro.parallel.backend.ExecutionBackend` instance, a
+            registry name (``"serial"`` / ``"process"`` / ``"thread"``), or
+            None to derive one from ``workers`` (>1 selects the process
+            pool, the historical behavior).
+        workers: worker count for pool backends (None keeps the backend's
+            default: ``REPRO_MAX_WORKERS`` or the capped CPU count).
         model_builder / algo_builder: zero-arg factories for worker replicas;
-            required when ``workers > 1`` (``algo_builder`` defaults to the
-            algorithm's class called with no arguments).
+            ``model_builder`` is required by the non-serial backends
+            (``algo_builder`` defaults to the algorithm's class called with
+            no arguments).
         sampler: optional :class:`~repro.runtime.scheduling.TimeAwareSampler`
             picking each replacement dispatch (``pick_next``); None keeps the
             uniform idle draw.
+        buffer_ema: ``"fixed"`` (1/window blend, default) or ``"staleness"``
+            (stale arrivals discounted like the parameter rule).
         loss_builder / sampler_builder / metric_hooks: as the sync engine.
 
     Notes:
         ``FLConfig.lr_schedule`` is evaluated per evaluation *window* (one
         window = one synchronous round's client work), so scheduled-lr runs
-        stay comparable to synchronous baselines.  Models with BatchNorm
-        buffers keep a server-side exponential moving average over arriving
-        clients' post-training statistics in serial mode; worker pools
-        cannot ship buffers back and keep them frozen at their initial
-        values (a warning is emitted).
+        stay comparable to synchronous baselines.
     """
 
     def __init__(
@@ -166,9 +127,11 @@ class AsyncFederatedSimulation:
         concurrency_controller: ConcurrencyController | None = None,
         max_updates: int | None = None,
         workers: int | None = None,
+        backend: ExecutionBackend | str | None = None,
         model_builder: Callable | None = None,
         algo_builder: Callable | None = None,
         sampler=None,
+        buffer_ema: str = "fixed",
         loss_builder=None,
         sampler_builder=None,
         metric_hooks: Sequence = (),
@@ -178,6 +141,10 @@ class AsyncFederatedSimulation:
                 f"{type(algorithm).__name__} has no server_apply(); use a "
                 "staleness-aware method (fedasync, fedbuff), wrap one in an "
                 "AsyncAdapter, or run it under SemiSyncFederatedSimulation"
+            )
+        if buffer_ema not in BUFFER_EMA_MODES:
+            raise ValueError(
+                f"buffer_ema must be one of {BUFFER_EMA_MODES}, got {buffer_ema!r}"
             )
         self.algorithm = algorithm
         self.window = max(1, int(round(config.participation * dataset.num_clients)))
@@ -207,26 +174,12 @@ class AsyncFederatedSimulation:
         self.max_updates = max_updates if max_updates is not None else config.rounds * self.window
         if self.max_updates < 1:
             raise ValueError(f"max_updates must be >= 1, got {self.max_updates}")
-        self.workers = 1 if workers is None else resolve_workers(workers)
-        if self.workers > 1 and getattr(algorithm, "stateful_per_client", False):
-            raise ValueError(
-                f"{getattr(algorithm, 'name', type(algorithm).__name__)} keeps "
-                "per-client state and must run serially (workers=1); the "
-                "process pool cannot ship client state"
-            )
-        if self.workers > 1 and model_builder is None:
-            raise ValueError("workers > 1 requires a model_builder for worker replicas")
-        if self.workers > 1 and model.buffers:
-            warnings.warn(
-                "worker pools cannot ship BatchNorm-style buffers back; "
-                "buffers stay frozen at their initial values (run serially "
-                "for the server-side buffer moving average)",
-                stacklevel=2,
-            )
+        self.buffer_ema = buffer_ema
+        self._workers = workers
+        self.backend_name, self._backend, self._algo_builder = prepare_engine_backend(
+            backend, workers, algorithm, model_builder, algo_builder
+        )
         self._model_builder = model_builder
-        if algo_builder is None and self.workers > 1:
-            _warn_on_replica_config_mismatch(algorithm)
-        self._algo_builder = algo_builder or type(algorithm)
         self._loss_builder = loss_builder
         self._sampler_builder = sampler_builder
         self.sampler = sampler
@@ -242,17 +195,20 @@ class AsyncFederatedSimulation:
         self.total_virtual_time = 0.0
 
     def run(self, verbose: bool = False) -> History:
-        runner: ParallelClientRunner | None = None
-        if self.workers > 1:
-            runner = ParallelClientRunner(
-                self._model_builder,
-                self.ctx.dataset,
-                self.ctx.config,
-                self._algo_builder,
-                loss_builder=self._loss_builder,
-                sampler_builder=self._sampler_builder,
-                workers=self.workers,
-            )
+        owned = self._backend is None
+        backend = (
+            make_backend(self.backend_name, workers=self._workers)
+            if owned
+            else self._backend
+        )
+        backend.bind(
+            self.ctx,
+            self.algorithm,
+            model_builder=self._model_builder,
+            algo_builder=self._algo_builder,
+            loss_builder=self._loss_builder,
+            sampler_builder=self._sampler_builder,
+        )
         policy = AsyncPolicy(
             self.latency_model,
             window=self.window,
@@ -260,16 +216,17 @@ class AsyncFederatedSimulation:
             max_updates=self.max_updates,
             concurrency_controller=self.concurrency_controller,
             sampler=self.sampler,
-            runner=runner,
+            buffer_ema=self.buffer_ema,
         )
         core = EventCore(
-            self.ctx, self.algorithm, policy, metric_hooks=self.metric_hooks
+            self.ctx, self.algorithm, policy, metric_hooks=self.metric_hooks,
+            backend=backend,
         )
         try:
             history = core.run(verbose=verbose)
         finally:
-            if runner is not None:
-                runner.close()
+            if owned:
+                backend.close()
         self.final_params = core.x
         self.total_virtual_time = core.clock.now
         return history

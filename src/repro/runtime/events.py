@@ -29,6 +29,15 @@ recording.  They are now all *policies* over one :class:`EventCore`:
   (SCAFFOLD/FedDyn control variates snapshotted at dispatch, committed at
   completion).
 
+Client *compute* is delegated to a pluggable
+:class:`~repro.parallel.backend.ExecutionBackend`: every policy describes
+work as :class:`~repro.parallel.backend.ClientJob` values (broadcast
+params + packed client state + buffers + broadcast state) and the backend
+— serial, process pool, or threads — executes them with identical
+semantics, so stateful methods and BatchNorm buffer tracking work on every
+backend and the histories are bit-identical across them
+(``tests/test_backends.py``).
+
 Events are typed (:class:`Dispatch`, :class:`Completion`,
 :class:`DeadlineTick`) and ride the deterministic
 :class:`~repro.runtime.clock.VirtualClock`; ties pop in schedule order, so
@@ -46,13 +55,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.parallel.backend import ClientJob, SerialBackend
 from repro.runtime.clock import VirtualClock
 from repro.simulation.engine import (
-    BufferAverager,
     History,
     RoundRecord,
     TimedRoundRecord,
-    attach_train_loss,
     evaluate_into_record,
 )
 
@@ -66,9 +74,12 @@ __all__ = [
     "DeadlinePolicy",
     "AsyncPolicy",
     "LATE_POLICIES",
+    "BUFFER_EMA_MODES",
 ]
 
 LATE_POLICIES = ("downweight", "trickle")
+
+BUFFER_EMA_MODES = ("fixed", "staleness")
 
 
 @dataclass(frozen=True)
@@ -86,6 +97,9 @@ class Dispatch:
         late: True when the dispatch is already known to miss its deadline.
         x_ref: the broadcast parameter vector trained from.
         state: per-client state snapshot (stateful methods under async).
+        state_version: the store's per-client version at snapshot time; the
+            commit compares against it so oversubscribed stateful dispatch
+            (two dispatches of one client in flight) is observable.
     """
 
     seq: int
@@ -97,6 +111,7 @@ class Dispatch:
     late: bool = False
     x_ref: np.ndarray | None = field(default=None, repr=False, compare=False)
     state: dict | None = field(default=None, repr=False, compare=False)
+    state_version: int = 0
 
 
 @dataclass(frozen=True)
@@ -140,9 +155,16 @@ class ClientStateStore:
         self._algo = algorithm
         self._num = int(num_clients)
         self._state: dict[int, dict] = {}
+        self._versions: dict[int, int] = {}
+        #: commits that landed on top of a state newer than their snapshot —
+        #: the observable footprint of oversubscribed stateful dispatch
+        #: (last-writer-wins is still the resolution, but no longer silent)
+        self.stale_commits = 0
 
     def capture_initial(self) -> None:
         """Snapshot every client's post-``setup`` state (called once)."""
+        self.stale_commits = 0
+        self._versions = dict.fromkeys(range(self._num), 0)
         if self.active:
             self._state = {k: self._algo.pack_client_state(k) for k in range(self._num)}
 
@@ -150,19 +172,38 @@ class ClientStateStore:
         """State a dispatch issued now should train from."""
         return self._state[client_id] if self.active else None
 
-    def commit(self, client_id: int, state: dict | None) -> None:
-        """Make a completed dispatch's trained state the canonical one."""
+    def version(self, client_id: int) -> int:
+        """Monotone per-client commit counter (0 until the first commit)."""
+        return self._versions.get(client_id, 0)
+
+    def commit(
+        self, client_id: int, state: dict | None, expected_version: int | None = None
+    ) -> None:
+        """Make a completed dispatch's trained state the canonical one.
+
+        Args:
+            expected_version: the version the dispatch snapshotted; when the
+                current version has moved past it (a concurrent self-dispatch
+                committed in between), ``stale_commits`` is incremented.
+        """
         if self.active and state is not None:
+            if (
+                expected_version is not None
+                and self._versions.get(client_id, 0) != expected_version
+            ):
+                self.stale_commits += 1
             self._state[client_id] = state
+            self._versions[client_id] = self._versions.get(client_id, 0) + 1
 
 
 class EventCore:
     """Shared machinery of every engine kind: one clock, one loop.
 
     The core owns the virtual clock, the global model vector, the history,
-    the client-state store and cohort selection; a *policy* object decides
-    when to dispatch whom and how completions merge.  ``run`` processes the
-    event queue until the policy stops scheduling.
+    the client-state store, cohort selection and the execution backend; a
+    *policy* object decides when to dispatch whom and how completions
+    merge.  ``run`` processes the event queue until the policy stops
+    scheduling.
     """
 
     def __init__(
@@ -172,12 +213,14 @@ class EventCore:
         policy,
         metric_hooks: Sequence = (),
         client_sampler=None,
+        backend=None,
     ) -> None:
         self.ctx = ctx
         self.algorithm = algorithm
         self.policy = policy
         self.metric_hooks = list(metric_hooks)
         self.client_sampler = client_sampler
+        self.backend = backend if backend is not None else SerialBackend().bind(ctx, algorithm)
         self.verbose = False
         self.x: np.ndarray | None = None
         self.clock = VirtualClock()
@@ -201,10 +244,60 @@ class EventCore:
             return self.ctx.sample_clients(round_idx)
         return np.asarray(self.client_sampler(self.ctx, round_idx))
 
-    def run_client(self, round_idx: int, client_id: int, x_ref: np.ndarray):
-        """One client update through the algorithm (train-loss attached)."""
-        u = self.algorithm.client_update(self.ctx, round_idx, client_id, x_ref)
-        return attach_train_loss(self.algorithm, u)
+    def make_jobs(self, pairs, buffers=None, with_state=True) -> list[ClientJob]:
+        """Build :class:`ClientJob`\\ s for ``(round_idx, client_id)`` pairs.
+
+        Per-job inputs come from the core's canonical state: the current
+        broadcast vector, the client's packed state (when the store is
+        active), ``buffers`` verbatim, and — only when the backend does not
+        execute against the live algorithm — one shared broadcast-state
+        snapshot.
+        """
+        bstate = None
+        if not self.backend.shares_state:
+            bstate = self.algorithm.pack_broadcast_state() or None
+        store = self.state_store
+        return [
+            ClientJob(
+                round_idx=int(r),
+                client_id=int(k),
+                x_ref=self.x,
+                client_state=store.snapshot(int(k)) if with_state else None,
+                buffers=buffers,
+                broadcast_state=bstate,
+            )
+            for r, k in pairs
+        ]
+
+    def run_cohort(self, round_idx: int, clients) -> list:
+        """Execute one round's cohort through the backend, in cohort order.
+
+        Returns the :class:`~repro.parallel.backend.ClientResult` list.
+        Client state commits at *compute* time in cohort order — exactly the
+        mutation order of serial in-process execution, which keeps round
+        policies bit-identical across backends.  Model buffers follow the
+        FedAvg-with-BN treatment: every job starts from the model's current
+        buffers and the server commits their post-training mean (same
+        accumulation order and arithmetic as the serial path).
+        """
+        model = self.ctx.model
+        buffers = model.get_buffers(copy=True) if model.buffers else None
+        jobs = self.make_jobs(
+            [(round_idx, k) for k in clients], buffers=buffers
+        )
+        results = self.backend.run_jobs(jobs)
+        for k, res in zip(clients, results):
+            self.state_store.commit(int(k), res.new_state)
+        if buffers is not None:
+            acc = {name: np.zeros_like(v) for name, v in buffers.items()}
+            n = 0
+            for res in results:
+                n += 1
+                for name, v in res.buffers.items():
+                    acc[name] += v
+            inv = 1.0 / max(n, 1)
+            model.set_buffers({name: v * inv for name, v in acc.items()})
+        return results
 
     def record(self, rec: RoundRecord, evaluate: bool, round_idx: int) -> RoundRecord:
         """Optionally evaluate into ``rec``, stamp extras, append to history."""
@@ -223,8 +316,13 @@ class EventCore:
         self.history = History(algorithm=getattr(algo, "name", type(algo).__name__))
         self.clock = VirtualClock()
         self._seq = 0
+        # round policies keep state inside the live algorithm when the
+        # backend shares it; any remote backend needs the store to ship
+        # per-client state through the job contract
         self.state_store = ClientStateStore(
-            algo, ctx.num_clients, active=self.policy.uses_state_store
+            algo,
+            ctx.num_clients,
+            active=self.policy.uses_state_store or not self.backend.shares_state,
         )
         self.state_store.capture_initial()
 
@@ -298,21 +396,16 @@ class BarrierPolicy(_RoundPolicy):
     """
 
     def open_round(self, core: EventCore, r: int) -> None:
-        ctx = core.ctx
         self._t0 = time.perf_counter()
         selected = core.select_cohort(r)
         self._selected = selected
-        bufavg = BufferAverager(ctx.model)
-        for i, k in enumerate(selected):
-            bufavg.before_client()
-            u = core.run_client(r, int(k), core.x)
-            bufavg.after_client()
+        results = core.run_cohort(r, selected)
+        for i, (k, res) in enumerate(zip(selected, results)):
             d = Dispatch(
                 seq=core.next_seq(), client_id=int(k), round_idx=r,
                 issued_at=core.clock.now, cohort_pos=i, x_ref=core.x,
             )
-            core.post(0.0, Completion(d, 0.0, update=u), client_id=int(k))
-        bufavg.commit()
+            core.post(0.0, Completion(d, 0.0, update=res.update), client_id=int(k))
         core.post(0.0, DeadlineTick(r, "close"))
 
     def close_round(self, core: EventCore, r: int) -> None:
@@ -433,33 +526,29 @@ class DeadlinePolicy(_RoundPolicy):
         else:
             include = np.ones(len(selected), dtype=bool)
 
-        bufavg = BufferAverager(ctx.model)
-        for i, k in enumerate(selected):
-            if not include[i]:
-                continue
-            bufavg.before_client()
-            u = core.run_client(r, int(k), core.x)
+        positions = [i for i in range(len(selected)) if include[i]]
+        results = core.run_cohort(r, [int(selected[i]) for i in positions])
+        for i, res in zip(positions, results):
+            k, u = int(selected[i]), res.update
             if not on_time[i] and not trickle:
                 u.displacement = u.displacement * self.late_weight
-            bufavg.after_client()
             d = Dispatch(
-                seq=core.next_seq(), client_id=int(k), round_idx=r,
+                seq=core.next_seq(), client_id=k, round_idx=r,
                 issued_at=core.clock.now, cohort_pos=i, late=not on_time[i],
                 x_ref=core.x,
             )
             if on_time[i]:
                 core.post(latencies[i], Completion(d, float(latencies[i]), update=u),
-                          client_id=int(k))
+                          client_id=k)
             elif trickle:
                 # the honest event path: the update arrives when it arrives
                 core.post(latencies[i], Completion(d, float(latencies[i]), update=u),
-                          client_id=int(k))
+                          client_id=k)
                 self._pending_late += 1
             else:
                 # the same-round approximation merges an update *before* its
                 # arrival time — inexpressible as an event, hence no queue
                 self._late_stash.append((i, u))
-        bufavg.commit()
         core.post(round_time, DeadlineTick(r, "close"))
         self._round_meta = (selected, on_time, deadline, round_time)
 
@@ -545,11 +634,14 @@ class AsyncPolicy:
       completions land;
     * stateful per-client methods — when the algorithm declares
       ``stateful_per_client``, dispatches snapshot the client's state from
-      the core's :class:`ClientStateStore` and completions commit it;
+      the core's :class:`ClientStateStore` and completions commit it (the
+      job contract ships the state, so this works on every backend);
     * BatchNorm-style buffers — instead of freezing at their initial
       values, the server keeps an exponential moving average over arriving
-      clients' post-training buffers (serial mode; worker pools keep the
-      frozen-buffer behavior).
+      clients' post-training buffers.  ``buffer_ema="fixed"`` blends at the
+      constant rate ``1/window``; ``"staleness"`` discounts stale arrivals
+      at ``1/(window * (1 + tau))``, mirroring the parameter rule's
+      polynomial staleness treatment.
     """
 
     uses_state_store = True
@@ -562,15 +654,19 @@ class AsyncPolicy:
         max_updates: int,
         concurrency_controller=None,
         sampler=None,
-        runner=None,
+        buffer_ema: str = "fixed",
     ) -> None:
+        if buffer_ema not in BUFFER_EMA_MODES:
+            raise ValueError(
+                f"buffer_ema must be one of {BUFFER_EMA_MODES}, got {buffer_ema!r}"
+            )
         self.latency_model = latency_model
         self.window = int(window)
         self.concurrency = int(concurrency)
         self.max_updates = int(max_updates)
         self.concurrency_controller = concurrency_controller
         self.sampler = sampler
-        self.runner = runner
+        self.buffer_ema = buffer_ema
 
     # -- lifecycle -----------------------------------------------------------
     def begin(self, core: EventCore) -> None:
@@ -591,14 +687,10 @@ class AsyncPolicy:
         self._win_tau: list[float] = []
         self._win_conc: list[int] = []
         self._win_clients: list[int] = []
-        self._buf0 = ctx.model.get_buffers(copy=True) if ctx.model.buffers else None
-        # serial runs keep a live server-side buffer estimate (EMA over
-        # arrivals); worker pools cannot ship buffers and stay frozen
-        self._buffers = (
-            {k: v.copy() for k, v in self._buf0.items()}
-            if self._buf0 is not None and self.runner is None
-            else None
-        )
+        # live server-side buffer estimate: an EMA over arrivals, shipped to
+        # every job through the contract (so it works on every backend)
+        buf0 = ctx.model.get_buffers(copy=True) if ctx.model.buffers else None
+        self._buffers = buf0
         self._t0 = time.perf_counter()
         for _ in range(min(self.concurrency, self.max_updates)):
             self.dispatch(core)
@@ -632,6 +724,7 @@ class AsyncPolicy:
             seq=seq, client_id=cid, round_idx=seq, issued_at=core.clock.now,
             version=st["version"], x_ref=core.x,
             state=core.state_store.snapshot(cid),
+            state_version=core.state_store.version(cid),
         )
         core.post(lat, Completion(d, float(lat)), client_id=cid)
         self._in_flight[seq] = d
@@ -639,45 +732,37 @@ class AsyncPolicy:
         busy[cid] = busy.get(cid, 0) + 1
 
     def flush(self, core: EventCore) -> None:
-        """Compute every pending dispatch, batching shared-broadcast groups.
+        """Compute every pending dispatch through the execution backend.
 
-        Groups that trained from the same parameter vector (consecutive by
-        construction: ``x`` only advances) go to the worker pool in one
-        batch; training is lazy, so FedBuff-style runs parallelise while
-        remaining bit-identical to the serial schedule.
+        Training is lazy — dispatches accumulate until a completion needs
+        its result — so FedBuff-style runs (where the broadcast vector
+        changes only every K arrivals) batch many jobs per backend call and
+        parallelise near-perfectly while remaining bit-identical to the
+        serial schedule.  This is the *only* compute path: every job carries
+        its broadcast vector, packed client state and the server's current
+        buffer estimate, and the backend (serial, process pool, threads)
+        executes it with identical semantics.
         """
-        ctx, algo, store = core.ctx, core.algorithm, core.state_store
-        while self._pending:
-            x_ref = self._pending[0].x_ref
-            n = 1
-            while n < len(self._pending) and self._pending[n].x_ref is x_ref:
-                n += 1
-            group = self._pending[:n]
-            del self._pending[:n]
-            if self.runner is not None and len(group) > 1:
-                outs = self.runner.run_jobs(
-                    [(d.round_idx, d.client_id) for d in group], x_ref
-                )
-                for d, upd in zip(group, outs):
-                    self._results[d.seq] = (upd, None, None)
-            else:
-                for d in group:
-                    if self._buffers is not None:
-                        ctx.model.set_buffers(self._buffers)
-                    elif self._buf0 is not None:
-                        ctx.model.set_buffers(self._buf0)
-                    if store.active:
-                        algo.unpack_client_state(d.client_id, d.state)
-                    upd = core.run_client(d.round_idx, d.client_id, x_ref)
-                    new_state = (
-                        algo.pack_client_state(d.client_id) if store.active else None
-                    )
-                    bufs = (
-                        ctx.model.get_buffers(copy=True)
-                        if self._buffers is not None
-                        else None
-                    )
-                    self._results[d.seq] = (upd, new_state, bufs)
+        if not self._pending:
+            return
+        bstate = None
+        if not core.backend.shares_state:
+            bstate = core.algorithm.pack_broadcast_state() or None
+        jobs = [
+            ClientJob(
+                round_idx=d.round_idx,
+                client_id=d.client_id,
+                x_ref=d.x_ref,
+                client_state=d.state,
+                buffers=self._buffers,
+                broadcast_state=bstate,
+            )
+            for d in self._pending
+        ]
+        results = core.backend.run_jobs(jobs)
+        for d, res in zip(self._pending, results):
+            self._results[d.seq] = res
+        self._pending = []
 
     # -- completions ---------------------------------------------------------
     def on_completion(self, core: EventCore, comp: Completion, now: float) -> None:
@@ -686,10 +771,11 @@ class AsyncPolicy:
         seq = comp.dispatch.seq
         if seq not in self._results:
             self.flush(core)
-        update, new_state, client_bufs = self._results.pop(seq)
+        res = self._results.pop(seq)
+        update, new_state, client_bufs = res.update, res.new_state, res.buffers
         d = self._in_flight.pop(seq)
         cid = d.client_id
-        core.state_store.commit(cid, new_state)
+        core.state_store.commit(cid, new_state, expected_version=d.state_version)
         if self._busy.get(cid, 0) <= 1:
             self._busy.pop(cid, None)
         else:
@@ -706,8 +792,12 @@ class AsyncPolicy:
         self._win_conc.append(len(self._in_flight) + 1)
         self._win_clients.append(cid)
         if self._buffers is not None and client_bufs is not None:
-            # staleness-robust EMA over arriving clients' buffer statistics
-            beta = 1.0 / self.window
+            # EMA over arriving clients' buffer statistics; the staleness
+            # mode discounts stale arrivals like the parameter rule does
+            if self.buffer_ema == "staleness":
+                beta = 1.0 / (self.window * (1.0 + max(float(tau), 0.0)))
+            else:
+                beta = 1.0 / self.window
             for k, v in client_bufs.items():
                 self._buffers[k] += beta * (v - self._buffers[k])
         if self.sampler is not None:
@@ -750,16 +840,19 @@ class AsyncPolicy:
         do_eval = (round_idx % cfg.eval_every == 0) or (
             self._completed == self.max_updates
         )
-        if do_eval:
-            if self._buffers is not None:
-                ctx.model.set_buffers(self._buffers)
-            elif self._buf0 is not None:
-                ctx.model.set_buffers(self._buf0)
+        if do_eval and self._buffers is not None:
+            ctx.model.set_buffers(self._buffers)
         rec.extras["concurrency_limit"] = (
             self.concurrency_controller.limit
             if self.concurrency_controller is not None
             else self.concurrency
         )
+        if core.state_store.active:
+            # cumulative count of commits that raced a concurrent
+            # self-dispatch (oversubscribed stateful dispatch, see
+            # ClientStateStore.commit); keyed off the store so stateless
+            # histories keep their exact pre-existing extras schema
+            rec.extras["state_stale_commits"] = core.state_store.stale_commits
         core.record(rec, do_eval, round_idx)
         if core.verbose and not np.isnan(rec.test_accuracy):
             print(

@@ -41,6 +41,11 @@ import numpy as np
 
 from repro.data.registry import FederatedDataset
 from repro.nn.module import Module
+from repro.parallel.backend import (
+    ExecutionBackend,
+    make_backend,
+    prepare_engine_backend,
+)
 from repro.runtime.clock import ConstantLatency, LatencyModel
 from repro.runtime.events import DeadlinePolicy, EventCore
 from repro.runtime.scheduling import DeadlineController, resolve_auto_comm
@@ -70,6 +75,13 @@ class SemiSyncFederatedSimulation:
         late_policy: ``"downweight"`` (same-round approximation) or
             ``"trickle"`` (late updates merge into the round open at their
             actual arrival).
+        backend / workers / model_builder / algo_builder: execution backend
+            for the round's client updates (see
+            :mod:`repro.parallel.backend`) — a backend instance, a registry
+            name, or None to derive from ``workers``; non-serial backends
+            need a ``model_builder`` for worker replicas and ship packed
+            client state, buffers and broadcast state through the job
+            contract, so results are bit-identical to serial execution.
         loss_builder / sampler_builder / metric_hooks / client_sampler: as
             :class:`repro.simulation.FederatedSimulation`; time-aware
             samplers (:mod:`repro.runtime.scheduling`) are bound to the
@@ -86,6 +98,10 @@ class SemiSyncFederatedSimulation:
         deadline: "float | DeadlineController | None" = None,
         late_weight: float = 0.0,
         late_policy: str = "downweight",
+        backend: ExecutionBackend | str | None = None,
+        workers: int | None = None,
+        model_builder=None,
+        algo_builder=None,
         loss_builder=None,
         sampler_builder=None,
         metric_hooks: Sequence = (),
@@ -113,6 +129,13 @@ class SemiSyncFederatedSimulation:
         self.client_sampler = client_sampler
         if client_sampler is not None and hasattr(client_sampler, "bind"):
             client_sampler.bind(self.ctx, self.latency_model)
+        self._workers = workers
+        self.backend_name, self._backend, self._algo_builder = prepare_engine_backend(
+            backend, workers, algorithm, model_builder, algo_builder
+        )
+        self._model_builder = model_builder
+        self._loss_builder = loss_builder
+        self._sampler_builder = sampler_builder
         # constructing the policy validates late_policy / late_weight combos
         self._policy = DeadlinePolicy(
             self.latency_model,
@@ -129,14 +152,33 @@ class SemiSyncFederatedSimulation:
         return self._policy.round_latencies(self.ctx.num_clients, round_idx, selected)
 
     def run(self, verbose: bool = False) -> History:
+        owned = self._backend is None
+        backend = (
+            make_backend(self.backend_name, workers=self._workers)
+            if owned
+            else self._backend
+        )
+        backend.bind(
+            self.ctx,
+            self.algorithm,
+            model_builder=self._model_builder,
+            algo_builder=self._algo_builder,
+            loss_builder=self._loss_builder,
+            sampler_builder=self._sampler_builder,
+        )
         core = EventCore(
             self.ctx,
             self.algorithm,
             self._policy,
             metric_hooks=self.metric_hooks,
             client_sampler=self.client_sampler,
+            backend=backend,
         )
-        history = core.run(verbose=verbose)
+        try:
+            history = core.run(verbose=verbose)
+        finally:
+            if owned:
+                backend.close()
         self.final_params = core.x
         self.total_virtual_time = core.clock.now
         return history

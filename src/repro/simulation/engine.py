@@ -181,6 +181,14 @@ class FederatedSimulation:
         config: run hyper-parameters.
         loss_builder / sampler_builder: optional per-client factories (see
             :class:`SimulationContext`).
+        backend / workers / model_builder / algo_builder: execution backend
+            for the round's client updates (:mod:`repro.parallel.backend`)
+            — a backend instance, a registry name (``"serial"`` /
+            ``"process"`` / ``"thread"``), or None to derive from
+            ``workers``.  Non-serial backends need a ``model_builder`` for
+            worker replicas; the job contract ships packed client state,
+            buffers and broadcast state, so results stay bit-identical to
+            serial execution.
         metric_hooks: callables invoked after each evaluation with
             ``(ctx, round_idx, x_flat, extras_dict)`` — used by the analysis
             benches to record e.g. neuron concentration.
@@ -194,31 +202,66 @@ class FederatedSimulation:
         config: FLConfig,
         loss_builder=None,
         sampler_builder=None,
+        backend=None,
+        workers: int | None = None,
+        model_builder=None,
+        algo_builder=None,
         metric_hooks: Sequence[MetricHook] = (),
         client_sampler=None,
     ) -> None:
+        # imported lazily — repro.parallel builds on this module's helpers,
+        # not the other way around
+        from repro.parallel.backend import prepare_engine_backend
+
         self.algorithm = algorithm
         self.ctx = SimulationContext(
             model, dataset, config, loss_builder=loss_builder, sampler_builder=sampler_builder
         )
         self.metric_hooks = list(metric_hooks)
         self.client_sampler = client_sampler  # see repro.simulation.sampling
+        self._workers = workers
+        self.backend_name, self._backend, self._algo_builder = prepare_engine_backend(
+            backend, workers, algorithm, model_builder, algo_builder
+        )
+        self._model_builder = model_builder
+        self._loss_builder = loss_builder
+        self._sampler_builder = sampler_builder
 
     def run(self, verbose: bool = False) -> History:
         # the round loop lives in the shared event core: synchronous rounds
         # are the barrier policy (zero-latency dispatches, a barrier tick
         # closing each round).  Imported lazily — repro.runtime builds on
         # this module's records, not the other way around.
+        from repro.parallel.backend import make_backend
         from repro.runtime.events import BarrierPolicy, EventCore
 
+        owned = self._backend is None
+        backend = (
+            make_backend(self.backend_name, workers=self._workers)
+            if owned
+            else self._backend
+        )
+        backend.bind(
+            self.ctx,
+            self.algorithm,
+            model_builder=self._model_builder,
+            algo_builder=self._algo_builder,
+            loss_builder=self._loss_builder,
+            sampler_builder=self._sampler_builder,
+        )
         core = EventCore(
             self.ctx,
             self.algorithm,
             BarrierPolicy(),
             metric_hooks=self.metric_hooks,
             client_sampler=self.client_sampler,
+            backend=backend,
         )
-        history = core.run(verbose=verbose)
+        try:
+            history = core.run(verbose=verbose)
+        finally:
+            if owned:
+                backend.close()
         self.final_params = core.x
         return history
 

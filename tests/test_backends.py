@@ -1,0 +1,439 @@
+"""Execution-backend layer: job contract, backend equivalence, sweeps.
+
+The PR-4 equivalence suite (old-vs-new event core) extended one axis: every
+engine kind must produce *bit-identical* histories on the serial,
+process-pool and thread backends — including stateful methods (SCAFFOLD
+under FedBuff) and BatchNorm buffer tracking, the two workloads the old
+worker-pool path could not run at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AsyncAdapter, make_method
+from repro.cli import main as cli_main
+from repro.data import load_federated_dataset
+from repro.experiments import (
+    DataSpec,
+    ExperimentSpec,
+    MethodSpec,
+    ModelSpec,
+    RuntimeSpec,
+    SweepResult,
+    run,
+    run_sweep,
+)
+from repro.nn import make_mlp
+from repro.parallel import (
+    BACKENDS,
+    ClientJob,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+    resolve_backend,
+)
+from repro.runtime import AsyncFederatedSimulation, LognormalLatency
+from repro.simulation import FLConfig
+
+KINDS = ("sync", "semisync", "fedasync", "fedbuff")
+BACKEND_NAMES = ("serial", "process", "thread")
+
+# small enough that the full kind x backend matrix stays CI-sized
+_TINY = dict(
+    data=DataSpec(clients=6, scale=0.3, beta=0.3, imbalance_factor=0.3),
+    config=FLConfig(rounds=3, participation=0.5, local_epochs=1, batch_size=10,
+                    max_batches_per_round=3, eval_every=1, seed=0),
+)
+
+
+def _spec(kind: str, method: str | None = None, backend: str = "serial",
+          method_kwargs: dict | None = None, **runtime_kw) -> ExperimentSpec:
+    default_method = {"sync": "fedavg", "semisync": "fedavg",
+                      "fedasync": "fedasync", "fedbuff": "fedbuff"}[kind]
+    if kind != "sync":
+        runtime_kw.setdefault("latency", "lognormal")
+    if backend != "serial":
+        runtime_kw.setdefault("workers", 2)
+    return ExperimentSpec(
+        method=MethodSpec(name=method or default_method,
+                          kwargs=method_kwargs or {}),
+        runtime=RuntimeSpec(kind=kind, backend=backend, **runtime_kw),
+        **_TINY,
+    )
+
+
+def assert_history_equal(new, old):
+    """Bit-identical histories, wall_time excluded (it measures real time)."""
+    assert new.algorithm == old.algorithm
+    assert len(new.records) == len(old.records)
+    for rn, ro in zip(new.records, old.records):
+        assert type(rn) is type(ro)
+        for f in ("round", "test_accuracy", "test_loss", "virtual_time",
+                  "staleness", "concurrency", "updates_applied"):
+            if hasattr(ro, f):
+                a, b = getattr(rn, f), getattr(ro, f)
+                assert (a == b) or (
+                    isinstance(a, float) and np.isnan(a) and np.isnan(b)
+                ), f
+        np.testing.assert_array_equal(rn.selected, ro.selected)
+        assert set(rn.extras) == set(ro.extras)
+        for k, v in ro.extras.items():
+            np.testing.assert_array_equal(rn.extras[k], v, err_msg=k)
+
+
+class TestBackendEquivalence:
+    """Serial vs process vs thread, across all four engine kinds."""
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("backend", ("process", "thread"))
+    def test_bit_identical_plain_method(self, kind, backend):
+        serial = run(_spec(kind))
+        parallel = run(_spec(kind, backend=backend))
+        assert_history_equal(parallel.history, serial.history)
+        np.testing.assert_array_equal(parallel.final_params, serial.final_params)
+
+    @pytest.mark.parametrize("kind,method", [
+        ("sync", "scaffold"),       # stateful, live-state serial reference
+        ("semisync", "scaffold"),   # stateful + broadcast c under deadlines
+        ("semisync", "fedcm"),      # aggregate-broadcast momentum
+        ("fedbuff", "scaffold"),    # the PR-4 serial-only flagship case
+        ("fedasync", "feddyn"),     # stateful duals under immediate mixing
+    ])
+    @pytest.mark.parametrize("backend", ("process", "thread"))
+    def test_bit_identical_stateful_and_broadcast(self, kind, method, backend):
+        kwargs = {"buffer_size": 3} if kind == "fedbuff" else None
+        serial = run(_spec(kind, method=method, method_kwargs=kwargs))
+        parallel = run(_spec(kind, method=method, method_kwargs=kwargs,
+                             backend=backend))
+        assert_history_equal(parallel.history, serial.history)
+        np.testing.assert_array_equal(parallel.final_params, serial.final_params)
+
+    @pytest.mark.parametrize("kind", ("sync", "fedbuff"))
+    def test_bit_identical_batchnorm_model(self, kind):
+        """Buffers ride the job contract: the BN running-stat treatment
+        (per-round mean for rounds, arrival EMA for async) matches serial
+        on the process pool — recorded accuracies included."""
+        base = _spec(kind, method_kwargs={"buffer_size": 3} if kind == "fedbuff" else None)
+        bn = base.override_many([
+            ("data", DataSpec(dataset="svhn-lite", clients=6, scale=0.2,
+                              beta=0.3, imbalance_factor=0.3)),
+            ("model", ModelSpec(arch="resnet-lite-18",
+                                kwargs={"width": 2, "norm": "batch"})),
+        ])
+        serial = run(bn)
+        pool = run(bn.override_many([
+            ("runtime.backend", "process"), ("runtime.workers", 2)]))
+        assert_history_equal(pool.history, serial.history)
+        np.testing.assert_array_equal(pool.final_params, serial.final_params)
+
+
+class TestJobContract:
+    def test_jobs_are_order_independent(self):
+        """The same job re-executed (even out of order) gives the same
+        update — the purity the backend equivalence rests on."""
+        ds = load_federated_dataset(
+            "fashion-mnist-lite", imbalance_factor=0.3, beta=0.3,
+            num_clients=6, seed=0, scale=0.3,
+        )
+        cfg = FLConfig(rounds=1, participation=0.5, local_epochs=1, seed=0,
+                       max_batches_per_round=2)
+        from repro.simulation.context import SimulationContext
+        ctx = SimulationContext(make_mlp(32, 10, seed=0), ds, cfg)
+        algo = make_method("scaffold").algorithm
+        algo.setup(ctx)
+        backend = SerialBackend().bind(ctx, algo)
+        jobs = [
+            ClientJob(round_idx=0, client_id=k, x_ref=ctx.x0.copy(),
+                      client_state=algo.pack_client_state(k),
+                      broadcast_state=algo.pack_broadcast_state())
+            for k in range(3)
+        ]
+        a = backend.run_jobs(jobs)
+        b = backend.run_jobs(list(reversed(jobs)))
+        for res, rev in zip(a, reversed(b)):
+            np.testing.assert_array_equal(
+                res.update.displacement, rev.update.displacement
+            )
+            np.testing.assert_array_equal(
+                res.new_state["ci"], rev.new_state["ci"]
+            )
+
+    def test_make_backend_registry(self):
+        assert set(BACKENDS) == {"serial", "process", "thread"}
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("process", workers=2), ProcessPoolBackend)
+        assert isinstance(make_backend("thread", workers=2), ThreadBackend)
+        with pytest.raises(KeyError):
+            make_backend("gpu")
+
+    def test_resolve_backend_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None, None) == "serial"
+        assert resolve_backend(None, 4) == "process"
+        assert resolve_backend("thread", 4) == "thread"
+        assert resolve_backend("auto", None) == "serial"
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        # env applies only to opted-in (spec/sweep) resolution ...
+        assert resolve_backend(None, None) == "serial"
+        assert resolve_backend(None, None, env=True) == "thread"
+        # ... and an explicit name always wins
+        assert resolve_backend("process", None, env=True) == "process"
+        monkeypatch.setenv("REPRO_BACKEND", "quantum")
+        with pytest.raises(ValueError, match="REPRO_BACKEND"):
+            resolve_backend(None, None, env=True)
+
+    def test_undeclared_state_methods_refused_off_serial(self):
+        """Methods whose client state lives outside the pack/unpack and
+        broadcast_attrs contracts (FedGraB's balancers) would silently
+        diverge on worker replicas — every layer refuses them, and a
+        blanket REPRO_BACKEND default quietly falls back to serial."""
+        tiny = dict(
+            data=DataSpec(clients=6, scale=0.3, beta=0.3),
+            config=FLConfig(rounds=2, participation=0.5, local_epochs=1,
+                            max_batches_per_round=2, eval_every=1, seed=0),
+        )
+        with pytest.raises(ValueError, match="outside the pack"):
+            ExperimentSpec(method=MethodSpec(name="fedgrab"),
+                           runtime=RuntimeSpec(backend="process", workers=2),
+                           **tiny)
+        with pytest.raises(ValueError, match="outside the pack"):
+            ExperimentSpec(method=MethodSpec(name="fedgrab"),
+                           runtime=RuntimeSpec(workers=2), **tiny)
+        # the env default is a blanket preference, not a per-method claim:
+        # it downgrades to serial and the results match the serial run
+        spec = ExperimentSpec(method=MethodSpec(name="fedgrab"), **tiny)
+        serial = run(spec)
+        import os
+        old = os.environ.get("REPRO_BACKEND")
+        os.environ["REPRO_BACKEND"] = "process"
+        try:
+            forced = run(spec)
+        finally:
+            if old is None:
+                del os.environ["REPRO_BACKEND"]
+            else:
+                os.environ["REPRO_BACKEND"] = old
+        np.testing.assert_array_equal(
+            serial.history.accuracy, forced.history.accuracy
+        )
+        np.testing.assert_array_equal(serial.final_params, forced.final_params)
+
+    def test_backend_name_case_normalized(self):
+        with pytest.raises(ValueError, match="contradicts"):
+            RuntimeSpec(backend="Serial", workers=4)
+        assert RuntimeSpec(backend="Process", workers=2).backend == "process"
+
+    def test_nonserial_backend_requires_model_builder(self):
+        ds = load_federated_dataset(
+            "fashion-mnist-lite", imbalance_factor=0.3, beta=0.3,
+            num_clients=6, seed=0, scale=0.3,
+        )
+        with pytest.raises(ValueError, match="model_builder"):
+            AsyncFederatedSimulation(
+                make_method("fedasync").algorithm, make_mlp(32, 10, seed=0),
+                ds, FLConfig(rounds=2), backend="process",
+            )
+
+
+class TestStateVersioning:
+    def _sim(self, ds, concurrency):
+        algo = AsyncAdapter(
+            make_method("scaffold").algorithm,
+            make_method("fedbuff", buffer_size=2).algorithm,
+        )
+        return AsyncFederatedSimulation(
+            algo, make_mlp(32, 10, seed=0), ds,
+            FLConfig(rounds=3, participation=0.5, local_epochs=1, seed=0,
+                     max_batches_per_round=2, eval_every=1, batch_size=10),
+            latency_model=LognormalLatency(sigma=1.0),
+            concurrency=concurrency,
+        )
+
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return load_federated_dataset(
+            "fashion-mnist-lite", imbalance_factor=0.3, beta=0.3,
+            num_clients=6, seed=0, scale=0.3,
+        )
+
+    def test_oversubscription_is_observable(self, ds):
+        """concurrency > clients forces concurrent self-dispatches: their
+        commits land on state newer than their snapshot and are counted
+        instead of silently last-writer-winning."""
+        h = self._sim(ds, concurrency=9).run()
+        assert h.records[-1].extras["state_stale_commits"] > 0
+        # the counter is cumulative across windows
+        counts = [r.extras["state_stale_commits"] for r in h.records]
+        assert counts == sorted(counts)
+
+    def test_no_oversubscription_no_stale_commits(self, ds):
+        h = self._sim(ds, concurrency=2).run()
+        assert h.records[-1].extras["state_stale_commits"] == 0
+
+    def test_stateless_histories_keep_schema(self, ds):
+        """The counter keys off the state store, so plain FedAsync extras
+        are unchanged (pre-refactor histories stay bit-identical)."""
+        sim = AsyncFederatedSimulation(
+            make_method("fedasync").algorithm, make_mlp(32, 10, seed=0), ds,
+            FLConfig(rounds=2, participation=0.5, local_epochs=1, seed=0,
+                     max_batches_per_round=2, eval_every=1),
+        )
+        h = sim.run()
+        assert all("state_stale_commits" not in r.extras for r in h.records)
+
+
+class TestBufferEMA:
+    def _run(self, buffer_ema, concurrency):
+        ds = load_federated_dataset(
+            "svhn-lite", imbalance_factor=0.3, beta=0.3, num_clients=6,
+            seed=0, scale=0.2,
+        )
+        shape = ds.info.shape
+        from repro.nn import build_model
+
+        def mb():
+            return build_model(
+                "resnet-lite-18", in_channels=shape[0], image_size=shape[1],
+                num_classes=ds.num_classes, width=2, seed=0, norm="batch",
+            )
+
+        sim = AsyncFederatedSimulation(
+            make_method("fedbuff", buffer_size=2).algorithm, mb(), ds,
+            FLConfig(rounds=2, participation=0.5, local_epochs=1, seed=0,
+                     max_batches_per_round=2, eval_every=1, batch_size=10),
+            latency_model=LognormalLatency(sigma=1.0),
+            concurrency=concurrency,
+            buffer_ema=buffer_ema,
+        )
+        sim.run()
+        return sim
+
+    def test_staleness_discount_changes_buffers_under_staleness(self):
+        fixed = self._run("fixed", concurrency=6)
+        disc = self._run("staleness", concurrency=6)
+        # same parameter trajectory (buffers never enter the gradients) ...
+        np.testing.assert_array_equal(fixed.final_params, disc.final_params)
+        # ... but the buffer estimate blends stale arrivals more gently
+        assert any(
+            not np.array_equal(fixed.ctx.model.buffers[k], disc.ctx.model.buffers[k])
+            for k in fixed.ctx.model.buffers
+        )
+
+    def test_modes_agree_at_zero_staleness(self):
+        # concurrency 1 => tau == 0 for every arrival => identical blends
+        fixed = self._run("fixed", concurrency=1)
+        disc = self._run("staleness", concurrency=1)
+        for k in fixed.ctx.model.buffers:
+            np.testing.assert_array_equal(
+                fixed.ctx.model.buffers[k], disc.ctx.model.buffers[k]
+            )
+
+    def test_invalid_mode_rejected(self):
+        ds = load_federated_dataset(
+            "fashion-mnist-lite", imbalance_factor=0.3, beta=0.3,
+            num_clients=6, seed=0, scale=0.3,
+        )
+        with pytest.raises(ValueError, match="buffer_ema"):
+            AsyncFederatedSimulation(
+                make_method("fedasync").algorithm, make_mlp(32, 10, seed=0),
+                ds, FLConfig(rounds=2), buffer_ema="adaptive",
+            )
+
+
+class TestParallelSweeps:
+    def _base(self):
+        return ExperimentSpec(
+            method=MethodSpec(name="fedavg"),
+            **dict(
+                data=DataSpec(clients=6, scale=0.3, beta=0.3),
+                config=FLConfig(rounds=2, participation=0.5, local_epochs=1,
+                                batch_size=10, max_batches_per_round=2,
+                                eval_every=1, seed=0),
+            ),
+        )
+
+    GRID = {"method.name": ["fedavg", "fedcm"], "config.seed": [0, 1]}
+
+    def test_serial_sweep_result_shape(self):
+        result = run_sweep(self._base(), self.GRID)
+        assert isinstance(result, SweepResult)
+        assert len(result) == 4
+        assert result.group_axes == ("method.name",)
+        assert list(result.groups()) == [("fedavg",), ("fedcm",)]
+        rows = result.aggregate()
+        assert [r["method.name"] for r in rows] == ["fedavg", "fedcm"]
+        assert all(r["n"] == 2 for r in rows)
+        assert all(np.isfinite(r["final_mean"]) for r in rows)
+        assert all(r["final_std"] >= 0.0 for r in rows)
+
+    @pytest.mark.parametrize("backend", ("process", "thread"))
+    def test_parallel_sweep_matches_serial(self, backend):
+        """Same grouping keys, same per-group mean/std on a 2-axis grid
+        including config.seed — the acceptance criterion."""
+        serial = run_sweep(self._base(), self.GRID)
+        parallel = run_sweep(self._base(), self.GRID, backend=backend, workers=2)
+        assert parallel.group_axes == serial.group_axes
+        assert list(parallel.groups()) == list(serial.groups())
+        assert parallel.aggregate() == serial.aggregate()
+        for a, b in zip(parallel.results, serial.results):
+            np.testing.assert_array_equal(
+                a.history.accuracy, b.history.accuracy
+            )
+            np.testing.assert_array_equal(a.final_params, b.final_params)
+
+    def test_unhashable_axis_values_group_cleanly(self):
+        """kwargs-dict axes (unhashable) must not crash grouping after the
+        whole grid has already been computed."""
+        result = run_sweep(
+            self._base().override("method.name", "fedcm"),
+            {"method.kwargs": [{"alpha": 0.05}, {"alpha": 0.1}],
+             "config.seed": [0, 1]},
+        )
+        assert len(result) == 4
+        rows = result.aggregate()
+        assert len(rows) == 2
+        # rows report the original dict values, not a stringified key
+        assert [r["method.kwargs"] for r in rows] == [
+            {"alpha": 0.05}, {"alpha": 0.1}]
+        assert all(r["n"] == 2 for r in rows)
+
+    def test_empty_grid_single_point(self):
+        result = run_sweep(self._base(), {})
+        assert len(result) == 1
+        assert result.assignments == [{}]
+        assert result.aggregate()[0]["n"] == 1
+
+    def test_keep_engines_requires_serial(self):
+        with pytest.raises(ValueError, match="keep_engines"):
+            run_sweep(self._base(), {"config.seed": [0, 1]},
+                      backend="process", workers=2, keep_engines=True)
+        # explicit serial: immune to a REPRO_BACKEND environment default
+        result = run_sweep(self._base(), {}, backend="serial", keep_engines=True)
+        assert result.results[0].engine is not None
+
+    def test_sweep_cli_smoke(self, capsys):
+        rc = cli_main([
+            "sweep", "--clients", "6", "--rounds", "2", "--scale", "0.3",
+            "--max-batches", "2", "--eval-every", "1",
+            "--grid", "method.name=fedavg,fedcm", "--grid", "config.seed=0,1",
+            "--backend", "thread", "--workers", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "method.name" in out
+        assert "fedavg" in out and "fedcm" in out
+        assert "±" in out  # the aggregate table rendered
+
+    def test_sweep_cli_bad_grid_exits_2(self, capsys):
+        rc = cli_main(["sweep", "--grid", "method.name"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_cli_duplicate_axis_exits_2(self, capsys):
+        rc = cli_main(["sweep", "--grid", "config.seed=0,1",
+                       "--grid", "config.seed=2,3"])
+        assert rc == 2
+        assert "given twice" in capsys.readouterr().err

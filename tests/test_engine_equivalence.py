@@ -330,12 +330,25 @@ class TestStatefulAsync:
         h = sim.run()
         assert h.records  # completed without error
 
-    def test_stateful_method_rejects_workers(self, ds):
-        with pytest.raises(ValueError, match="serially"):
-            AsyncFederatedSimulation(
-                self._adapter(), _model(), ds, _cfg(),
-                workers=2, model_builder=_model,
+    def test_stateful_method_runs_on_worker_pool(self, ds):
+        """The PR-4 serial-only restriction is lifted: packed client state
+        rides the job contract, so SCAFFOLD under FedBuff produces the same
+        history on the process pool as serially (full matrix in
+        tests/test_backends.py)."""
+        histories = {}
+        finals = {}
+        for workers in (None, 2):
+            algo = self._adapter(buffer_size=3)
+            sim = AsyncFederatedSimulation(
+                algo, _model(), ds, _cfg(),
+                latency_model=LognormalLatency(sigma=1.0),
+                workers=workers, model_builder=_model,
+                algo_builder=lambda: self._adapter(buffer_size=3),
             )
+            histories[workers] = sim.run()
+            finals[workers] = sim.final_params
+        np.testing.assert_array_equal(finals[None], finals[2])
+        assert_history_equal(histories[2], histories[None])
 
     def test_feddyn_under_fedbuff_runs(self, ds):
         algo = self._adapter(base="feddyn", buffer_size=3)

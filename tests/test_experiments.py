@@ -89,13 +89,28 @@ class TestSpecValidation:
         ExperimentSpec(method=MethodSpec(name="fedbuff"),
                        runtime=RuntimeSpec(kind="sync"))
 
-    def test_stateful_method_needs_serial_async_engine(self):
-        with pytest.raises(ValueError, match="serially"):
-            ExperimentSpec(method=MethodSpec(name="scaffold"),
-                           runtime=RuntimeSpec(kind="fedbuff", workers=2))
-        # stateless local rules parallelise fine
+    def test_stateful_method_parallelises_via_job_contract(self):
+        # the PR-4 restriction is lifted: packed client state rides the
+        # execution backends' job contract, so stateful methods accept
+        # worker pools on every engine kind
+        ExperimentSpec(method=MethodSpec(name="scaffold"),
+                       runtime=RuntimeSpec(kind="fedbuff", workers=2))
         ExperimentSpec(method=MethodSpec(name="fedsam"),
                        runtime=RuntimeSpec(kind="fedbuff", workers=2))
+        ExperimentSpec(method=MethodSpec(name="scaffold"),
+                       runtime=RuntimeSpec(kind="sync", backend="process"))
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            RuntimeSpec(backend="gpu-cluster")
+        with pytest.raises(ValueError, match="contradicts"):
+            RuntimeSpec(backend="serial", workers=4)
+        with pytest.raises(ValueError, match="buffer_ema"):
+            RuntimeSpec(kind="fedasync", buffer_ema="adaptive")
+        with pytest.raises(ValueError, match="no effect"):
+            RuntimeSpec(kind="semisync", buffer_ema="staleness")
+        RuntimeSpec(kind="fedbuff", backend="thread", workers=2)  # fine
+        RuntimeSpec(kind="fedasync", buffer_ema="staleness")  # fine
 
     def test_aggregate_broadcast_methods_rejected_under_async(self):
         # FedCM's momentum broadcast only refreshes in aggregate(): under an

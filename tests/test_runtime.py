@@ -277,10 +277,11 @@ class TestAsyncEngine:
         assert sched(w) == 0.5
         assert sched(3 * w) == 0.5 ** 3
 
-    def test_batchnorm_buffers_tracked_serially_frozen_with_workers(self):
-        """Serial async runs keep a server-side EMA over arriving clients'
-        BatchNorm statistics (no warning, buffers move); worker pools cannot
-        ship buffers back and warn that they stay frozen."""
+    def test_batchnorm_buffers_tracked_on_every_backend(self):
+        """The server-side EMA over arriving clients' BatchNorm statistics
+        runs on every backend: buffers ride the job contract, so worker
+        pools no longer freeze them (the PR-4 restriction is lifted) and
+        the recorded accuracies match the serial run exactly."""
         import warnings as warnings_mod
 
         from repro.nn import build_model
@@ -296,24 +297,28 @@ class TestAsyncEngine:
                 num_classes=ds_img.num_classes, width=2, seed=0, norm="batch",
             )
 
-        with warnings_mod.catch_warnings(record=True) as caught:
-            warnings_mod.simplefilter("always")
-            sim = AsyncFederatedSimulation(
-                FedAsync(), mb(), ds_img, _tiny_cfg(), latency_model=ConstantLatency()
+        buffers = {}
+        accs = {}
+        for workers in (None, 2):
+            with warnings_mod.catch_warnings(record=True) as caught:
+                warnings_mod.simplefilter("always")
+                sim = AsyncFederatedSimulation(
+                    FedAsync(), mb(), ds_img, _tiny_cfg(),
+                    latency_model=ConstantLatency(),
+                    workers=workers, model_builder=mb, algo_builder=FedAsync,
+                )
+                assert not caught  # no frozen-buffer warning anywhere
+            buf0 = {k: v.copy() for k, v in sim.ctx.model.buffers.items()}
+            h = sim.run()
+            buffers[workers] = {k: v.copy() for k, v in sim.ctx.model.buffers.items()}
+            accs[workers] = h.accuracy
+            moved = any(
+                not np.array_equal(buffers[workers][k], buf0[k]) for k in buf0
             )
-            assert not caught
-        buf0 = {k: v.copy() for k, v in sim.ctx.model.buffers.items()}
-        sim.run()
-        moved = any(
-            not np.array_equal(sim.ctx.model.buffers[k], buf0[k]) for k in buf0
-        )
-        assert moved  # eval used the EMA estimate, not the initial buffers
-
-        with pytest.warns(UserWarning, match="frozen"):
-            AsyncFederatedSimulation(
-                FedAsync(), mb(), ds_img, _tiny_cfg(), latency_model=ConstantLatency(),
-                workers=2, model_builder=mb,
-            )
+            assert moved  # eval used the EMA estimate, not the initial buffers
+        for k in buffers[None]:
+            np.testing.assert_array_equal(buffers[None][k], buffers[2][k])
+        np.testing.assert_array_equal(accs[None], accs[2])
 
     def test_default_algo_builder_warns_on_config_mismatch(self, ds):
         """workers>1 replicas default to type(algo)(); non-default
