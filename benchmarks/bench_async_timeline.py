@@ -46,6 +46,9 @@ Run: ``PYTHONPATH=src python benchmarks/bench_async_timeline.py``
 from __future__ import annotations
 
 import argparse
+import os
+import tempfile
+import time
 
 import numpy as np
 
@@ -241,6 +244,65 @@ def main(argv: list[str] | None = None) -> int:
             f"(final={pool_r.final_accuracy:.4f}, serial={serial_r.final_accuracy:.4f})"
         )
         ok = ok and pool_ok
+        # recorder overhead: journaling every event plus per-round
+        # snapshots must *observe* the run, not change it — identical
+        # trajectory / virtual time, and <5% of the recorded run's wall
+        # clock spent inside recorder hooks.  The hook share comes from the
+        # recorder's own overhead accounting (the journal's ``end`` record):
+        # an A/B wall comparison of two ~0.5s runs cannot resolve 5% under
+        # CI scheduler noise, so the on/off wall row below is informational.
+        # Measured on a compute-heavier variant of the same problem: the
+        # recorder's cost is fixed per event/round, so the tiny smoke run
+        # would measure constant cost against a microbenchmark rather than
+        # the proportional overhead real (longer-round) runs see.
+        hefty = base.override_many([
+            ("data.scale", 1.0),
+            ("config.local_epochs", 8),
+            ("config.max_batches_per_round", 96),
+        ])
+        run(hefty)  # warm caches off the clock
+        t_plain = t_rec = float("inf")
+        plain_r = rec_r = None
+        with tempfile.TemporaryDirectory() as tmp:
+            for rep in range(3):
+                t0 = time.perf_counter()
+                plain_r = run(hefty)
+                t_plain = min(t_plain, time.perf_counter() - t0)
+                recorded = hefty.override_many([
+                    ("runtime.record", True),
+                    ("runtime.run_dir", os.path.join(tmp, f"rep{rep}")),
+                ])
+                t0 = time.perf_counter()
+                rec_r = run(recorded)
+                t_rec = min(t_rec, time.perf_counter() - t0)
+            from repro.observe import MetricsStore, journal_path
+
+            store = MetricsStore.from_journal(
+                journal_path(os.path.join(tmp, "rep2"))
+            )
+        hook_s = store.recorder_overhead_s or 0.0
+        overhead = hook_s / max(t_rec, 1e-9)
+        same_run = bool(
+            np.array_equal(plain_r.history.accuracy, rec_r.history.accuracy,
+                           equal_nan=True)
+            and plain_r.total_virtual_time == rec_r.total_virtual_time
+        )
+        rec_ok = same_run and overhead < 0.05
+        verdict += (
+            "\nrecorder overhead (journal + snapshots): "
+            f"{'PASS' if rec_ok else 'FAIL'} "
+            f"({hook_s * 1e3:.1f}ms in hooks = {overhead * 100:.1f}% of the "
+            f"recorded wall, identical run: {same_run})\n"
+            + format_table(
+                "recorder on/off (best of 3 interleaved wall seconds)",
+                ["variant", "wall_s", "final", "virt_time_s"],
+                [["recorder-off", t_plain, plain_r.final_accuracy,
+                  plain_r.total_virtual_time],
+                 ["recorder-on", t_rec, rec_r.final_accuracy,
+                  rec_r.total_virtual_time]],
+            )
+        )
+        ok = ok and rec_ok
 
     series = {
         name: (

@@ -12,6 +12,8 @@ Public API tour:
   models, FedAsync/FedBuff, deadline-based semi-sync rounds).
 * :mod:`repro.experiments` - declarative, serializable ExperimentSpecs and
   the one ``run(spec)`` facade over every engine.
+* :mod:`repro.observe` - JSONL run journal, metrics tailer (``repro
+  watch``), resumable snapshots (``repro run --resume``).
 * :mod:`repro.he` - homomorphic encryption for private distribution sharing.
 * :mod:`repro.analysis` - neuron concentration / collapse diagnostics.
 * :mod:`repro.theory` - convergence bounds and the quadratic testbed.

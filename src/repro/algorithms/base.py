@@ -91,9 +91,9 @@ class FederatedAlgorithm:
     broadcast_attrs: tuple = ()
 
     #: False when ``client_update`` touches mutable state *outside* the
-    #: pack/unpack and ``broadcast_attrs`` contracts (e.g. FedGraB's
-    #: per-client gradient balancers).  Worker replicas would evolve their
-    #: own divergent copies, so non-serial backends refuse such methods
+    #: pack/unpack and ``broadcast_attrs`` contracts (undeclared caches
+    #: keyed by client or round).  Worker replicas would evolve their own
+    #: divergent copies, so non-serial backends refuse such methods
     #: instead of silently producing scheduling-dependent results.
     parallel_safe = True
 

@@ -93,11 +93,11 @@ class FedGraB(LocalSGDMixin, FederatedAlgorithm):
         self.kappa = kappa
         self.weighted = weighted
 
-    # the per-client GradientBalancers accumulate pivot state across a
-    # client's participations but are not declared through the pack/unpack
-    # contract — worker replicas would diverge, so the execution backends
-    # refuse to run this method off the serial backend
-    parallel_safe = False
+    # each client's balancer accumulators persist across its participations:
+    # declared through the client-state contract so the execution backends
+    # ship them to worker replicas (snapshot at dispatch, commit at
+    # completion) and every backend reproduces the serial trajectory
+    stateful_per_client = True
 
     def setup(self, ctx: SimulationContext) -> None:
         # DPA: prior estimate from aggregated counts; one SGB per client
@@ -108,6 +108,15 @@ class FedGraB(LocalSGDMixin, FederatedAlgorithm):
             k: GradientBalancer(ctx.num_classes, kappa=self.kappa)
             for k in range(ctx.num_clients)
         }
+
+    def pack_client_state(self, client_id: int) -> dict:
+        b = self._balancers[client_id]
+        return {"acc_pos": b.acc_pos.copy(), "acc_neg": b.acc_neg.copy()}
+
+    def unpack_client_state(self, client_id: int, state: dict) -> None:
+        b = self._balancers[client_id]
+        b.acc_pos = state["acc_pos"].copy()
+        b.acc_neg = state["acc_neg"].copy()
 
     def client_update(self, ctx, round_idx, client_id, x_global) -> ClientUpdate:
         cfg = ctx.config

@@ -116,10 +116,12 @@ def method_is_parallel_safe(name: str) -> bool:
     """True when the named method's client rule is safe on non-serial backends.
 
     Methods whose ``client_update`` mutates state outside the pack/unpack
-    and ``broadcast_attrs`` contracts (FedGraB's per-client balancers)
-    declare ``parallel_safe = False``; worker replicas would silently
-    diverge, so spec validation and the backends refuse them off the
-    serial backend.  Variant factories are FedCM-based and safe.
+    and ``broadcast_attrs`` contracts declare ``parallel_safe = False``;
+    worker replicas would silently diverge, so spec validation and the
+    backends refuse them off the serial backend.  Every registry method
+    currently declares its state (FedGraB's per-client balancers ride the
+    client-state contract), so this gate only fires for out-of-registry
+    algorithms.  Variant factories are FedCM-based and safe.
     """
     return bool(getattr(_SIMPLE.get(name.lower()), "parallel_safe", True))
 

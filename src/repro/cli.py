@@ -8,14 +8,19 @@ JSON, ``--set key.path=value`` applies dotted-path overrides, and a single
 
 Commands:
 
-* ``run``      — one federated experiment (any engine kind via ``--config``).
+* ``run``      — one federated experiment (any engine kind via ``--config``);
+                 ``--record DIR`` journals it, ``--resume DIR`` continues a
+                 stopped recorded run from its last snapshot.
 * ``runtime``  — event-driven run under a virtual clock: ``fedasync`` /
                  ``fedbuff`` asynchronous aggregation or ``semisync``
                  deadline-based rounds, with pluggable client latency models.
+* ``watch``    — tail a recorded run's journal: rolling aggregates
+                 (``--summary``) or live follow mode (``-f``).
 * ``compare``  — race several methods on one problem (a spec sweep over
                  ``method.name``), ASCII plot + table.
 * ``sweep``    — run a grid of dotted-path overrides (optionally across an
-                 execution backend), report mean/std over ``config.seed``.
+                 execution backend), report mean/std over ``config.seed``;
+                 ``--out`` dumps the full result losslessly.
 * ``spec``     — ``dump`` a spec as JSON, or ``validate`` spec files.
 * ``methods``  — list available algorithms.
 * ``datasets`` — list available -lite datasets.
@@ -24,6 +29,10 @@ Examples::
 
     python -m repro run --method fedwcm --dataset cifar10-lite --if 0.1 --rounds 30
     python -m repro run --config examples/specs/semisync_utility.json --set config.rounds=10
+    python -m repro run --config spec.json --record runs/exp1 --stop-after-rounds 20
+    python -m repro run --resume runs/exp1
+    python -m repro watch runs/exp1 --summary
+    python -m repro watch runs/exp1 -f
     python -m repro compare --methods fedavg,fedcm,fedwcm --if 0.05
     python -m repro runtime --algorithm semisync --adaptive-deadline 0.3 \\
         --sampler utility --price-comm --base-method scaffold
@@ -31,7 +40,7 @@ Examples::
     python -m repro runtime --algorithm fedbuff --base-method scaffold \\
         --backend process --workers 4
     python -m repro sweep --grid method.name=fedavg,fedcm \\
-        --grid config.seed=0,1,2 --backend process --workers 4
+        --grid config.seed=0,1,2 --backend process --workers 4 --out sweep.json
     python -m repro spec dump --algorithm fedbuff --latency pareto > my_spec.json
     python -m repro spec validate examples/specs/*.json
 """
@@ -40,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import fields as dataclass_fields
 
@@ -195,11 +205,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--save-history", metavar="PATH", default=None)
         p.add_argument("--save-checkpoint", metavar="PATH", default=None)
 
+    def add_observe(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--record", metavar="RUN_DIR", default=None,
+                       help="journal the run under this directory "
+                            "(journal.jsonl + resumable snapshots + spec.json)")
+        p.add_argument("--stop-after-rounds", type=int, default=None, metavar="N",
+                       help="checkpoint and stop once N rounds closed "
+                            "(resume with `repro run --resume RUN_DIR`)")
+
     run_p = sub.add_parser("run", help="run one federated experiment")
     run_p.add_argument("--method", default=_SUPPRESS, choices=METHOD_NAMES,
                        help="algorithm registry name (default: fedwcm)")
+    run_p.add_argument("--resume", metavar="RUN_DIR", default=None,
+                       help="continue a recorded run from its latest snapshot "
+                            "(the spec is read from RUN_DIR/spec.json; other "
+                            "spec flags are rejected)")
     add_common(run_p)
     add_outputs(run_p, timed=False)
+    add_observe(run_p)
 
     cmp_p = sub.add_parser("compare", help="race several methods (a spec sweep)")
     cmp_p.add_argument("--methods", default="fedavg,fedcm,fedwcm",
@@ -225,12 +248,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "REPRO_BACKEND / process when --workers > 1)")
     sweep_p.add_argument("--workers", dest="sweep_workers", type=int, default=None,
                          help="worker count for parallel sweep execution")
+    sweep_p.add_argument("--out", metavar="PATH", default=None,
+                         help="dump the full sweep result (specs + histories) "
+                              "as lossless JSON")
 
     rt_p = sub.add_parser("runtime", help="event-driven run under a virtual clock")
     add_common(rt_p)
     add_runtime_flags(rt_p, kinds=("fedasync", "fedbuff", "semisync"),
                       default_kind="fedasync")
     add_outputs(rt_p, timed=True)
+    add_observe(rt_p)
+
+    watch_p = sub.add_parser(
+        "watch", help="tail a recorded run's journal (metrics + progress)"
+    )
+    watch_p.add_argument("run_dir", metavar="RUN_DIR",
+                         help="directory a recorded run journals into")
+    watch_p.add_argument("--summary", action="store_true",
+                         help="print rolling aggregates once and exit (default)")
+    watch_p.add_argument("-f", "--follow", action="store_true",
+                         help="follow the live journal, printing rounds and "
+                              "warnings as they land; summary on end/Ctrl-C")
+    watch_p.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                         help="follow-mode poll interval (default: 0.5)")
 
     spec_p = sub.add_parser("spec", help="dump or validate experiment specs")
     spec_sub = spec_p.add_subparsers(dest="spec_command", required=True)
@@ -381,6 +421,10 @@ def spec_from_args(args) -> ExperimentSpec:
             if hasattr(args, attr):
                 items.append((path, getattr(args, attr)))
 
+    if getattr(args, "record", None):
+        items.append(("runtime.record", True))
+        items.append(("runtime.run_dir", args.record))
+
     spec = base.override_many(items)
     return spec.apply_overrides(args.overrides)
 
@@ -447,9 +491,25 @@ def _assemble(args) -> ExperimentSpec | None:
 
 def _execute(args, spec: ExperimentSpec, verbose: bool = True) -> int:
     """Shared body of ``run`` and ``runtime``: spec -> facade -> reports."""
-    result = run_spec(spec, verbose=verbose)
-    history = result.history
+    result = run_spec(
+        spec, verbose=verbose,
+        stop_after_rounds=getattr(args, "stop_after_rounds", None),
+    )
+    return _report(args, result)
+
+
+def _report(args, result) -> int:
+    """Post-run reporting shared by fresh, recorded and resumed runs."""
+    spec, history = result.spec, result.history
     timed = spec.runtime.kind != "sync"
+    if spec.runtime.record and spec.runtime.run_dir:
+        stop_n = getattr(args, "stop_after_rounds", None)
+        hint = (
+            f"  (stopped; resume with `repro run --resume {spec.runtime.run_dir}`)"
+            if stop_n is not None and len(history.records) == stop_n
+            else ""
+        )
+        print(f"\nrecorded -> {spec.runtime.run_dir}{hint}")
     if timed:
         print(f"\nfinal accuracy:     {history.final_accuracy:.4f}")
         print(f"best accuracy:      {history.best_accuracy:.4f}")
@@ -474,6 +534,25 @@ def _execute(args, spec: ExperimentSpec, verbose: bool = True) -> int:
 
 
 def cmd_run(args) -> int:
+    if args.resume:
+        if args.config or args.overrides or args.record:
+            print(
+                "error: --resume reads the spec from RUN_DIR/spec.json; "
+                "it cannot combine with --config/--set/--record",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.experiments import resume_run
+
+        try:
+            result = resume_run(
+                args.resume, verbose=True,
+                stop_after_rounds=args.stop_after_rounds,
+            )
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _report(args, result)
     spec = _assemble(args)
     if spec is None:
         return 2
@@ -570,6 +649,9 @@ def cmd_sweep(args) -> int:
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.out:
+        result.save(args.out)
+        print(f"sweep result -> {args.out}")
     for assignment, point in zip(result.assignments, result.results):
         label = "  ".join(f"{k}={v}" for k, v in assignment.items()) or "(base)"
         print(f"{label:60s} final={point.final_accuracy:.4f} "
@@ -617,6 +699,62 @@ def cmd_spec(args) -> int:
     return 1 if failed else 0
 
 
+def _watch_line(rec: dict) -> str | None:
+    """One follow-mode console line per journal record (None = silent)."""
+    t = rec.get("type")
+    if t == "meta":
+        return (f"run: {rec.get('algorithm')} / {rec.get('policy')} / "
+                f"backend={rec.get('backend')}  "
+                f"clients={rec.get('num_clients')}  seed={rec.get('seed')}")
+    if t == "resume":
+        return f"resumed at round {rec.get('round')}  t={rec.get('t', 0.0):.2f}s"
+    if t == "round":
+        acc = rec.get("test_accuracy")
+        acc_s = f"acc={acc:.4f}" if acc is not None else "acc=n/a"
+        return (f"round {rec.get('round'):4d}  t={rec.get('t', 0.0):9.2f}s  "
+                f"{acc_s}  clients={len(rec.get('selected') or [])}")
+    if t == "warning":
+        return f"WARNING [{rec.get('logger')}] {rec.get('message')}"
+    if t == "stop":
+        return f"stopped at round {rec.get('round')} (checkpointed)"
+    if t == "end":
+        acc = rec.get("final_accuracy")
+        return "run finished" + (f"  final acc={acc:.4f}" if acc is not None else "")
+    return None
+
+
+def cmd_watch(args) -> int:
+    from repro.observe import JournalTailer, MetricsStore, journal_path
+
+    path = journal_path(args.run_dir)
+    if not args.follow:
+        if not os.path.exists(path):
+            print(f"error: no journal at {path}", file=sys.stderr)
+            return 2
+        print(MetricsStore.from_journal(path).summary())
+        return 0
+    import time as _time
+
+    tailer = JournalTailer(path)
+    store = MetricsStore()
+    try:
+        while True:
+            batch = tailer.poll()
+            for rec in batch:
+                store.ingest(rec)
+                line = _watch_line(rec)
+                if line:
+                    print(line, flush=True)
+            if store.ended or store.stopped:
+                break
+            _time.sleep(args.poll)
+    except KeyboardInterrupt:
+        pass
+    print()
+    print(store.summary())
+    return 0
+
+
 def cmd_methods(_args) -> int:
     for name in METHOD_NAMES:
         print(name)
@@ -638,6 +776,7 @@ def main(argv: list[str] | None = None) -> int:
             "compare": cmd_compare,
             "sweep": cmd_sweep,
             "runtime": cmd_runtime,
+            "watch": cmd_watch,
             "spec": cmd_spec,
             "methods": cmd_methods,
             "datasets": cmd_datasets,

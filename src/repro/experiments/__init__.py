@@ -23,6 +23,7 @@ from repro.experiments.facade import (
     build,
     build_problem,
     resolve_model_alias,
+    resume_run,
     run,
 )
 from repro.experiments.spec import (
@@ -54,6 +55,7 @@ __all__ = [
     "build",
     "build_problem",
     "run",
+    "resume_run",
     "expand",
     "run_sweep",
     "run_point",

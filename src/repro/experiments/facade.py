@@ -38,7 +38,15 @@ from repro.runtime import (
 )
 from repro.simulation import FLConfig, FederatedSimulation, History
 
-__all__ = ["RunResult", "MODEL_ALIASES", "build", "build_problem", "resolve_model_alias", "run"]
+__all__ = [
+    "RunResult",
+    "MODEL_ALIASES",
+    "build",
+    "build_problem",
+    "resolve_model_alias",
+    "run",
+    "resume_run",
+]
 
 # shorthand arches accepted by the CLI and benchmark harness: "conv" is the
 # narrow ResNet backbone the paper-scale benches use
@@ -266,10 +274,83 @@ def build(spec: ExperimentSpec):
     )
 
 
-def run(spec: ExperimentSpec, verbose: bool = False) -> RunResult:
-    """Build the spec's engine, run it, and package the outcome."""
+def run(
+    spec: ExperimentSpec,
+    verbose: bool = False,
+    stop_after_rounds: int | None = None,
+) -> RunResult:
+    """Build the spec's engine, run it, and package the outcome.
+
+    When ``spec.runtime.record`` is set the run journals itself under
+    ``spec.runtime.run_dir`` (the spec is saved there too, so
+    :func:`resume_run` can rebuild the engine) and ``stop_after_rounds``
+    checkpoints-and-stops at that round boundary.
+    """
     engine = build(spec)
-    history = engine.run(verbose=verbose)
+    recorder = None
+    if spec.runtime.record:
+        import os
+
+        from repro.observe import RunRecorder
+
+        run_dir = spec.runtime.run_dir
+        os.makedirs(run_dir, exist_ok=True)
+        spec.save(os.path.join(run_dir, "spec.json"))
+        recorder = RunRecorder(run_dir)
+    try:
+        history = engine.run(
+            verbose=verbose, recorder=recorder, stop_after_rounds=stop_after_rounds
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
+    return RunResult(
+        spec=spec,
+        history=history,
+        final_params=getattr(engine, "final_params", None),
+        total_virtual_time=getattr(engine, "total_virtual_time", 0.0),
+        engine=engine,
+    )
+
+
+def resume_run(
+    run_dir: str,
+    verbose: bool = False,
+    stop_after_rounds: int | None = None,
+    record: bool = True,
+) -> RunResult:
+    """Continue a recorded run from its latest round-boundary snapshot.
+
+    Rebuilds the engine from the ``spec.json`` saved alongside the journal,
+    restores the core from ``snapshots/round_NNNN.pkl`` and resumes the
+    event loop; determinism makes the final history bit-identical to the
+    uninterrupted run.  With ``record=True`` (default) the resumed leg
+    appends to the same journal.
+    """
+    import os
+
+    from repro.observe import RunRecorder, latest_snapshot, load_snapshot
+
+    spec = ExperimentSpec.load(os.path.join(run_dir, "spec.json"))
+    snap_path = latest_snapshot(run_dir)
+    if snap_path is None:
+        raise FileNotFoundError(
+            f"no snapshots under {run_dir!r}; was the run recorded "
+            "(runtime.record=True)?"
+        )
+    snap = load_snapshot(snap_path)
+    engine = build(spec)
+    recorder = RunRecorder(run_dir) if record else None
+    try:
+        history = engine.run(
+            verbose=verbose,
+            recorder=recorder,
+            resume=snap,
+            stop_after_rounds=stop_after_rounds,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
     return RunResult(
         spec=spec,
         history=history,

@@ -220,6 +220,12 @@ class RuntimeSpec:
             (1/window blend, default) or ``"staleness"`` (stale arrivals
             discounted at ``1/(window * (1 + tau))``, mirroring the
             parameter rule).
+        record: attach a :class:`~repro.observe.RunRecorder`: every typed
+            event becomes a ``journal.jsonl`` record under ``run_dir`` and
+            round boundaries snapshot resumable state (valid for every
+            kind; requires ``run_dir``).
+        run_dir: artifact directory for the recorded run (journal,
+            snapshots, the spec itself); requires ``record=True``.
     """
 
     kind: str = "sync"
@@ -238,6 +244,8 @@ class RuntimeSpec:
     backend: str = "auto"
     workers: int | None = None
     buffer_ema: str = "fixed"
+    record: bool = False
+    run_dir: str | None = None
 
     def __post_init__(self) -> None:
         # normalize once so every later comparison (and resolve_backend)
@@ -296,6 +304,15 @@ class RuntimeSpec:
         if self.buffer_ema not in BUFFER_EMA_MODES:
             raise ValueError(
                 f"buffer_ema must be one of {BUFFER_EMA_MODES}, got {self.buffer_ema!r}"
+            )
+        if self.record and not self.run_dir:
+            raise ValueError(
+                "record=True needs runtime.run_dir to name the artifact "
+                "directory (journal + snapshots)"
+            )
+        if self.run_dir and not self.record:
+            raise ValueError(
+                f"run_dir={self.run_dir!r} has no effect without record=True"
             )
         # knobs the chosen engine kind cannot consume are hard errors here —
         # a spec that silently ignored them would lie about the run it names

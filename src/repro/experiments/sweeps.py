@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -28,8 +29,11 @@ import numpy as np
 from repro.experiments.facade import RunResult, run
 from repro.experiments.spec import ExperimentSpec
 from repro.parallel import ExecutionBackend, make_backend, resolve_backend
+from repro.simulation import history_from_dict, history_to_dict
 
 __all__ = ["expand", "run_sweep", "run_point", "SweepResult", "SEED_AXIS"]
+
+SWEEP_SCHEMA_VERSION = 1
 
 #: the grid axis treated as replication rather than variation: grouping
 #: collapses it and aggregation reports mean/std across it
@@ -150,6 +154,67 @@ class SweepResult:
                 row[f"{name}_std"] = float(vals.std())
             rows.append(row)
         return rows
+
+    # -- persistence ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe form: specs + full per-point histories.
+
+        Every round record round-trips through the history schema
+        (:func:`repro.simulation.history_to_dict`), so a loaded sweep
+        regroups and re-aggregates identically; engines are never persisted
+        (they are already dropped from sweep results).
+        """
+        return {
+            "schema": SWEEP_SCHEMA_VERSION,
+            "base": self.base.to_dict(),
+            "grid": self.grid,
+            "assignments": self.assignments,
+            "results": [
+                {
+                    "spec": r.spec.to_dict(),
+                    "history": history_to_dict(r.history),
+                    "total_virtual_time": r.total_virtual_time,
+                }
+                for r in self.results
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepResult":
+        """Rebuild a sweep from :meth:`to_dict` output."""
+        schema = payload.get("schema")
+        if schema != SWEEP_SCHEMA_VERSION:
+            raise ValueError(
+                f"sweep dump schema {schema!r} != {SWEEP_SCHEMA_VERSION}"
+            )
+        results = [
+            RunResult(
+                spec=ExperimentSpec.from_dict(r["spec"]),
+                history=history_from_dict(r["history"]),
+                final_params=None,
+                total_virtual_time=r.get("total_virtual_time", 0.0),
+                engine=None,
+            )
+            for r in payload["results"]
+        ]
+        return cls(
+            base=ExperimentSpec.from_dict(payload["base"]),
+            grid=dict(payload["grid"]),
+            assignments=list(payload["assignments"]),
+            results=results,
+        )
+
+    def save(self, path: str) -> None:
+        """Write the lossless dump (``repro sweep --out``)."""
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=1)
+
+    @classmethod
+    def load(cls, path: str) -> "SweepResult":
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
 
 
 def _hashable(value):

@@ -50,7 +50,9 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import threading
+import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -95,6 +97,12 @@ class ClientJob:
         broadcast_state: server-side method state ``client_update`` reads
             (see ``FederatedAlgorithm.broadcast_attrs``), or None when the
             executing instance is the live one.
+        collect_timing: stamp the result with queue-wait/compute timing
+            (set by a recording :class:`~repro.runtime.events.EventCore`;
+            the flag rides in the job because pool workers fork at bind
+            time, before any recorder exists).
+        submitted_at: ``time.monotonic()`` at submission, the queue-wait
+            anchor (monotonic is cross-process comparable on Linux).
     """
 
     round_idx: int
@@ -103,6 +111,8 @@ class ClientJob:
     client_state: dict | None = field(default=None, repr=False)
     buffers: dict | None = field(default=None, repr=False)
     broadcast_state: dict | None = field(default=None, repr=False)
+    collect_timing: bool = field(default=False, repr=False, compare=False)
+    submitted_at: float | None = field(default=None, repr=False, compare=False)
 
 
 @dataclass(frozen=True)
@@ -116,12 +126,16 @@ class ClientResult:
         buffers: post-training model buffers (None if the job carried no
             ``buffers``).
         train_loss: mean local training loss, when the method reports one.
+        timing: per-job timing dict (``queue_wait_s``, ``compute_s``, and —
+            under the process pool — ``pickle_bytes``), present only when
+            the job asked for it via ``collect_timing``.
     """
 
     update: object = field(repr=False)
     new_state: dict | None = field(default=None, repr=False)
     buffers: dict | None = field(default=None, repr=False)
     train_loss: float | None = None
+    timing: dict | None = field(default=None, repr=False, compare=False)
 
 
 def execute_job(ctx: SimulationContext, algorithm, job: ClientJob) -> ClientResult:
@@ -151,6 +165,37 @@ def execute_job(ctx: SimulationContext, algorithm, job: ClientJob) -> ClientResu
         new_state=new_state,
         buffers=buffers,
         train_loss=float(loss) if loss is not None else None,
+    )
+
+
+def _run_job_timed(
+    ctx: SimulationContext, algorithm, job: ClientJob, measure_pickle: bool = False
+) -> ClientResult:
+    """:func:`execute_job`, stamping timing when the job asks for it.
+
+    All three backends funnel through here so every execution path reports
+    the same fields: ``queue_wait_s`` (submission to compute start),
+    ``compute_s`` (client_update wall time) and — where the job actually
+    crossed a process boundary — ``pickle_bytes`` (serialized job size).
+    """
+    if not job.collect_timing:
+        return execute_job(ctx, algorithm, job)
+    start = time.monotonic()
+    result = execute_job(ctx, algorithm, job)
+    timing = {
+        "queue_wait_s": (
+            start - job.submitted_at if job.submitted_at is not None else 0.0
+        ),
+        "compute_s": time.monotonic() - start,
+    }
+    if measure_pickle:
+        timing["pickle_bytes"] = len(pickle.dumps(job, pickle.HIGHEST_PROTOCOL))
+    return ClientResult(
+        update=result.update,
+        new_state=result.new_state,
+        buffers=result.buffers,
+        train_loss=result.train_loss,
+        timing=timing,
     )
 
 
@@ -270,7 +315,7 @@ class SerialBackend(ExecutionBackend):
         return self
 
     def run_jobs(self, jobs: Sequence[ClientJob]) -> list[ClientResult]:
-        return [execute_job(self._ctx, self._algo, job) for job in jobs]
+        return [_run_job_timed(self._ctx, self._algo, job) for job in jobs]
 
     def map(self, fn: Callable, items: list) -> list:
         return [fn(item) for item in items]
@@ -294,7 +339,7 @@ def _pool_worker_init(model_builder, dataset, config, loss_builder,
 
 
 def _pool_worker_run(job: ClientJob) -> ClientResult:
-    return execute_job(_WORKER["ctx"], _WORKER["algo"], job)
+    return _run_job_timed(_WORKER["ctx"], _WORKER["algo"], job, measure_pickle=True)
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -394,7 +439,7 @@ class ThreadBackend(ExecutionBackend):
 
     def _run_one(self, job: ClientJob) -> ClientResult:
         ctx, algo = self._replica()
-        return execute_job(ctx, algo, job)
+        return _run_job_timed(ctx, algo, job)
 
     def run_jobs(self, jobs: Sequence[ClientJob]) -> list[ClientResult]:
         if self._executor is None:

@@ -194,7 +194,13 @@ class AsyncFederatedSimulation:
         self.final_params: np.ndarray | None = None
         self.total_virtual_time = 0.0
 
-    def run(self, verbose: bool = False) -> History:
+    def run(
+        self,
+        verbose: bool = False,
+        recorder=None,
+        resume: dict | None = None,
+        stop_after_rounds: int | None = None,
+    ) -> History:
         owned = self._backend is None
         backend = (
             make_backend(self.backend_name, workers=self._workers)
@@ -223,7 +229,10 @@ class AsyncFederatedSimulation:
             backend=backend,
         )
         try:
-            history = core.run(verbose=verbose)
+            history = core.run(
+                verbose=verbose, recorder=recorder, resume=resume,
+                stop_after_rounds=stop_after_rounds,
+            )
         finally:
             if owned:
                 backend.close()

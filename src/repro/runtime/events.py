@@ -49,8 +49,9 @@ copies of the old code).
 
 from __future__ import annotations
 
+import logging
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 import numpy as np
@@ -76,6 +77,8 @@ __all__ = [
     "LATE_POLICIES",
     "BUFFER_EMA_MODES",
 ]
+
+logger = logging.getLogger("repro.runtime")
 
 LATE_POLICIES = ("downweight", "trickle")
 
@@ -192,6 +195,12 @@ class ClientStateStore:
                 and self._versions.get(client_id, 0) != expected_version
             ):
                 self.stale_commits += 1
+                logger.warning(
+                    "stale state commit for client %d: snapshot version %d, "
+                    "store moved to %d (oversubscribed stateful dispatch; "
+                    "last writer wins)",
+                    client_id, expected_version, self._versions.get(client_id, 0),
+                )
             self._state[client_id] = state
             self._versions[client_id] = self._versions.get(client_id, 0) + 1
 
@@ -226,6 +235,8 @@ class EventCore:
         self.clock = VirtualClock()
         self.history: History | None = None
         self.state_store: ClientStateStore | None = None
+        self.recorder = None
+        self.stopped = False
         self._seq = 0
 
     # -- primitives policies build on ---------------------------------------
@@ -236,6 +247,8 @@ class EventCore:
 
     def post(self, delay: float, payload, client_id: int = -1):
         """Schedule a typed event ``delay`` virtual seconds from now."""
+        if self.recorder is not None and isinstance(payload, Completion):
+            self.recorder.on_dispatch(self, payload.dispatch, delay)
         return self.clock.schedule(delay, client_id=client_id, event=payload)
 
     def select_cohort(self, round_idx: int) -> np.ndarray:
@@ -269,6 +282,27 @@ class EventCore:
             for r, k in pairs
         ]
 
+    def run_backend_jobs(self, jobs: list[ClientJob]) -> list:
+        """The single choke point between policies and the backend.
+
+        When a recorder is attached, each job is stamped to collect timing
+        (queue wait, compute wall, pickle size — measured *inside* the
+        backend, next to the work) and the results' timing dicts become
+        ``job`` journal records.  Unrecorded runs pass jobs through
+        untouched, so the hot path pays nothing.
+        """
+        rec = self.recorder
+        if rec is not None:
+            jobs = [
+                replace(job, collect_timing=True, submitted_at=time.monotonic())
+                for job in jobs
+            ]
+        results = self.backend.run_jobs(jobs)
+        if rec is not None:
+            for job, res in zip(jobs, results):
+                rec.on_job(self, job, res)
+        return results
+
     def run_cohort(self, round_idx: int, clients) -> list:
         """Execute one round's cohort through the backend, in cohort order.
 
@@ -285,7 +319,7 @@ class EventCore:
         jobs = self.make_jobs(
             [(round_idx, k) for k in clients], buffers=buffers
         )
-        results = self.backend.run_jobs(jobs)
+        results = self.run_backend_jobs(jobs)
         for k, res in zip(clients, results):
             self.state_store.commit(int(k), res.new_state)
         if buffers is not None:
@@ -308,9 +342,30 @@ class EventCore:
         return rec
 
     # -- the loop ------------------------------------------------------------
-    def run(self, verbose: bool = False) -> History:
+    def run(
+        self,
+        verbose: bool = False,
+        recorder=None,
+        resume: dict | None = None,
+        stop_after_rounds: int | None = None,
+    ) -> History:
+        """Process events until the policy stops scheduling.
+
+        Args:
+            recorder: optional :class:`~repro.observe.RunRecorder`; every
+                typed event becomes a journal record and round boundaries
+                snapshot resumable state.
+            resume: a snapshot dict (:func:`repro.observe.snapshot_core`) to
+                continue from instead of starting fresh; the policy's
+                ``begin`` is skipped — its packed mid-run state rides in.
+            stop_after_rounds: checkpoint-and-stop once the history holds
+                this many records (a round boundary); ``core.stopped`` tells
+                a stopped run apart from a completed one.
+        """
         ctx, algo = self.ctx, self.algorithm
         self.verbose = verbose
+        self.recorder = recorder
+        self.stopped = False
         algo.setup(ctx)
         self.x = ctx.x0.copy()
         self.history = History(algorithm=getattr(algo, "name", type(algo).__name__))
@@ -326,17 +381,50 @@ class EventCore:
         )
         self.state_store.capture_initial()
 
-        self.policy.begin(self)
+        if resume is not None:
+            # everything begin() would initialize is overwritten wholesale
+            # by the snapshot (pending events included), so it is skipped
+            from repro.observe.snapshot import restore_core
+
+            restore_core(self, resume)
+        else:
+            self.policy.begin(self)
+        if recorder is not None:
+            recorder.begin(self, resumed=resume is not None)
+        n_records = len(self.history.records)
         while len(self.clock):
             ev = self.clock.pop()
             payload = ev.data["event"]
             if isinstance(payload, Completion):
+                if recorder is not None:
+                    # before the handler: staleness reads the pre-apply version
+                    recorder.on_completion(self, payload, ev.time)
                 self.policy.on_completion(self, payload, ev.time)
             elif isinstance(payload, DeadlineTick):
+                if recorder is not None:
+                    recorder.on_tick(self, payload)
                 self.policy.on_deadline(self, payload)
             else:  # pragma: no cover - policies only post the two kinds above
                 raise TypeError(f"unknown event payload {payload!r}")
+            if len(self.history.records) > n_records:
+                # a round boundary: the next round's opening event is already
+                # in the heap, so a snapshot taken here resumes seamlessly
+                n_records = len(self.history.records)
+                if recorder is not None:
+                    recorder.on_round(self)
+                if (
+                    stop_after_rounds is not None
+                    and n_records >= stop_after_rounds
+                    and len(self.clock)
+                ):
+                    self.stopped = True
+                    if recorder is not None:
+                        recorder.on_stop(self)
+                    self.clock.clear()
+                    break
         self.policy.finish(self)
+        if recorder is not None:
+            recorder.finish(self)
         return self.history
 
 
@@ -505,6 +593,11 @@ class DeadlinePolicy(_RoundPolicy):
                 keep = int(np.argmin(latencies))
                 on_time[keep] = True
                 round_time = float(latencies[keep])
+                logger.warning(
+                    "round %d: no client met the %.2fs deadline; forcing the "
+                    "fastest (client %d, %.2fs) to avoid an empty round",
+                    r, deadline, int(selected[keep]), round_time,
+                )
             elif on_time.all():
                 round_time = float(latencies.max())
             else:
@@ -604,6 +697,11 @@ class DeadlinePolicy(_RoundPolicy):
             if r == cfg.rounds - 1 and self._pending_late:
                 # the server stops here; in-flight late updates are lost
                 rec.extras["n_abandoned"] = self._pending_late
+                logger.warning(
+                    "final round %d closed with %d trickled update(s) still "
+                    "in flight; they are abandoned",
+                    r, self._pending_late,
+                )
         do_eval = (r % cfg.eval_every == 0) or (r == cfg.rounds - 1)
         core.record(rec, do_eval, r)
         if core.verbose and not np.isnan(rec.test_accuracy):
@@ -759,7 +857,7 @@ class AsyncPolicy:
             )
             for d in self._pending
         ]
-        results = core.backend.run_jobs(jobs)
+        results = core.run_backend_jobs(jobs)
         for d, res in zip(self._pending, results):
             self._results[d.seq] = res
         self._pending = []

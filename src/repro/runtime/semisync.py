@@ -151,7 +151,13 @@ class SemiSyncFederatedSimulation:
         """Virtual response times of a cohort (unique stream per (round, k))."""
         return self._policy.round_latencies(self.ctx.num_clients, round_idx, selected)
 
-    def run(self, verbose: bool = False) -> History:
+    def run(
+        self,
+        verbose: bool = False,
+        recorder=None,
+        resume: dict | None = None,
+        stop_after_rounds: int | None = None,
+    ) -> History:
         owned = self._backend is None
         backend = (
             make_backend(self.backend_name, workers=self._workers)
@@ -175,7 +181,10 @@ class SemiSyncFederatedSimulation:
             backend=backend,
         )
         try:
-            history = core.run(verbose=verbose)
+            history = core.run(
+                verbose=verbose, recorder=recorder, resume=resume,
+                stop_after_rounds=stop_after_rounds,
+            )
         finally:
             if owned:
                 backend.close()

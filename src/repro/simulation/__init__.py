@@ -10,6 +10,10 @@ from repro.simulation.serialization import (
     load_checkpoint,
     save_history,
     load_history,
+    history_to_dict,
+    history_from_dict,
+    round_record_to_dict,
+    round_record_from_dict,
 )
 
 __all__ = [
@@ -29,4 +33,8 @@ __all__ = [
     "load_checkpoint",
     "save_history",
     "load_history",
+    "history_to_dict",
+    "history_from_dict",
+    "round_record_to_dict",
+    "round_record_from_dict",
 ]

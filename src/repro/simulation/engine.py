@@ -227,7 +227,13 @@ class FederatedSimulation:
         self._loss_builder = loss_builder
         self._sampler_builder = sampler_builder
 
-    def run(self, verbose: bool = False) -> History:
+    def run(
+        self,
+        verbose: bool = False,
+        recorder=None,
+        resume: dict | None = None,
+        stop_after_rounds: int | None = None,
+    ) -> History:
         # the round loop lives in the shared event core: synchronous rounds
         # are the barrier policy (zero-latency dispatches, a barrier tick
         # closing each round).  Imported lazily — repro.runtime builds on
@@ -258,7 +264,10 @@ class FederatedSimulation:
             backend=backend,
         )
         try:
-            history = core.run(verbose=verbose)
+            history = core.run(
+                verbose=verbose, recorder=recorder, resume=resume,
+                stop_after_rounds=stop_after_rounds,
+            )
         finally:
             if owned:
                 backend.close()

@@ -27,6 +27,10 @@ __all__ = [
     "load_checkpoint",
     "save_history",
     "load_history",
+    "history_to_dict",
+    "history_from_dict",
+    "round_record_to_dict",
+    "round_record_from_dict",
     "HISTORY_SCHEMA_VERSION",
 ]
 
@@ -76,68 +80,88 @@ def load_checkpoint(path: str, spec: ParamSpec | None = None) -> tuple[np.ndarra
     return x, meta
 
 
-def save_history(path: str, history: History) -> None:
-    """Persist a run history as schema-v2 JSON (arrays are tagged lists)."""
-    payload = {
+def round_record_to_dict(r: RoundRecord) -> dict:
+    """One record's strict-JSON form (the unit :func:`save_history` writes).
+
+    Shared with the run journal (:mod:`repro.observe`) and sweep dumps so
+    every persisted record speaks the same schema.
+    """
+    rec = {
+        "round": r.round,
+        "test_accuracy": _jsonable(r.test_accuracy),
+        "test_loss": _jsonable(r.test_loss),
+        "wall_time": r.wall_time,
+        "selected": r.selected.tolist() if r.selected is not None else None,
+        "per_class_accuracy": (
+            _nan_list(r.per_class_accuracy) if r.per_class_accuracy is not None else None
+        ),
+        "extras": {k: _encode_extra(v) for k, v in r.extras.items()},
+    }
+    if isinstance(r, TimedRoundRecord):
+        rec["kind"] = "timed"
+        for name in _TIMED_FIELDS:
+            rec[name] = getattr(r, name)
+    return rec
+
+
+def round_record_from_dict(rec: dict, schema: int = HISTORY_SCHEMA_VERSION) -> RoundRecord:
+    """Rebuild one record from :func:`round_record_to_dict` output."""
+    fields = dict(
+        round=rec["round"],
+        test_accuracy=_denan(rec["test_accuracy"]),
+        test_loss=_denan(rec["test_loss"]),
+        wall_time=rec.get("wall_time", 0.0),
+        selected=(
+            np.asarray(rec["selected"]) if rec.get("selected") is not None else None
+        ),
+        per_class_accuracy=(
+            np.array([_denan(v) for v in rec["per_class_accuracy"]])
+            if rec.get("per_class_accuracy") is not None
+            else None
+        ),
+        extras=(
+            {k: _decode_extra(v) for k, v in rec.get("extras", {}).items()}
+            if schema >= 2
+            else rec.get("extras", {})
+        ),
+    )
+    if rec.get("kind") == "timed":
+        for name in _TIMED_FIELDS:
+            fields[name] = rec.get(name, 0)
+        return TimedRoundRecord(**fields)
+    return RoundRecord(**fields)
+
+
+def history_to_dict(history: History) -> dict:
+    """Schema-v2 JSON-safe form of a whole history."""
+    return {
         "schema": HISTORY_SCHEMA_VERSION,
         "algorithm": history.algorithm,
-        "records": [],
+        "records": [round_record_to_dict(r) for r in history.records],
     }
-    for r in history.records:
-        rec = {
-            "round": r.round,
-            "test_accuracy": _jsonable(r.test_accuracy),
-            "test_loss": _jsonable(r.test_loss),
-            "wall_time": r.wall_time,
-            "selected": r.selected.tolist() if r.selected is not None else None,
-            "per_class_accuracy": (
-                _nan_list(r.per_class_accuracy) if r.per_class_accuracy is not None else None
-            ),
-            "extras": {k: _encode_extra(v) for k, v in r.extras.items()},
-        }
-        if isinstance(r, TimedRoundRecord):
-            rec["kind"] = "timed"
-            for name in _TIMED_FIELDS:
-                rec[name] = getattr(r, name)
-        payload["records"].append(rec)
+
+
+def history_from_dict(payload: dict) -> History:
+    """Rebuild a history from :func:`history_to_dict` output (v1 or v2)."""
+    schema = payload.get("schema", 1)
+    h = History(algorithm=payload["algorithm"])
+    h.records.extend(
+        round_record_from_dict(rec, schema=schema) for rec in payload["records"]
+    )
+    return h
+
+
+def save_history(path: str, history: History) -> None:
+    """Persist a run history as schema-v2 JSON (arrays are tagged lists)."""
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
     with open(path, "w") as f:
-        json.dump(payload, f, indent=1)
+        json.dump(history_to_dict(history), f, indent=1)
 
 
 def load_history(path: str) -> History:
     """Load a JSON history saved by :func:`save_history` (schema v1 or v2)."""
     with open(path) as f:
-        payload = json.load(f)
-    schema = payload.get("schema", 1)
-    h = History(algorithm=payload["algorithm"])
-    for rec in payload["records"]:
-        fields = dict(
-            round=rec["round"],
-            test_accuracy=_denan(rec["test_accuracy"]),
-            test_loss=_denan(rec["test_loss"]),
-            wall_time=rec.get("wall_time", 0.0),
-            selected=(
-                np.asarray(rec["selected"]) if rec.get("selected") is not None else None
-            ),
-            per_class_accuracy=(
-                np.array([_denan(v) for v in rec["per_class_accuracy"]])
-                if rec.get("per_class_accuracy") is not None
-                else None
-            ),
-            extras=(
-                {k: _decode_extra(v) for k, v in rec.get("extras", {}).items()}
-                if schema >= 2
-                else rec.get("extras", {})
-            ),
-        )
-        if rec.get("kind") == "timed":
-            for name in _TIMED_FIELDS:
-                fields[name] = rec.get(name, 0)
-            h.records.append(TimedRoundRecord(**fields))
-        else:
-            h.records.append(RoundRecord(**fields))
-    return h
+        return history_from_dict(json.load(f))
 
 
 def _encode_extra(v):

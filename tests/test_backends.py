@@ -186,40 +186,30 @@ class TestJobContract:
             resolve_backend(None, None, env=True)
 
     def test_undeclared_state_methods_refused_off_serial(self):
-        """Methods whose client state lives outside the pack/unpack and
-        broadcast_attrs contracts (FedGraB's balancers) would silently
-        diverge on worker replicas — every layer refuses them, and a
-        blanket REPRO_BACKEND default quietly falls back to serial."""
-        tiny = dict(
-            data=DataSpec(clients=6, scale=0.3, beta=0.3),
-            config=FLConfig(rounds=2, participation=0.5, local_epochs=1,
-                            max_batches_per_round=2, eval_every=1, seed=0),
-        )
+        """An algorithm whose client state lives outside the pack/unpack and
+        broadcast_attrs contracts would silently diverge on worker replicas —
+        the backend layer refuses it at engine-construction time.  (No
+        registry method trips this anymore: FedGraB's balancers now ride the
+        client-state contract, see test_fedgrab_balancers_cross_backends.)"""
+        from repro.parallel.backend import prepare_engine_backend
+
+        algo = make_method("fedavg")
+        algo.parallel_safe = False
         with pytest.raises(ValueError, match="outside the pack"):
-            ExperimentSpec(method=MethodSpec(name="fedgrab"),
-                           runtime=RuntimeSpec(backend="process", workers=2),
-                           **tiny)
-        with pytest.raises(ValueError, match="outside the pack"):
-            ExperimentSpec(method=MethodSpec(name="fedgrab"),
-                           runtime=RuntimeSpec(workers=2), **tiny)
-        # the env default is a blanket preference, not a per-method claim:
-        # it downgrades to serial and the results match the serial run
-        spec = ExperimentSpec(method=MethodSpec(name="fedgrab"), **tiny)
-        serial = run(spec)
-        import os
-        old = os.environ.get("REPRO_BACKEND")
-        os.environ["REPRO_BACKEND"] = "process"
-        try:
-            forced = run(spec)
-        finally:
-            if old is None:
-                del os.environ["REPRO_BACKEND"]
-            else:
-                os.environ["REPRO_BACKEND"] = old
-        np.testing.assert_array_equal(
-            serial.history.accuracy, forced.history.accuracy
-        )
-        np.testing.assert_array_equal(serial.final_params, forced.final_params)
+            prepare_engine_backend("process", 2, algo, lambda: None, None)
+        # the serial backend still runs it: no replicas, nothing to diverge
+        name, _, _ = prepare_engine_backend("serial", None, algo, None, None)
+        assert name == "serial"
+
+    @pytest.mark.parametrize("backend", ("process", "thread"))
+    def test_fedgrab_balancers_cross_backends(self, backend):
+        """FedGraB's per-client balancer accumulators ride the pack/unpack
+        client-state contract, so pool runs reproduce the serial trajectory
+        bit-for-bit (the accumulators feed every later participation)."""
+        serial = run(_spec("sync", method="fedgrab"))
+        pooled = run(_spec("sync", method="fedgrab", backend=backend))
+        assert_history_equal(pooled.history, serial.history)
+        np.testing.assert_array_equal(serial.final_params, pooled.final_params)
 
     def test_backend_name_case_normalized(self):
         with pytest.raises(ValueError, match="contradicts"):
