@@ -197,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("fixed", "staleness"),
                        help="async BatchNorm-buffer EMA: fixed 1/window blend, or "
                             "staleness-discounted 1/(window*(1+tau))")
+        p.add_argument("--streaming", action=argparse.BooleanOptionalAction,
+                       default=_SUPPRESS,
+                       help="async dispatch scheduling: submit each job to the "
+                            "backend eagerly (default; overlaps compute with "
+                            "event processing) or --no-streaming for lazy "
+                            "batches — histories are bit-identical either way")
 
     def add_outputs(p: argparse.ArgumentParser, timed: bool) -> None:
         if timed:
@@ -325,6 +331,7 @@ _ASYNC_MAP = (
     ("backend", "runtime.backend"),
     ("workers", "runtime.workers"),
     ("buffer_ema", "runtime.buffer_ema"),
+    ("streaming", "runtime.streaming"),
     ("sampler", "runtime.sampler"),
 )
 

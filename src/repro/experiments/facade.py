@@ -25,7 +25,7 @@ from repro.algorithms import AsyncAdapter, make_method, method_is_parallel_safe
 from repro.data import load_federated_dataset
 from repro.data.registry import FederatedDataset
 from repro.experiments.spec import ExperimentSpec
-from repro.parallel import resolve_backend
+from repro.parallel import resolve_backend, resolve_streaming
 from repro.nn import build_model, make_linear, make_mlp
 from repro.runtime import (
     AsyncFederatedSimulation,
@@ -269,6 +269,9 @@ def build(spec: ExperimentSpec):
         algo_builder=algo_builder,
         sampler=_build_sampler(spec, timed=True),
         buffer_ema=rt.buffer_ema,
+        # spec-driven runs opt into the REPRO_STREAMING environment default,
+        # mirroring the backend resolution above
+        streaming=resolve_streaming(rt.streaming, env=True),
         loss_builder=bundle.loss_builder if bundle is not None else None,
         sampler_builder=bundle.sampler_builder if bundle is not None else None,
     )

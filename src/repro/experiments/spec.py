@@ -72,9 +72,12 @@ KIND_FORBIDDEN_KNOBS: dict[str, tuple[str, ...]] = {
     "sync": (
         "latency", "price_comm", "deadline", "adaptive_deadline",
         "late_weight", "late_policy", "concurrency", "staleness_budget",
-        "max_updates", "buffer_ema",
+        "max_updates", "buffer_ema", "streaming",
     ),
-    "semisync": ("concurrency", "staleness_budget", "max_updates", "buffer_ema"),
+    "semisync": (
+        "concurrency", "staleness_budget", "max_updates", "buffer_ema",
+        "streaming",
+    ),
     "fedasync": ("deadline", "adaptive_deadline", "late_weight", "late_policy"),
     "fedbuff": ("deadline", "adaptive_deadline", "late_weight", "late_policy"),
 }
@@ -220,6 +223,14 @@ class RuntimeSpec:
             (1/window blend, default) or ``"staleness"`` (stale arrivals
             discounted at ``1/(window * (1 + tau))``, mirroring the
             parameter rule).
+        streaming: async dispatch scheduling — True submits each dispatch's
+            job to the backend the moment it is issued (overlapping worker
+            compute with event processing), False accumulates lazy batches,
+            None (default) resolves via the ``REPRO_STREAMING`` environment
+            variable, else on.  Histories are bit-identical either way (the
+            knob only trades wall-clock overlap), and the serial backend
+            always uses the lazy-batch path; round engines (sync/semisync)
+            submit whole cohorts regardless, so the knob is async-only.
         record: attach a :class:`~repro.observe.RunRecorder`: every typed
             event becomes a ``journal.jsonl`` record under ``run_dir`` and
             round boundaries snapshot resumable state (valid for every
@@ -244,6 +255,7 @@ class RuntimeSpec:
     backend: str = "auto"
     workers: int | None = None
     buffer_ema: str = "fixed"
+    streaming: bool | None = None
     record: bool = False
     run_dir: str | None = None
 
@@ -359,6 +371,7 @@ class RuntimeSpec:
             "staleness_budget": self.staleness_budget is not None,
             "max_updates": self.max_updates is not None,
             "buffer_ema": self.buffer_ema != "fixed",
+            "streaming": self.streaming is not None,
         }
         bad = [k for k in KIND_FORBIDDEN_KNOBS[self.kind] if set_knobs[k]]
         if bad:

@@ -180,12 +180,17 @@ class RunRecorder:
                 wall=time.time(),
             )
         else:
+            # streaming is an async-policy property; round policies are batch
+            streaming_active = getattr(core.policy, "_streaming_active", None)
             self.emit(
                 "meta",
                 schema=JOURNAL_SCHEMA_VERSION,
                 algorithm=core.history.algorithm,
                 policy=type(core.policy).__name__,
                 backend=core.backend.name,
+                streaming=bool(streaming_active(core))
+                if streaming_active is not None
+                else False,
                 num_clients=core.ctx.num_clients,
                 seed=core.ctx.config.seed,
                 rounds_planned=core.ctx.config.rounds,

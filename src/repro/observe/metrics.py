@@ -250,6 +250,7 @@ class MetricsStore:
             "algorithm": self.meta.get("algorithm"),
             "policy": self.meta.get("policy"),
             "backend": self.meta.get("backend"),
+            "streaming": self.meta.get("streaming"),
             "n_rounds": self.n_rounds,
             "n_dispatches": self.n_dispatches,
             "n_completions": self.n_completions,
@@ -280,7 +281,9 @@ class MetricsStore:
         state = "finished" if d["ended"] else ("stopped" if d["stopped"] else "running")
         lines = [
             f"run:        {d['algorithm']} / {d['policy']} / "
-            f"backend={d['backend']}  [{state}]"
+            f"backend={d['backend']}"
+            + ("+stream" if d["streaming"] else "")
+            + f"  [{state}]"
             + (f"  (+{d['resumes']} resume)" if d["resumes"] else ""),
             f"rounds:     {d['n_rounds']}   completions: {d['n_completions']}"
             f"   snapshots: {d['snapshots']}   warnings: {d['n_warnings']}",

@@ -90,6 +90,12 @@ def restore_component(obj, state: dict | None) -> None:
 
 def snapshot_core(core) -> dict:
     """Capture a resumable image of the core at a round boundary."""
+    prepare = getattr(core.policy, "prepare_snapshot", None)
+    if prepare is not None:
+        # streaming policies hold backend job handles whose futures cannot
+        # be pickled; they materialize outstanding results first (jobs are
+        # pure, so collecting early only changes wall-clock overlap)
+        prepare(core)
     store = core.state_store
     model = core.ctx.model
     return {

@@ -1,7 +1,9 @@
 """Parallel execution substrate mirroring the paper's multi-GPU setup.
 
 :mod:`repro.parallel.backend` is the pluggable execution layer every engine
-speaks (the :class:`ClientJob` -> :class:`ClientResult` contract);
+speaks — the :class:`ClientJob` -> :class:`ClientResult` contract, handed
+over through the streaming ``submit(job) -> JobHandle`` /
+``collect(handles)`` interface (``run_jobs`` remains as a batch shim);
 :mod:`repro.parallel.pool` keeps the lower-level fork-pool primitives
 (:func:`parallel_map`, the per-round :class:`ParallelClientRunner`).
 """
@@ -11,18 +13,21 @@ from repro.parallel.backend import (
     ClientJob,
     ClientResult,
     ExecutionBackend,
+    JobHandle,
     ProcessPoolBackend,
     SerialBackend,
     ThreadBackend,
     execute_job,
     make_backend,
     resolve_backend,
+    resolve_streaming,
 )
 from repro.parallel.pool import ParallelClientRunner, parallel_map, resolve_workers
 
 __all__ = [
     "ClientJob",
     "ClientResult",
+    "JobHandle",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
@@ -30,6 +35,7 @@ __all__ = [
     "BACKENDS",
     "make_backend",
     "resolve_backend",
+    "resolve_streaming",
     "execute_job",
     "ParallelClientRunner",
     "parallel_map",

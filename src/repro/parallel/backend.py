@@ -29,21 +29,41 @@ The contract makes every job a pure function of its inputs::
   ``broadcast_attrs``; ``None`` when the executing algorithm instance is
   the live one.
 
+The execution interface is *streaming*: work is handed over one job at a
+time and results are picked up as they finish, so an engine can overlap
+worker compute with its own event processing::
+
+    handle = backend.submit(job)              # returns immediately
+    pairs  = backend.collect([handle, ...],   # [(handle, result), ...]
+                             block=True)      # block=False: only the ready ones
+
+:meth:`ExecutionBackend.run_jobs` remains as a batch compatibility shim on
+the base class (submit everything, collect in submit order).  Third-party
+backends that only override ``run_jobs`` keep working through a base-class
+fallback — submits queue up and the first blocking collect runs them as one
+batch — but draw a :class:`DeprecationWarning`: implement ``submit`` /
+``collect`` instead.
+
 Because jobs are pure, the three implementations are interchangeable and
 bit-identical (``tests/test_backends.py`` pins this across all four engine
-kinds):
+kinds, batch and streaming):
 
 * :class:`SerialBackend` — in-process against the engine's live context and
-  algorithm; the default, and the reference semantics.
+  algorithm; the default, and the reference semantics.  ``submit`` executes
+  eagerly (there is nothing to overlap with in one process).
 * :class:`ProcessPoolBackend` — a fork-based process pool whose workers
-  accept and return packed state and buffer dicts (the rework of the old
-  ``ParallelClientRunner.run_jobs`` path, which could ship neither).
+  accept and return packed state and buffer dicts; ``submit`` is a true
+  asynchronous hand-off (``Pool.apply_async``).
 * :class:`ThreadBackend` — per-thread replicas; no fork, cheap to spin up —
-  meant for smoke/CI runs and platforms without ``fork``.
+  meant for smoke/CI runs and platforms without ``fork``; ``submit`` returns
+  a live future.
 
-Backends double as coarse-grained parallel mappers (:meth:`ExecutionBackend.map`)
-so :func:`repro.experiments.run_sweep` can dispatch whole grid points
-through the same abstraction.
+Backends have an explicit lifecycle — ``bind`` → submit/collect →
+``close()`` — and double as context managers, so a run that raises
+mid-stream still reaps its worker pool.  They also double as coarse-grained
+parallel mappers (:meth:`ExecutionBackend.map`) so
+:func:`repro.experiments.run_sweep` can dispatch whole grid points through
+the same abstraction.
 """
 
 from __future__ import annotations
@@ -55,7 +75,7 @@ import threading
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 import numpy as np
@@ -67,6 +87,7 @@ from repro.simulation.engine import attach_train_loss
 __all__ = [
     "ClientJob",
     "ClientResult",
+    "JobHandle",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
@@ -74,6 +95,7 @@ __all__ = [
     "BACKENDS",
     "make_backend",
     "resolve_backend",
+    "resolve_streaming",
     "prepare_engine_backend",
     "execute_job",
     "warn_on_replica_config_mismatch",
@@ -136,6 +158,23 @@ class ClientResult:
     buffers: dict | None = field(default=None, repr=False)
     train_loss: float | None = None
     timing: dict | None = field(default=None, repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class JobHandle:
+    """Ticket for one submitted :class:`ClientJob`.
+
+    Identity (hash/equality) is the backend-local submission sequence
+    number, so handles work as dictionary keys on both sides of the
+    contract; the job rides along (as actually submitted, timing stamps
+    included) for journaling at collect time.  Handles are plain data —
+    the backend keeps the future/async-result internally — so policies can
+    hold them across checkpoints without dragging live resources into
+    pickles.
+    """
+
+    seq: int
+    job: ClientJob = field(repr=False, compare=False)
 
 
 def execute_job(ctx: SimulationContext, algorithm, job: ClientJob) -> ClientResult:
@@ -254,19 +293,31 @@ class ExecutionBackend:
 
     Life cycle: construct (cheap, picks a worker count), :meth:`bind` to a
     problem (the engine's context plus replica builders — this is where
-    pools spin up), :meth:`run_jobs` any number of times, :meth:`close`.
-    :meth:`map` needs no binding and is usable stand-alone for sweeps.
+    pools spin up), :meth:`submit` / :meth:`collect` any number of times,
+    :meth:`close` (or use the backend as a context manager).  :meth:`map`
+    needs no binding and is usable stand-alone for sweeps.
+
+    Subclasses implement :meth:`submit` and :meth:`collect`;
+    :meth:`run_jobs` is a batch compatibility shim over them.  Legacy
+    subclasses that only override ``run_jobs`` keep working — the base
+    ``submit`` queues jobs and the first blocking ``collect`` runs them as
+    one batch — but draw a :class:`DeprecationWarning`.
 
     Attributes:
         shares_state: True when jobs run against the engine's *live*
             algorithm and model, so engine-side state is visible to jobs
             without being shipped through the job contract.  Engines use
             this to skip packing client/broadcast state for the serial
-            backend.
+            backend, and to keep lazy-batch dispatch (there is nothing to
+            overlap with when compute runs in the engine's own process).
     """
 
     name = "base"
     shares_state = False
+    # class-level defaults so subclasses need not call super().__init__();
+    # the first mutation creates the instance attribute
+    _handle_seq = 0
+    _warned_legacy = False
 
     def bind(
         self,
@@ -279,8 +330,103 @@ class ExecutionBackend:
     ) -> "ExecutionBackend":
         raise NotImplementedError
 
+    # -- the streaming contract ----------------------------------------------
+    def submit(self, job: ClientJob) -> JobHandle:
+        """Hand one job to the backend; return immediately with a handle.
+
+        Implementations stamp ``submitted_at`` (via :meth:`_stamp`) the
+        moment the job is accepted, so ``queue_wait_s`` measures real
+        queueing — unless the caller stamped an earlier anchor already
+        (a policy measuring from dispatch time).
+
+        Base-class behavior is the legacy fallback: jobs queue up and the
+        first blocking :meth:`collect` pushes them through the subclass's
+        ``run_jobs`` as one batch.
+        """
+        if type(self).run_jobs is ExecutionBackend.run_jobs:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither submit()/collect() "
+                "nor run_jobs()"
+            )
+        if not self._warned_legacy:
+            self._warned_legacy = True
+            warnings.warn(
+                f"{type(self).__name__} only overrides run_jobs(); the batch "
+                "API is deprecated — implement submit()/collect() (jobs will "
+                "run as one batch at the first blocking collect)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        handle = self._make_handle(self._stamp(job))
+        self._legacy_pending[handle] = handle.job
+        return handle
+
+    def collect(
+        self, handles: Sequence[JobHandle] | None = None, block: bool = True
+    ) -> list[tuple[JobHandle, ClientResult]]:
+        """Completed ``(handle, result)`` pairs for submitted jobs.
+
+        Args:
+            handles: which jobs to collect, in the order the pairs should
+                come back; None means every outstanding job, in submit
+                order.  Each handle is returned at most once across calls.
+            block: wait for every requested job (the default); ``False``
+                returns only the ones already finished.
+
+        Base-class behavior (legacy fallback): a blocking collect runs all
+        queued jobs through ``run_jobs`` first; a non-blocking one returns
+        only results computed by an earlier blocking call.
+        """
+        if block and self._legacy_pending:
+            pending = self._legacy_pending
+            results = self.run_jobs(list(pending.values()))
+            self._legacy_done.update(zip(list(pending), results))
+            pending.clear()
+        return self._take(self._legacy_done, handles, block)
+
     def run_jobs(self, jobs: Sequence[ClientJob]) -> list[ClientResult]:
-        raise NotImplementedError
+        """Batch compatibility shim: submit every job, collect in order.
+
+        Engines call :meth:`submit` / :meth:`collect` directly; this remains
+        for callers that genuinely want batch semantics (round cohorts,
+        tests) and for source compatibility with pre-streaming code.
+        """
+        handles = [self.submit(job) for job in jobs]
+        return [res for _, res in self.collect(handles, block=True)]
+
+    # -- helpers shared by implementations -----------------------------------
+    def _make_handle(self, job: ClientJob) -> JobHandle:
+        seq = self._handle_seq
+        self._handle_seq = seq + 1
+        return JobHandle(seq, job)
+
+    @staticmethod
+    def _stamp(job: ClientJob) -> ClientJob:
+        """Anchor ``submitted_at`` now, unless the caller anchored earlier."""
+        if job.collect_timing and job.submitted_at is None:
+            return replace(job, submitted_at=time.monotonic())
+        return job
+
+    @staticmethod
+    def _take(
+        done: dict, handles: Sequence[JobHandle] | None, block: bool
+    ) -> list[tuple[JobHandle, ClientResult]]:
+        """Pop completed results for ``handles`` (None: all) out of ``done``."""
+        out = []
+        for h in list(done) if handles is None else handles:
+            if h in done:
+                out.append((h, done.pop(h)))
+            elif block:
+                raise KeyError(f"unknown or already-collected handle {h!r}")
+        return out
+
+    @property
+    def _legacy_pending(self) -> dict:
+        return self.__dict__.setdefault("_legacy_pending_jobs", {})
+
+    @property
+    def _legacy_done(self) -> dict:
+        return self.__dict__.setdefault("_legacy_done_jobs", {})
 
     def map(self, fn: Callable, items: list) -> list:
         """Order-preserving parallel map over coarse-grained items."""
@@ -298,7 +444,12 @@ class ExecutionBackend:
 
 class SerialBackend(ExecutionBackend):
     """In-process execution against the live context — the reference
-    semantics every other backend must reproduce bit-for-bit."""
+    semantics every other backend must reproduce bit-for-bit.
+
+    ``submit`` executes eagerly: a single process has nothing to overlap
+    compute with, and running at submission time preserves the live-state
+    mutation order synchronous rounds rely on.
+    """
 
     name = "serial"
     shares_state = True
@@ -307,15 +458,28 @@ class SerialBackend(ExecutionBackend):
         # accepts (and ignores) a worker count so make_backend is uniform
         self._ctx: SimulationContext | None = None
         self._algo = None
+        self._done: dict[JobHandle, ClientResult] = {}
 
     def bind(self, ctx, algorithm, model_builder=None, algo_builder=None,
              loss_builder=None, sampler_builder=None) -> "SerialBackend":
         self._ctx = ctx
         self._algo = algorithm
+        self._done = {}
         return self
 
-    def run_jobs(self, jobs: Sequence[ClientJob]) -> list[ClientResult]:
-        return [_run_job_timed(self._ctx, self._algo, job) for job in jobs]
+    def submit(self, job: ClientJob) -> JobHandle:
+        if self._ctx is None:
+            raise RuntimeError("SerialBackend.submit before bind()")
+        handle = self._make_handle(self._stamp(job))
+        self._done[handle] = _run_job_timed(self._ctx, self._algo, handle.job)
+        return handle
+
+    def collect(self, handles=None, block=True):
+        # everything completed at submit time; block never has to wait
+        return self._take(self._done, handles, block)
+
+    def close(self) -> None:
+        self._done = {}
 
     def map(self, fn: Callable, items: list) -> list:
         return [fn(item) for item in items]
@@ -356,6 +520,7 @@ class ProcessPoolBackend(ExecutionBackend):
     def __init__(self, workers: int | None = None) -> None:
         self.workers = resolve_workers(workers)
         self._pool = None
+        self._inflight: dict[JobHandle, mp.pool.AsyncResult] = {}
 
     def bind(self, ctx, algorithm, model_builder=None, algo_builder=None,
              loss_builder=None, sampler_builder=None) -> "ProcessPoolBackend":
@@ -375,10 +540,32 @@ class ProcessPoolBackend(ExecutionBackend):
         )
         return self
 
-    def run_jobs(self, jobs: Sequence[ClientJob]) -> list[ClientResult]:
+    def submit(self, job: ClientJob) -> JobHandle:
         if self._pool is None:
-            raise RuntimeError("ProcessPoolBackend.run_jobs before bind()")
-        return self._pool.map(_pool_worker_run, list(jobs))
+            raise RuntimeError("ProcessPoolBackend.submit before bind()")
+        handle = self._make_handle(self._stamp(job))
+        self._inflight[handle] = self._pool.apply_async(
+            _pool_worker_run, (handle.job,)
+        )
+        return handle
+
+    def collect(self, handles=None, block=True):
+        out = []
+        for h in list(self._inflight) if handles is None else handles:
+            try:
+                async_res = self._inflight[h]
+            except KeyError:
+                if block:
+                    raise KeyError(
+                        f"unknown or already-collected handle {h!r}"
+                    ) from None
+                continue
+            if not block and not async_res.ready():
+                continue
+            result = async_res.get()  # re-raises a worker exception here
+            del self._inflight[h]
+            out.append((h, result))
+        return out
 
     def map(self, fn: Callable, items: list) -> list:
         # coarse-grained sweep map: a transient pool, independent of bind()
@@ -386,9 +573,15 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.close()
+            if self._inflight:
+                # a run died with work still in flight: terminate instead of
+                # draining, so the fork pool is reaped rather than leaked
+                self._pool.terminate()
+            else:
+                self._pool.close()
             self._pool.join()
             self._pool = None
+        self._inflight = {}
 
 
 class ThreadBackend(ExecutionBackend):
@@ -408,6 +601,7 @@ class ThreadBackend(ExecutionBackend):
         self._local = threading.local()
         self._builders = None
         self._executor: ThreadPoolExecutor | None = None
+        self._inflight: dict[JobHandle, object] = {}
 
     def bind(self, ctx, algorithm, model_builder=None, algo_builder=None,
              loss_builder=None, sampler_builder=None) -> "ThreadBackend":
@@ -441,10 +635,30 @@ class ThreadBackend(ExecutionBackend):
         ctx, algo = self._replica()
         return _run_job_timed(ctx, algo, job)
 
-    def run_jobs(self, jobs: Sequence[ClientJob]) -> list[ClientResult]:
+    def submit(self, job: ClientJob) -> JobHandle:
         if self._executor is None:
-            raise RuntimeError("ThreadBackend.run_jobs before bind()")
-        return list(self._executor.map(self._run_one, jobs))
+            raise RuntimeError("ThreadBackend.submit before bind()")
+        handle = self._make_handle(self._stamp(job))
+        self._inflight[handle] = self._executor.submit(self._run_one, handle.job)
+        return handle
+
+    def collect(self, handles=None, block=True):
+        out = []
+        for h in list(self._inflight) if handles is None else handles:
+            try:
+                fut = self._inflight[h]
+            except KeyError:
+                if block:
+                    raise KeyError(
+                        f"unknown or already-collected handle {h!r}"
+                    ) from None
+                continue
+            if not block and not fut.done():
+                continue
+            result = fut.result()  # re-raises a worker exception here
+            del self._inflight[h]
+            out.append((h, result))
+        return out
 
     def map(self, fn: Callable, items: list) -> list:
         # usable unbound (sweeps): a transient executor preserves order
@@ -455,8 +669,11 @@ class ThreadBackend(ExecutionBackend):
 
     def close(self) -> None:
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            # cancel whatever never started so close() after a failed run
+            # does not sit draining a queue nobody will collect
+            self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+        self._inflight = {}
 
 
 BACKENDS: dict[str, type] = {
@@ -549,3 +766,31 @@ def resolve_backend(
     if workers is not None and workers > 1:
         return "serial" if daemon else "process"
     return "serial"
+
+
+def resolve_streaming(streaming: bool | None = None, env: bool = False) -> bool:
+    """Resolve the async engines' streaming-dispatch flag.
+
+    Precedence: explicit ``streaming`` (True/False) > the
+    ``REPRO_STREAMING`` environment variable (only when ``env=True`` — the
+    spec facade opts in, mirroring ``REPRO_BACKEND``; direct engine
+    construction does not) > on.  Streaming and lazy-batch dispatch produce
+    bit-identical histories — every job is stamped from dispatch-time state
+    — so the default is the overlap win; the knob exists for apples-to-
+    apples wall-clock comparison and as an escape hatch.  Backends that
+    share live state (serial) always keep the lazy-batch path regardless.
+    """
+    if streaming is not None:
+        return bool(streaming)
+    if env:
+        raw = os.environ.get("REPRO_STREAMING", "").strip().lower()
+        if raw:
+            if raw in ("1", "true", "on", "yes"):
+                return True
+            if raw in ("0", "false", "off", "no"):
+                return False
+            raise ValueError(
+                f"REPRO_STREAMING must be boolean-like (1/0/true/false/on/off), "
+                f"got {raw!r}"
+            )
+    return True

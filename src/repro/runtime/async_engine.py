@@ -17,13 +17,17 @@ against synchronous baselines — per round *and* per simulated second.
 Determinism and parallelism: every client RNG stream is keyed by the
 dispatch sequence number, and event ties break on schedule order, so the
 run is a pure function of the seed.  Client compute goes through a
-pluggable :class:`~repro.parallel.backend.ExecutionBackend` — the engine
-batches dispatches lazily (training is computed at first need), which lets
-FedBuff-style runs parallelise near-perfectly on the process-pool or
-thread backends while remaining bit-identical to the serial schedule.
-Because jobs carry packed client state and buffer dicts, stateful methods
-(SCAFFOLD, FedDyn via :class:`~repro.algorithms.AsyncAdapter`) and
-BatchNorm buffer tracking work on *every* backend.
+pluggable :class:`~repro.parallel.backend.ExecutionBackend`.  With
+``streaming`` on (the default) each dispatch's job is *submitted* to the
+backend the moment it is issued and collected when its virtual completion
+pops, overlapping worker compute with event processing on the pool
+backends; with streaming off (or on the serial backend) the engine batches
+dispatches lazily (training is computed at first need).  Both paths build
+jobs from dispatch-time state and apply results in virtual-time order, so
+their histories are bit-identical.  Because jobs carry packed client state
+and buffer dicts, stateful methods (SCAFFOLD, FedDyn via
+:class:`~repro.algorithms.AsyncAdapter`) and BatchNorm buffer tracking
+work on *every* backend.
 
 The loop itself lives in :class:`repro.runtime.events.AsyncPolicy`; this
 class is the construction-and-validation facade.  Beyond plain FedAsync /
@@ -57,6 +61,7 @@ from repro.parallel.backend import (
     ExecutionBackend,
     make_backend,
     prepare_engine_backend,
+    resolve_streaming,
 )
 from repro.runtime.clock import ConstantLatency, LatencyModel
 from repro.runtime.events import BUFFER_EMA_MODES, AsyncPolicy, EventCore
@@ -108,6 +113,11 @@ class AsyncFederatedSimulation:
             uniform idle draw.
         buffer_ema: ``"fixed"`` (1/window blend, default) or ``"staleness"``
             (stale arrivals discounted like the parameter rule).
+        streaming: submit each dispatch's job to the backend eagerly (True,
+            the default) or accumulate lazy batches (False); None resolves
+            to the default.  Histories are bit-identical either way — the
+            knob only trades wall-clock overlap — and the serial backend
+            always uses the lazy-batch path.
         loss_builder / sampler_builder / metric_hooks: as the sync engine.
 
     Notes:
@@ -132,6 +142,7 @@ class AsyncFederatedSimulation:
         algo_builder: Callable | None = None,
         sampler=None,
         buffer_ema: str = "fixed",
+        streaming: bool | None = None,
         loss_builder=None,
         sampler_builder=None,
         metric_hooks: Sequence = (),
@@ -175,6 +186,7 @@ class AsyncFederatedSimulation:
         if self.max_updates < 1:
             raise ValueError(f"max_updates must be >= 1, got {self.max_updates}")
         self.buffer_ema = buffer_ema
+        self.streaming = resolve_streaming(streaming)
         self._workers = workers
         self.backend_name, self._backend, self._algo_builder = prepare_engine_backend(
             backend, workers, algorithm, model_builder, algo_builder
@@ -207,14 +219,6 @@ class AsyncFederatedSimulation:
             if owned
             else self._backend
         )
-        backend.bind(
-            self.ctx,
-            self.algorithm,
-            model_builder=self._model_builder,
-            algo_builder=self._algo_builder,
-            loss_builder=self._loss_builder,
-            sampler_builder=self._sampler_builder,
-        )
         policy = AsyncPolicy(
             self.latency_model,
             window=self.window,
@@ -223,12 +227,23 @@ class AsyncFederatedSimulation:
             concurrency_controller=self.concurrency_controller,
             sampler=self.sampler,
             buffer_ema=self.buffer_ema,
+            streaming=self.streaming,
         )
         core = EventCore(
             self.ctx, self.algorithm, policy, metric_hooks=self.metric_hooks,
             backend=backend,
         )
+        # bind inside the guard: a failed bind (or run) must still reap an
+        # owned backend's workers instead of leaking the fork pool
         try:
+            backend.bind(
+                self.ctx,
+                self.algorithm,
+                model_builder=self._model_builder,
+                algo_builder=self._algo_builder,
+                loss_builder=self._loss_builder,
+                sampler_builder=self._sampler_builder,
+            )
             history = core.run(
                 verbose=verbose, recorder=recorder, resume=resume,
                 stop_after_rounds=stop_after_rounds,

@@ -36,7 +36,11 @@ params + packed client state + buffers + broadcast state) and the backend
 — serial, process pool, or threads — executes them with identical
 semantics, so stateful methods and BatchNorm buffer tracking work on every
 backend and the histories are bit-identical across them
-(``tests/test_backends.py``).
+(``tests/test_backends.py``).  The hand-off is streaming
+(``submit``/``collect`` through :meth:`EventCore.submit_job` /
+:meth:`EventCore.collect_jobs`): the async policy submits each job as its
+dispatch is issued, overlapping worker compute with event processing,
+while round policies submit whole cohorts and collect at the barrier.
 
 Events are typed (:class:`Dispatch`, :class:`Completion`,
 :class:`DeadlineTick`) and ride the deterministic
@@ -124,8 +128,9 @@ class Completion:
     Round policies precompute ``update`` when the dispatch is issued (their
     compute order is the cohort order, not the arrival order — that is what
     keeps buffer averaging and aggregation sums bit-identical to the
-    synchronous loops); the async policy resolves updates lazily through the
-    core's batched trainer.
+    synchronous loops); the async policy resolves updates through the
+    backend at completion time — submitted eagerly under streaming
+    dispatch, or as a lazy batch.
     """
 
     dispatch: Dispatch
@@ -282,26 +287,41 @@ class EventCore:
             for r, k in pairs
         ]
 
-    def run_backend_jobs(self, jobs: list[ClientJob]) -> list:
-        """The single choke point between policies and the backend.
+    def submit_job(self, job: ClientJob):
+        """Submit one job to the backend; returns its ``JobHandle``.
 
-        When a recorder is attached, each job is stamped to collect timing
-        (queue wait, compute wall, pickle size — measured *inside* the
-        backend, next to the work) and the results' timing dicts become
-        ``job`` journal records.  Unrecorded runs pass jobs through
-        untouched, so the hot path pays nothing.
+        The streaming half of the policy/backend choke point: when a
+        recorder is attached the job is stamped to collect timing.  The
+        queue-wait anchor is whichever came first — a policy stamping at
+        dispatch time, this method, or the backend's own submit-time stamp —
+        so journal records report real queueing on every path.
         """
+        if self.recorder is not None and not job.collect_timing:
+            job = replace(job, collect_timing=True, submitted_at=time.monotonic())
+        return self.backend.submit(job)
+
+    def collect_jobs(self, handles=None, block: bool = True) -> list:
+        """Collect completed ``(handle, result)`` pairs from the backend.
+
+        The collecting half of the choke point: each collected job's timing
+        dict becomes a ``job`` journal record the moment it lands.
+        """
+        pairs = self.backend.collect(handles, block=block)
         rec = self.recorder
         if rec is not None:
-            jobs = [
-                replace(job, collect_timing=True, submitted_at=time.monotonic())
-                for job in jobs
-            ]
-        results = self.backend.run_jobs(jobs)
-        if rec is not None:
-            for job, res in zip(jobs, results):
-                rec.on_job(self, job, res)
-        return results
+            for handle, res in pairs:
+                rec.on_job(self, handle.job, res)
+        return pairs
+
+    def run_backend_jobs(self, jobs: list[ClientJob]) -> list:
+        """Batch both halves: submit every job, collect in submit order.
+
+        Round policies (whole-cohort compute) and the async lazy flush go
+        through here; unrecorded runs pass jobs through untouched, so the
+        hot path pays nothing.
+        """
+        handles = [self.submit_job(job) for job in jobs]
+        return [res for _, res in self.collect_jobs(handles, block=True)]
 
     def run_cohort(self, round_idx: int, clients) -> list:
         """Execute one round's cohort through the backend, in cohort order.
@@ -740,6 +760,18 @@ class AsyncPolicy:
       constant rate ``1/window``; ``"staleness"`` discounts stale arrivals
       at ``1/(window * (1 + tau))``, mirroring the parameter rule's
       polynomial staleness treatment.
+
+    Compute scheduling: every dispatch builds its :class:`ClientJob` from
+    *dispatch-time* server state (broadcast vector, packed client state, a
+    copy of the buffer EMA, packed broadcast state).  With ``streaming``
+    on (the default) and a backend that does not share live state, the job
+    is submitted the moment the dispatch is issued — workers compute while
+    the event loop keeps processing — and ``on_completion`` collects it
+    when its virtual arrival pops.  With streaming off (or on the serial
+    backend) jobs accumulate and run as one lazy batch at first need.
+    Because the job inputs are identical either way and results always
+    apply in virtual-time completion order, the two paths produce
+    bit-identical histories (``tests/test_backends.py`` pins this).
     """
 
     uses_state_store = True
@@ -753,6 +785,7 @@ class AsyncPolicy:
         concurrency_controller=None,
         sampler=None,
         buffer_ema: str = "fixed",
+        streaming: bool = True,
     ) -> None:
         if buffer_ema not in BUFFER_EMA_MODES:
             raise ValueError(
@@ -765,6 +798,11 @@ class AsyncPolicy:
         self.concurrency_controller = concurrency_controller
         self.sampler = sampler
         self.buffer_ema = buffer_ema
+        self.streaming = bool(streaming)
+        # set here as well as in begin() so resumed runs (begin is skipped;
+        # pre-streaming snapshots carry neither attribute) stay runnable
+        self._handles: dict[int, object] = {}
+        self._jobs: dict[int, ClientJob] = {}
 
     # -- lifecycle -----------------------------------------------------------
     def begin(self, core: EventCore) -> None:
@@ -778,6 +816,8 @@ class AsyncPolicy:
         self._in_flight: dict[int, Dispatch] = {}
         self._pending: list[Dispatch] = []
         self._results: dict[int, tuple] = {}
+        self._handles = {}
+        self._jobs = {}
         self._busy: dict[int, int] = {}
         self._state = {"dispatched": 0, "version": 0, "applied": 0}
         self._completed = 0
@@ -826,38 +866,106 @@ class AsyncPolicy:
         )
         core.post(lat, Completion(d, float(lat)), client_id=cid)
         self._in_flight[seq] = d
-        self._pending.append(d)
         busy[cid] = busy.get(cid, 0) + 1
+        job = self._make_job(core, d)
+        if self._streaming_active(core):
+            # eager hand-off: workers start computing while the event loop
+            # keeps processing; the result still applies at virtual arrival
+            self._handles[seq] = core.submit_job(job)
+        else:
+            self._pending.append(d)
+            self._jobs[seq] = job
+
+    def _make_job(self, core: EventCore, d: Dispatch) -> ClientJob:
+        """Build the dispatch's job from *dispatch-time* server state.
+
+        Every input is stamped when the dispatch is issued: the broadcast
+        vector and client state come off the dispatch, the buffer EMA is
+        copied (it mutates in place as later completions land) and the
+        broadcast state packed (a deep copy).  Streaming and lazy-batch
+        execution therefore see identical inputs, which is what keeps their
+        histories bit-identical.
+        """
+        buffers = (
+            {k: v.copy() for k, v in self._buffers.items()}
+            if self._buffers is not None
+            else None
+        )
+        job = ClientJob(
+            round_idx=d.round_idx,
+            client_id=d.client_id,
+            x_ref=d.x_ref,
+            client_state=d.state,
+            buffers=buffers,
+            broadcast_state=core.algorithm.pack_broadcast_state() or None,
+        )
+        if core.recorder is not None:
+            # queue wait anchors at dispatch — when the work logically
+            # enqueues — not at whenever a lazy flush reaches the backend
+            job = replace(job, collect_timing=True, submitted_at=time.monotonic())
+        return job
+
+    def _streaming_active(self, core: EventCore) -> bool:
+        # live-state backends keep the lazy-batch path: in-process compute
+        # has nothing to overlap with, and batching amortizes bookkeeping
+        return self.streaming and not core.backend.shares_state
+
+    def _drain(self, core: EventCore, block: bool = False) -> None:
+        """Move finished streaming jobs from the backend into ``_results``."""
+        if not self._handles:
+            return
+        by_handle = {h: seq for seq, h in self._handles.items()}
+        for handle, res in core.collect_jobs(list(by_handle), block=block):
+            seq = by_handle[handle]
+            self._results[seq] = res
+            del self._handles[seq]
+
+    def _obtain(self, core: EventCore, seq: int):
+        """The result for dispatch ``seq``: cached, collected, or computed."""
+        if seq in self._results:
+            return self._results.pop(seq)
+        if seq in self._handles:
+            # sweep everything already finished, then wait on the one needed
+            self._drain(core, block=False)
+            if seq not in self._handles:
+                return self._results.pop(seq)
+            handle = self._handles.pop(seq)
+            ((_, res),) = core.collect_jobs([handle], block=True)
+            return res
+        self.flush(core)
+        return self._results.pop(seq)
+
+    def prepare_snapshot(self, core: EventCore) -> None:
+        """Materialize in-flight streaming jobs before state is pickled.
+
+        Backend futures are not picklable.  Jobs are pure functions of
+        their stamped inputs, so collecting them early changes nothing but
+        wall-clock overlap; lazy-batch jobs (``_jobs``) are plain data and
+        simply ride the snapshot.
+        """
+        self._drain(core, block=True)
 
     def flush(self, core: EventCore) -> None:
         """Compute every pending dispatch through the execution backend.
 
-        Training is lazy — dispatches accumulate until a completion needs
-        its result — so FedBuff-style runs (where the broadcast vector
-        changes only every K arrivals) batch many jobs per backend call and
-        parallelise near-perfectly while remaining bit-identical to the
-        serial schedule.  This is the *only* compute path: every job carries
-        its broadcast vector, packed client state and the server's current
-        buffer estimate, and the backend (serial, process pool, threads)
-        executes it with identical semantics.
+        The lazy-batch path (streaming off, and always the serial backend):
+        dispatches accumulate until a completion needs a result, so
+        FedBuff-style runs batch many jobs per backend call.  Jobs carry
+        dispatch-time broadcast state; when the backend executes against
+        the *live* algorithm those stale snapshots unpack into it, so the
+        current server state is saved first and restored after the batch.
         """
         if not self._pending:
             return
-        bstate = None
-        if not core.backend.shares_state:
-            bstate = core.algorithm.pack_broadcast_state() or None
-        jobs = [
-            ClientJob(
-                round_idx=d.round_idx,
-                client_id=d.client_id,
-                x_ref=d.x_ref,
-                client_state=d.state,
-                buffers=self._buffers,
-                broadcast_state=bstate,
-            )
-            for d in self._pending
-        ]
+        jobs = [self._jobs.pop(d.seq) for d in self._pending]
+        restore = None
+        if core.backend.shares_state and any(
+            j.broadcast_state is not None for j in jobs
+        ):
+            restore = core.algorithm.pack_broadcast_state()
         results = core.run_backend_jobs(jobs)
+        if restore is not None:
+            core.algorithm.unpack_broadcast_state(restore)
         for d, res in zip(self._pending, results):
             self._results[d.seq] = res
         self._pending = []
@@ -867,9 +975,7 @@ class AsyncPolicy:
         ctx, algo = core.ctx, core.algorithm
         st = self._state
         seq = comp.dispatch.seq
-        if seq not in self._results:
-            self.flush(core)
-        res = self._results.pop(seq)
+        res = self._obtain(core, seq)
         update, new_state, client_bufs = res.update, res.new_state, res.buffers
         d = self._in_flight.pop(seq)
         cid = d.client_id

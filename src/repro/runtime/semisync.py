@@ -164,14 +164,6 @@ class SemiSyncFederatedSimulation:
             if owned
             else self._backend
         )
-        backend.bind(
-            self.ctx,
-            self.algorithm,
-            model_builder=self._model_builder,
-            algo_builder=self._algo_builder,
-            loss_builder=self._loss_builder,
-            sampler_builder=self._sampler_builder,
-        )
         core = EventCore(
             self.ctx,
             self.algorithm,
@@ -180,7 +172,17 @@ class SemiSyncFederatedSimulation:
             client_sampler=self.client_sampler,
             backend=backend,
         )
+        # bind inside the guard: a failed bind (or run) must still reap an
+        # owned backend's workers instead of leaking the fork pool
         try:
+            backend.bind(
+                self.ctx,
+                self.algorithm,
+                model_builder=self._model_builder,
+                algo_builder=self._algo_builder,
+                loss_builder=self._loss_builder,
+                sampler_builder=self._sampler_builder,
+            )
             history = core.run(
                 verbose=verbose, recorder=recorder, resume=resume,
                 stop_after_rounds=stop_after_rounds,

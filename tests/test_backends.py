@@ -9,6 +9,10 @@ worker-pool path could not run at all.
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import time
+import warnings
+
 import numpy as np
 import pytest
 
@@ -29,14 +33,17 @@ from repro.nn import make_mlp
 from repro.parallel import (
     BACKENDS,
     ClientJob,
+    ClientResult,
+    ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
     ThreadBackend,
     make_backend,
     resolve_backend,
+    resolve_streaming,
 )
 from repro.runtime import AsyncFederatedSimulation, LognormalLatency
-from repro.simulation import FLConfig
+from repro.simulation import FederatedSimulation, FLConfig
 
 KINDS = ("sync", "semisync", "fedasync", "fedbuff")
 BACKEND_NAMES = ("serial", "process", "thread")
@@ -226,6 +233,314 @@ class TestJobContract:
                 make_method("fedasync").algorithm, make_mlp(32, 10, seed=0),
                 ds, FLConfig(rounds=2), backend="process",
             )
+
+
+class TestStreamingEquivalence:
+    """Streaming dispatch must be invisible in results: every history and
+    final parameter vector bit-identical to the lazy-batch path, because
+    both modes stamp all job inputs at dispatch time."""
+
+    @pytest.mark.parametrize("kind", ("fedasync", "fedbuff"))
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_stream_matches_batch(self, kind, backend):
+        stream = run(_spec(kind, backend=backend, streaming=True))
+        batch = run(_spec(kind, backend=backend, streaming=False))
+        assert_history_equal(stream.history, batch.history)
+        np.testing.assert_array_equal(stream.final_params, batch.final_params)
+
+    @pytest.mark.parametrize("kind,method,kwargs", [
+        ("fedbuff", "scaffold", {"buffer_size": 3}),  # packed client state
+        ("fedasync", "feddyn", None),                 # stateful duals
+    ])
+    def test_stream_matches_batch_stateful(self, kind, method, kwargs):
+        stream = run(_spec(kind, method=method, method_kwargs=kwargs,
+                           backend="process", streaming=True))
+        batch = run(_spec(kind, method=method, method_kwargs=kwargs,
+                          backend="process", streaming=False))
+        assert_history_equal(stream.history, batch.history)
+        np.testing.assert_array_equal(stream.final_params, batch.final_params)
+
+    @pytest.mark.parametrize("kind", ("sync", "semisync"))
+    def test_round_kinds_unaffected_by_streaming_env(self, kind, monkeypatch):
+        """Round policies dispatch whole cohorts (submit+collect is already
+        eager there): the ambient REPRO_STREAMING default must be a no-op."""
+        monkeypatch.setenv("REPRO_STREAMING", "1")
+        on = run(_spec(kind, backend="thread"))
+        monkeypatch.setenv("REPRO_STREAMING", "0")
+        off = run(_spec(kind, backend="thread"))
+        assert_history_equal(on.history, off.history)
+        np.testing.assert_array_equal(on.final_params, off.final_params)
+
+    def test_streaming_knob_forbidden_for_round_kinds(self):
+        with pytest.raises(ValueError, match="streaming"):
+            RuntimeSpec(kind="sync", streaming=True)
+        with pytest.raises(ValueError, match="streaming"):
+            RuntimeSpec(kind="semisync", streaming=False)
+
+    def test_resolve_streaming_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STREAMING", raising=False)
+        assert resolve_streaming(None) is True
+        assert resolve_streaming(False) is False
+        monkeypatch.setenv("REPRO_STREAMING", "0")
+        # env applies only to opted-in (spec facade) resolution ...
+        assert resolve_streaming(None) is True
+        assert resolve_streaming(None, env=True) is False
+        # ... and an explicit value always wins
+        assert resolve_streaming(True, env=True) is True
+        monkeypatch.setenv("REPRO_STREAMING", "maybe")
+        with pytest.raises(ValueError, match="REPRO_STREAMING"):
+            resolve_streaming(None, env=True)
+
+
+class _LegacyOnlyBackend(ExecutionBackend):
+    """Third-party style backend that predates submit/collect."""
+
+    name = "legacy"
+
+    def run_jobs(self, jobs):
+        return [ClientResult(update=("ran", j.client_id)) for j in jobs]
+
+
+class _HollowBackend(ExecutionBackend):
+    name = "hollow"
+
+
+class TestStreamingAPI:
+    """The submit/collect contract itself: ordering, blocking semantics,
+    submission-time stamping, and the legacy run_jobs fallback."""
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        ds = load_federated_dataset(
+            "fashion-mnist-lite", imbalance_factor=0.3, beta=0.3,
+            num_clients=6, seed=0, scale=0.3,
+        )
+        cfg = FLConfig(rounds=1, participation=0.5, local_epochs=1, seed=0,
+                       max_batches_per_round=2, batch_size=10)
+        return ds, cfg
+
+    def _bound(self, name, ds, cfg):
+        from repro.simulation.context import SimulationContext
+
+        ctx = SimulationContext(make_mlp(32, 10, seed=0), ds, cfg)
+        algo = make_method("fedavg").algorithm
+        algo.setup(ctx)
+        backend = make_backend(name, workers=2)
+        backend.bind(ctx, algo, model_builder=lambda: make_mlp(32, 10, seed=0))
+        return ctx, backend
+
+    def _jobs(self, ctx, n=6, **kw):
+        return [
+            ClientJob(round_idx=0, client_id=k % ctx.num_clients,
+                      x_ref=ctx.x0.copy(), **kw)
+            for k in range(n)
+        ]
+
+    @pytest.fixture(scope="class")
+    def reference(self, problem):
+        """Serial displacements, the purity baseline for every backend."""
+        ds, cfg = problem
+        ctx, backend = self._bound("serial", ds, cfg)
+        with backend:
+            results = backend.run_jobs(self._jobs(ctx))
+        return [r.update.displacement for r in results]
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_out_of_order_collect(self, name, problem, reference):
+        """Jobs submitted up front can be collected singly, in reverse, and
+        still map handle -> the right result; each handle comes back once."""
+        ds, cfg = problem
+        ctx, backend = self._bound(name, ds, cfg)
+        with backend:
+            handles = [backend.submit(j) for j in self._jobs(ctx)]
+            for i in reversed(range(len(handles))):
+                ((h, res),) = backend.collect([handles[i]], block=True)
+                assert h == handles[i]
+                np.testing.assert_array_equal(
+                    res.update.displacement, reference[i]
+                )
+            # every handle is returned at most once across calls
+            assert backend.collect(handles, block=False) == []
+            with pytest.raises(KeyError, match="handle"):
+                backend.collect([handles[0]], block=True)
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_collect_all_outstanding_in_submit_order(self, name, problem,
+                                                     reference):
+        ds, cfg = problem
+        ctx, backend = self._bound(name, ds, cfg)
+        with backend:
+            handles = [backend.submit(j) for j in self._jobs(ctx)]
+            pairs = backend.collect(block=True)  # handles=None: everything
+            assert [h for h, _ in pairs] == handles
+            for (_, res), disp in zip(pairs, reference):
+                np.testing.assert_array_equal(res.update.displacement, disp)
+
+    def test_nonblocking_drain(self, problem, reference):
+        """block=False never waits: polling it eventually surfaces every
+        result exactly once (the pattern AsyncPolicy._drain relies on)."""
+        ds, cfg = problem
+        ctx, backend = self._bound("process", ds, cfg)
+        with backend:
+            handles = [backend.submit(j) for j in self._jobs(ctx)]
+            got = {}
+            deadline = time.monotonic() + 120
+            while len(got) < len(handles) and time.monotonic() < deadline:
+                for h, res in backend.collect(block=False):
+                    assert h not in got
+                    got[h] = res
+            assert len(got) == len(handles)
+            for h, disp in zip(handles, reference):
+                np.testing.assert_array_equal(
+                    got[h].update.displacement, disp
+                )
+
+    def test_serial_submit_is_eager(self, problem):
+        ds, cfg = problem
+        ctx, backend = self._bound("serial", ds, cfg)
+        with backend:
+            handles = [backend.submit(j) for j in self._jobs(ctx, n=3)]
+            # everything already finished: a non-blocking collect drains all
+            assert len(backend.collect(handles, block=False)) == 3
+
+    def test_submit_stamps_submitted_at(self, problem):
+        """The queue-wait anchor is set at submission (not at flush), unless
+        the caller anchored an earlier dispatch time itself."""
+        ds, cfg = problem
+        ctx, backend = self._bound("serial", ds, cfg)
+        with backend:
+            (job,) = self._jobs(ctx, n=1, collect_timing=True)
+            assert job.submitted_at is None
+            h = backend.submit(job)
+            assert h.job.submitted_at is not None
+            ((_, res),) = backend.collect([h])
+            assert res.timing["queue_wait_s"] >= 0.0
+            assert res.timing["compute_s"] > 0.0
+            # a caller-provided (earlier) anchor survives submission
+            anchor = time.monotonic() - 1.0
+            (early,) = self._jobs(ctx, n=1, collect_timing=True,
+                                  submitted_at=anchor)
+            h2 = backend.submit(early)
+            assert h2.job.submitted_at == anchor
+            ((_, res2),) = backend.collect([h2])
+            assert res2.timing["queue_wait_s"] >= 1.0
+
+    def test_pool_timing_measures_real_queue_wait(self, problem):
+        ds, cfg = problem
+        ctx, backend = self._bound("process", ds, cfg)
+        with backend:
+            handles = [
+                backend.submit(j)
+                for j in self._jobs(ctx, n=4, collect_timing=True)
+            ]
+            for _, res in backend.collect(handles, block=True):
+                assert res.timing["queue_wait_s"] >= 0.0
+                assert res.timing["compute_s"] > 0.0
+                assert res.timing["pickle_bytes"] > 0
+
+    def test_legacy_run_jobs_backend_falls_back(self):
+        backend = _LegacyOnlyBackend()
+        jobs = [
+            ClientJob(round_idx=0, client_id=k, x_ref=np.zeros(1))
+            for k in range(3)
+        ]
+        with pytest.warns(DeprecationWarning, match="run_jobs"):
+            handles = [backend.submit(j) for j in jobs]
+        # nothing ran yet; a non-blocking collect has nothing to return
+        assert backend.collect(handles, block=False) == []
+        pairs = backend.collect(handles, block=True)
+        assert [h for h, _ in pairs] == handles
+        assert [r.update for _, r in pairs] == [
+            ("ran", 0), ("ran", 1), ("ran", 2)]
+
+    def test_legacy_warns_once(self):
+        backend = _LegacyOnlyBackend()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for j in range(3):
+                backend.submit(
+                    ClientJob(round_idx=0, client_id=j, x_ref=np.zeros(1))
+                )
+        assert sum(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        ) == 1
+
+    def test_backend_with_neither_api_raises(self):
+        job = ClientJob(round_idx=0, client_id=0, x_ref=np.zeros(1))
+        with pytest.raises(NotImplementedError, match="neither"):
+            _HollowBackend().submit(job)
+        with pytest.raises(NotImplementedError, match="neither"):
+            _HollowBackend().run_jobs([job])
+
+
+class TestBackendLifecycle:
+    """bind -> submit/collect -> close; worker reaping on failure paths."""
+
+    @pytest.fixture()
+    def problem(self):
+        ds = load_federated_dataset(
+            "fashion-mnist-lite", imbalance_factor=0.3, beta=0.3,
+            num_clients=6, seed=0, scale=0.3,
+        )
+        cfg = FLConfig(rounds=1, participation=0.5, local_epochs=1, seed=0,
+                       max_batches_per_round=2, batch_size=10, eval_every=1)
+        return ds, cfg
+
+    @staticmethod
+    def _leaked(before: set) -> set:
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            leaked = {p.pid for p in mp.active_children()} - before
+            if not leaked:
+                return set()
+            time.sleep(0.05)
+        return leaked
+
+    def test_context_manager_reaps_inflight_workers(self, problem):
+        """Leaving the with-block with uncollected jobs terminates (not
+        drains) the fork pool — no orphaned workers, no hang."""
+        ds, cfg = problem
+        from repro.simulation.context import SimulationContext
+
+        ctx = SimulationContext(make_mlp(32, 10, seed=0), ds, cfg)
+        algo = make_method("fedavg").algorithm
+        algo.setup(ctx)
+        before = {p.pid for p in mp.active_children()}
+        with make_backend("process", workers=2) as backend:
+            backend.bind(ctx, algo,
+                         model_builder=lambda: make_mlp(32, 10, seed=0))
+            for k in range(4):
+                backend.submit(ClientJob(round_idx=0, client_id=k,
+                                         x_ref=ctx.x0.copy()))
+        assert backend._pool is None
+        assert self._leaked(before) == set()
+
+    def test_close_is_idempotent_and_prebind_safe(self):
+        backend = make_backend("process", workers=2)
+        backend.close()  # never bound
+        backend.close()
+        thread = make_backend("thread", workers=2)
+        thread.close()
+        thread.close()
+
+    def test_engine_reaps_workers_when_run_raises(self, problem):
+        """A failed run must not leak the owned backend's fork pool — the
+        engines bind and run inside a close() guard."""
+        ds, cfg = problem
+
+        def boom(ctx, round_idx, x, extras):
+            raise RuntimeError("boom")
+
+        sim = FederatedSimulation(
+            make_method("fedavg").algorithm, make_mlp(32, 10, seed=0), ds,
+            cfg, backend="process", workers=2,
+            model_builder=lambda: make_mlp(32, 10, seed=0),
+            metric_hooks=[boom],
+        )
+        before = {p.pid for p in mp.active_children()}
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        assert self._leaked(before) == set()
 
 
 class TestStateVersioning:
