@@ -27,10 +27,12 @@ committed full-size snapshot so it regenerates byte-for-byte):
   :class:`~repro.runtime.scheduling.FastFirstSampler` replacing the async
   engine's uniform idle draw;
 
-and pins two execution-layer invariants with PASS/FAIL verdicts: the
-process pool reproduces serial histories bit-for-bit, and streaming
+and pins three execution-layer invariants with PASS/FAIL verdicts: the
+process pool reproduces serial histories bit-for-bit, streaming
 dispatch (``runtime.streaming``) matches batch dispatch exactly while
-finishing in less wall clock on the pool.
+finishing in less wall clock on the pool, and the federation service
+(``backend="remote"``: jobs crossing a real TCP link to ``repro worker``
+subprocesses) reproduces serial histories bit-for-bit too.
 
 Every variant is a declarative :class:`~repro.experiments.ExperimentSpec` —
 dotted-path overrides of one shared base spec — executed through the
@@ -52,6 +54,9 @@ from __future__ import annotations
 
 import argparse
 import os
+import socket
+import subprocess
+import sys
 import tempfile
 import time
 
@@ -73,6 +78,24 @@ _FULL = dict(clients=20, scale=0.5, rounds=40, participation=0.25,
              local_epochs=2, max_batches=8)
 _SMOKE = dict(clients=10, scale=0.3, rounds=10, participation=0.3,
               local_epochs=1, max_batches=4)
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _spawn_worker(address: str) -> subprocess.Popen:
+    """One `repro worker` subprocess joining the bench's aggregator."""
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--connect", address,
+         "--retry", "90"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, env=env,
+    )
 
 
 def base_spec(smoke: bool, seed: int = 0) -> ExperimentSpec:
@@ -356,6 +379,55 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
         ok = ok and stream_ok
+        # the federation service: the same fedbuff+scaffold spec with every
+        # job crossing a real TCP link to two `repro worker` subprocesses —
+        # requeue/heartbeat machinery idle here, pure happy-path transport —
+        # and the history must still be bit-identical to the serial reference
+        address = f"127.0.0.1:{_free_port()}"
+        remote_spec = base.override_many([
+            ("name", "fedbuff-scaffold-remote"),
+            *scaffold_buff,
+            ("runtime.backend", "remote"),
+            ("runtime.backend_address", address),
+            ("runtime.workers", 2),
+        ])
+        workers = [_spawn_worker(address) for _ in range(2)]
+        try:
+            t0 = time.perf_counter()
+            remote_r = run(remote_spec)
+            t_remote = time.perf_counter() - t0
+        finally:
+            for p in workers:
+                try:
+                    p.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    p.kill()
+        t0 = time.perf_counter()
+        serial_rerun = run(base.override_many(
+            [("name", "fedbuff-scaffold-serial"), *scaffold_buff]
+        ))
+        t_serial = time.perf_counter() - t0
+        remote_same = bool(
+            np.array_equal(serial_rerun.history.accuracy,
+                           remote_r.history.accuracy, equal_nan=True)
+            and np.array_equal(serial_rerun.final_params, remote_r.final_params)
+        )
+        verdict += (
+            "\nfedbuff+scaffold remote workers == serial: "
+            f"{'PASS' if remote_same else 'FAIL'} "
+            f"(2 worker subprocesses over TCP, "
+            f"final={remote_r.final_accuracy:.4f})\n"
+            + format_table(
+                "remote vs serial (wall seconds, same spec; remote wall "
+                "includes worker start-up)",
+                ["variant", "wall_s", "final", "virt_time_s"],
+                [["remote(2 workers)", t_remote, remote_r.final_accuracy,
+                  remote_r.total_virtual_time],
+                 ["serial", t_serial, serial_rerun.final_accuracy,
+                  serial_rerun.total_virtual_time]],
+            )
+        )
+        ok = ok and remote_same
 
     series = {
         name: (

@@ -14,6 +14,10 @@ Commands:
 * ``runtime``  — event-driven run under a virtual clock: ``fedasync`` /
                  ``fedbuff`` asynchronous aggregation or ``semisync``
                  deadline-based rounds, with pluggable client latency models.
+* ``serve``    — federation aggregator: the same event-driven run as
+                 ``runtime``, but client jobs execute on remote worker
+                 processes over TCP (``runtime.backend="remote"``).
+* ``worker``   — join a ``serve`` aggregator as a compute worker.
 * ``watch``    — tail a recorded run's journal: rolling aggregates
                  (``--summary``) or live follow mode (``-f``).
 * ``compare``  — race several methods on one problem (a spec sweep over
@@ -39,6 +43,9 @@ Examples::
     python -m repro runtime --algorithm semisync --deadline 2.5 --late-policy trickle
     python -m repro runtime --algorithm fedbuff --base-method scaffold \\
         --backend process --workers 4
+    python -m repro serve --address 0.0.0.0:7700 --workers 2 \\
+        --algorithm fedbuff --base-method scaffold
+    python -m repro worker --connect aggregator-host:7700
     python -m repro sweep --grid method.name=fedavg,fedcm \\
         --grid config.seed=0,1,2 --backend process --workers 4 --out sweep.json
     python -m repro spec dump --algorithm fedbuff --latency pareto > my_spec.json
@@ -265,6 +272,38 @@ def build_parser() -> argparse.ArgumentParser:
     add_outputs(rt_p, timed=True)
     add_observe(rt_p)
 
+    serve_p = sub.add_parser(
+        "serve", help="federation aggregator: event-driven run on remote workers"
+    )
+    serve_p.add_argument("--address", required=True, metavar="HOST:PORT",
+                         help="address to listen on (port 0 = ephemeral); "
+                              "workers join with `repro worker --connect`")
+    serve_p.add_argument("--heartbeat-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="worker heartbeat period (default: 1.0)")
+    serve_p.add_argument("--heartbeat-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="silence after which a worker is declared dead and "
+                              "its in-flight jobs requeued (default: 5.0)")
+    serve_p.add_argument("--worker-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="how long to wait for the first --workers "
+                              "registrations before failing (default: 60)")
+    add_common(serve_p)
+    add_runtime_flags(serve_p, kinds=("fedasync", "fedbuff", "semisync"),
+                      default_kind="fedbuff")
+    add_outputs(serve_p, timed=True)
+    add_observe(serve_p)
+
+    worker_p = sub.add_parser(
+        "worker", help="join a `repro serve` aggregator as a compute worker"
+    )
+    worker_p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="the aggregator's address")
+    worker_p.add_argument("--retry", type=float, default=30.0, metavar="SECONDS",
+                          help="keep retrying the initial connect this long "
+                               "while the aggregator is not up yet (default: 30)")
+
     watch_p = sub.add_parser(
         "watch", help="tail a recorded run's journal (metrics + progress)"
     )
@@ -342,7 +381,7 @@ def _resolve_kind(args, base: ExperimentSpec) -> str:
     if kind is None:
         if args.config is not None:
             return base.runtime.kind
-        kind = "fedasync" if args.command == "runtime" else "sync"
+        kind = {"runtime": "fedasync", "serve": "fedbuff"}.get(args.command, "sync")
     return kind
 
 
@@ -416,7 +455,7 @@ def spec_from_args(args) -> ExperimentSpec:
     else:
         if hasattr(args, "latency"):
             items.append(("runtime.latency", args.latency))
-        elif args.config is None and args.command in ("runtime", "spec"):
+        elif args.config is None and args.command in ("runtime", "serve", "spec"):
             # `spec dump` must assemble the same spec `runtime` would run
             items.append(("runtime.latency", "lognormal"))
         if hasattr(args, "latency_scale"):
@@ -572,6 +611,51 @@ def cmd_runtime(args) -> int:
         return 2
     _warn_unused_runtime_flags(args, spec.runtime.kind)
     return _execute(args, spec, verbose=True)
+
+
+def cmd_serve(args) -> int:
+    backend = getattr(args, "backend", None)
+    if backend not in (None, "auto", "remote"):
+        print(
+            f"error: repro serve always runs on the remote backend; "
+            f"drop --backend {backend}",
+            file=sys.stderr,
+        )
+        return 2
+    spec = _assemble(args)
+    if spec is None:
+        return 2
+    try:
+        spec = spec.override_many([
+            ("runtime.backend", "remote"),
+            ("runtime.backend_address", args.address),
+        ])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # deployment knobs travel to the service via its env defaults
+    for flag, env in (
+        ("heartbeat_interval", "REPRO_NET_HEARTBEAT"),
+        ("heartbeat_timeout", "REPRO_NET_HEARTBEAT_TIMEOUT"),
+        ("worker_timeout", "REPRO_NET_WORKER_TIMEOUT"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            os.environ[env] = str(value)
+    _warn_unused_runtime_flags(args, spec.runtime.kind)
+    return _execute(args, spec, verbose=True)
+
+
+def cmd_worker(args) -> int:
+    from repro.net import run_worker
+    from repro.net.framing import parse_address
+
+    try:
+        parse_address(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return run_worker(args.connect, connect_timeout=args.retry)
 
 
 def cmd_compare(args) -> int:
@@ -783,6 +867,8 @@ def main(argv: list[str] | None = None) -> int:
             "compare": cmd_compare,
             "sweep": cmd_sweep,
             "runtime": cmd_runtime,
+            "serve": cmd_serve,
+            "worker": cmd_worker,
             "watch": cmd_watch,
             "spec": cmd_spec,
             "methods": cmd_methods,

@@ -22,6 +22,7 @@ from repro.experiments.facade import (
     RunResult,
     build,
     build_problem,
+    replica_builders,
     resolve_model_alias,
     resume_run,
     run,
@@ -54,6 +55,7 @@ __all__ = [
     "resolve_model_alias",
     "build",
     "build_problem",
+    "replica_builders",
     "run",
     "resume_run",
     "expand",

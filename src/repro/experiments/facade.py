@@ -43,6 +43,7 @@ __all__ = [
     "MODEL_ALIASES",
     "build",
     "build_problem",
+    "replica_builders",
     "resolve_model_alias",
     "run",
     "resume_run",
@@ -130,14 +131,50 @@ def build_problem(
     return ds, model_builder, cfg
 
 
-def _method_builder(spec: ExperimentSpec) -> Callable:
-    """Zero-arg algorithm factory for worker replicas (sync/semisync kinds)."""
-    name, kwargs = spec.method.name, dict(spec.method.kwargs)
+# async kinds wrap foreign methods in an AsyncAdapter; the rule's own knobs
+# may ride in method.kwargs and are routed to the rule, the rest to the method
+_ASYNC_RULE_KEYS = {
+    "fedasync": ("mixing", "staleness_exponent"),
+    "fedbuff": ("buffer_size", "staleness_exponent"),
+}
+
+
+def replica_builders(
+    spec: ExperimentSpec,
+) -> tuple[Callable, Callable | None, Callable | None]:
+    """``(algo_builder, loss_builder, sampler_builder)`` for worker replicas.
+
+    The single source of how an executing algorithm instance is constructed
+    for ``spec`` — :func:`build` uses it for the engine's live instance and
+    its pool replicas, and :class:`repro.net.worker.WorkerClient` uses it to
+    rebuild the *same* replica from a spec shipped over the wire, which is
+    what keeps remote execution bit-identical to the serial reference.
+    """
+    kind = spec.runtime.kind
+    mname, mkwargs = spec.method.name, dict(spec.method.kwargs)
+    if kind in _ASYNC_RULE_KEYS and mname.lower() != kind:
+        rule_kwargs = {
+            k: mkwargs.pop(k) for k in _ASYNC_RULE_KEYS[kind] if k in mkwargs
+        }
+        bundle = make_method(mname, **mkwargs)
+
+        def algo_builder():
+            return AsyncAdapter(
+                make_method(mname, **mkwargs).algorithm,
+                make_method(kind, **rule_kwargs).algorithm,
+            )
+
+        return algo_builder, bundle.loss_builder, bundle.sampler_builder
 
     def algo_builder():
-        return make_method(name, **kwargs).algorithm
+        return make_method(mname, **mkwargs).algorithm
 
-    return algo_builder
+    if kind in _ASYNC_RULE_KEYS:
+        # plain fedasync/fedbuff: the engines get no loss/sampler builders
+        # (the kinds' own rules declare none), matching build() exactly
+        return algo_builder, None, None
+    bundle = make_method(mname, **mkwargs)
+    return algo_builder, bundle.loss_builder, bundle.sampler_builder
 
 
 def _build_sampler(spec: ExperimentSpec, timed: bool):
@@ -166,12 +203,23 @@ def build(spec: ExperimentSpec):
     ds, model_builder, cfg = build_problem(spec)
     # spec-driven runs opt into the REPRO_BACKEND environment default
     # ("auto" resolution); direct engine construction does not
-    backend = resolve_backend(rt.backend, rt.workers, env=True)
-    if backend != "serial" and not method_is_parallel_safe(spec.method.name):
+    backend_name = resolve_backend(rt.backend, rt.workers, env=True)
+    if backend_name != "serial" and not method_is_parallel_safe(spec.method.name):
         # spec validation already rejects an *explicit* non-serial backend
         # for such methods, so reaching here means a blanket REPRO_BACKEND
         # default — quietly keep the only backend that runs them correctly
-        backend = "serial"
+        backend_name = "serial"
+    backend: "str | object" = backend_name
+    if backend_name == "remote":
+        # the remote backend needs run-scoped configuration a bare name
+        # cannot carry: the listen address and the spec itself (shipped to
+        # workers in the WELCOME handshake so they rebuild replicas).  The
+        # instance is engine_owned — engines close it at the end of run()
+        from repro.net import RemoteBackend
+
+        backend = RemoteBackend(
+            workers=rt.workers, address=rt.backend_address, spec=spec
+        )
 
     def make_latency():
         # price_comm must reach the engine even under the default latency:
@@ -184,31 +232,33 @@ def build(spec: ExperimentSpec):
             **rt.latency_kwargs,
         )
 
+    # worker replicas (pool, thread, remote) and the engine's live instance
+    # are constructed the same way — replica_builders is the single source
+    algo_builder, loss_builder, sampler_builder = replica_builders(spec)
+
     if rt.kind == "sync":
-        bundle = make_method(spec.method.name, **spec.method.kwargs)
         return FederatedSimulation(
-            bundle.algorithm,
+            algo_builder(),
             model_builder(),
             ds,
             cfg,
             backend=backend,
             workers=rt.workers,
             model_builder=model_builder,
-            algo_builder=_method_builder(spec),
-            loss_builder=bundle.loss_builder,
-            sampler_builder=bundle.sampler_builder,
+            algo_builder=algo_builder,
+            loss_builder=loss_builder,
+            sampler_builder=sampler_builder,
             client_sampler=_build_sampler(spec, timed=False),
         )
 
     if rt.kind == "semisync":
-        bundle = make_method(spec.method.name, **spec.method.kwargs)
         deadline = rt.deadline
         if rt.adaptive_deadline is not None:
             deadline = DeadlineController(
                 target_drop_rate=rt.adaptive_deadline, initial=rt.deadline
             )
         return SemiSyncFederatedSimulation(
-            bundle.algorithm,
+            algo_builder(),
             model_builder(),
             ds,
             cfg,
@@ -219,37 +269,11 @@ def build(spec: ExperimentSpec):
             backend=backend,
             workers=rt.workers,
             model_builder=model_builder,
-            algo_builder=_method_builder(spec),
-            loss_builder=bundle.loss_builder,
-            sampler_builder=bundle.sampler_builder,
+            algo_builder=algo_builder,
+            loss_builder=loss_builder,
+            sampler_builder=sampler_builder,
             client_sampler=_build_sampler(spec, timed=True),
         )
-
-    # fedasync / fedbuff: the method registry rebuilds the algorithm for
-    # worker replicas with the exact same hyper-parameters.  A method other
-    # than the kind itself runs its local rule under the kind's server rule
-    # via an AsyncAdapter; the rule's knobs may ride in method.kwargs and are
-    # routed to the rule, everything else to the base method.
-    kind = rt.kind
-    mname, mkwargs = spec.method.name, dict(spec.method.kwargs)
-    if mname.lower() == kind:
-        def algo_builder():
-            return make_method(mname, **mkwargs).algorithm
-
-        bundle = None
-    else:
-        rule_keys = {
-            "fedasync": ("mixing", "staleness_exponent"),
-            "fedbuff": ("buffer_size", "staleness_exponent"),
-        }[kind]
-        rule_kwargs = {k: mkwargs.pop(k) for k in rule_keys if k in mkwargs}
-        bundle = make_method(mname, **mkwargs)
-
-        def algo_builder():
-            return AsyncAdapter(
-                make_method(mname, **mkwargs).algorithm,
-                make_method(kind, **rule_kwargs).algorithm,
-            )
 
     controller = None
     if rt.staleness_budget is not None:
@@ -272,8 +296,8 @@ def build(spec: ExperimentSpec):
         # spec-driven runs opt into the REPRO_STREAMING environment default,
         # mirroring the backend resolution above
         streaming=resolve_streaming(rt.streaming, env=True),
-        loss_builder=bundle.loss_builder if bundle is not None else None,
-        sampler_builder=bundle.sampler_builder if bundle is not None else None,
+        loss_builder=loss_builder,
+        sampler_builder=sampler_builder,
     )
 
 

@@ -211,14 +211,24 @@ class RuntimeSpec:
         staleness_budget: AIMD concurrency control target (None = fixed).
         max_updates: async total client updates (None = rounds x cohort).
         backend: execution backend for client compute, any engine kind —
-            ``"serial"``, ``"process"`` (fork pool), ``"thread"``, or
-            ``"auto"`` (default): the ``REPRO_BACKEND`` environment
-            variable if set, else ``"process"`` when ``workers`` asks for
-            more than one, else ``"serial"``.  Stateful methods and
-            BatchNorm buffers run bit-identically on every backend (packed
-            state rides the job contract).
+            ``"serial"``, ``"process"`` (fork pool), ``"thread"``,
+            ``"remote"`` (the :mod:`repro.net` federation service: this
+            process listens on ``backend_address`` and jobs execute on
+            ``repro worker`` processes over TCP), or ``"auto"`` (default):
+            the ``REPRO_BACKEND`` environment variable if set, else
+            ``"process"`` when ``workers`` asks for more than one, else
+            ``"serial"``.  Stateful methods and BatchNorm buffers run
+            bit-identically on every backend (packed state rides the job
+            contract).
+        backend_address: ``"host:port"`` the remote backend's aggregator
+            listens on (port 0 = OS-assigned); only meaningful with
+            ``backend="remote"`` (or ``"auto"`` resolving there via
+            ``REPRO_BACKEND=remote``).  ``None`` with ``backend="remote"``
+            falls back to ``REPRO_BACKEND_ADDRESS`` at run time.
         workers: worker count for pool backends (None = the backend default:
-            ``REPRO_MAX_WORKERS`` or the capped CPU count).
+            ``REPRO_MAX_WORKERS`` or the capped CPU count); for
+            ``backend="remote"`` it is the number of worker registrations
+            the run waits for before starting.
         buffer_ema: async server-side buffer EMA mode — ``"fixed"``
             (1/window blend, default) or ``"staleness"`` (stale arrivals
             discounted at ``1/(window * (1 + tau))``, mirroring the
@@ -253,6 +263,7 @@ class RuntimeSpec:
     staleness_budget: float | None = None
     max_updates: int | None = None
     backend: str = "auto"
+    backend_address: str | None = None
     workers: int | None = None
     buffer_ema: str = "fixed"
     streaming: bool | None = None
@@ -306,6 +317,18 @@ class RuntimeSpec:
                 f"unknown backend {self.backend!r}; available: "
                 f"{['auto', *sorted(BACKENDS)]}"
             )
+        if self.backend_address is not None:
+            if self.backend not in ("auto", "remote"):
+                raise ValueError(
+                    f"backend_address={self.backend_address!r} only applies "
+                    f"to backend='remote', got backend={self.backend!r}"
+                )
+            # reuse the net layer's parser so "what validates" and "what
+            # binds" cannot disagree (imported lazily: repro.net imports
+            # the job contract from repro.parallel, which this module uses)
+            from repro.net.framing import parse_address
+
+            parse_address(self.backend_address)
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.backend == "serial" and (self.workers or 1) > 1:

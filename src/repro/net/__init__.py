@@ -1,0 +1,48 @@
+"""Federation over the wire: aggregator service, remote workers, framing.
+
+The remote analogue of :mod:`repro.parallel` — the same
+:class:`~repro.parallel.ClientJob` -> :class:`~repro.parallel.ClientResult`
+contract, executed by worker *processes over TCP* instead of a local pool:
+
+* :mod:`repro.net.framing` — length-prefixed pickle frames with a
+  versioned handshake (stdlib only);
+* :mod:`repro.net.service` — the :class:`AggregatorService` listener and
+  the :class:`RemoteBackend` registered as ``backend="remote"``;
+* :mod:`repro.net.worker` — the ``repro worker --connect`` process.
+
+Start an aggregator-driven run with ``repro serve``, attach workers with
+``repro worker``; histories are bit-identical to the serial backend.
+"""
+
+from repro.net.framing import (
+    JOB_SCHEMA_VERSION,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameError,
+    MsgType,
+    encode_frame,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.net.service import AggregatorService, RemoteBackend, WorkerError
+from repro.net.worker import WorkerClient, run_worker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "JOB_SCHEMA_VERSION",
+    "MAX_FRAME_BYTES",
+    "MsgType",
+    "FrameDecoder",
+    "FrameError",
+    "encode_frame",
+    "send_frame",
+    "recv_frame",
+    "parse_address",
+    "AggregatorService",
+    "RemoteBackend",
+    "WorkerError",
+    "WorkerClient",
+    "run_worker",
+]

@@ -22,6 +22,10 @@ and turns a run into an operable artifact under ``<run_dir>/``:
   end         the run completed; final accuracy and round count
   ==========  ============================================================
 
+  ``stop`` / ``end`` records additionally carry a ``transport`` dict when
+  the backend reports wire-level stats (the remote backend: bytes
+  sent/received, workers seen/lost, requeued jobs).
+
 * ``snapshots/round_NNNN.pkl`` — periodic full-state snapshots
   (:mod:`repro.observe.snapshot`) enabling ``repro run --resume``.
 
@@ -273,6 +277,7 @@ class RunRecorder:
             round=len(core.history.records),
             wall=time.time(),
             recorder_overhead_s=round(self.hook_seconds, 6),
+            **_transport_field(core),
         )
         self.flush()
 
@@ -287,9 +292,16 @@ class RunRecorder:
                 final_accuracy=None if np.isnan(final) else float(final),
                 wall=time.time(),
                 recorder_overhead_s=round(self.hook_seconds, 6),
+                **_transport_field(core),
             )
         self._detach_logs()
         self.flush()
+
+
+def _transport_field(core) -> dict:
+    """``{"transport": {...}}`` when the backend reports wire stats, else {}."""
+    stats = getattr(core.backend, "transport_stats", lambda: {})()
+    return {"transport": stats} if stats else {}
 
 
 def _async_staleness(core, comp) -> float | None:

@@ -82,6 +82,8 @@ class MetricsStore:
         self.final_accuracy: float | None = None
         #: recorder hook seconds self-reported on the latest stop/end record
         self.recorder_overhead_s: float | None = None
+        #: wire-level stats from the latest stop/end record (remote backend)
+        self.transport: dict = {}
 
     # -- ingestion -----------------------------------------------------------
     def ingest(self, rec: dict) -> None:
@@ -106,10 +108,12 @@ class MetricsStore:
         elif kind == "stop":
             self.stopped = True
             self.recorder_overhead_s = rec.get("recorder_overhead_s")
+            self.transport = rec.get("transport") or self.transport
         elif kind == "end":
             self.ended = True
             self.final_accuracy = rec.get("final_accuracy")
             self.recorder_overhead_s = rec.get("recorder_overhead_s")
+            self.transport = rec.get("transport") or self.transport
 
     def ingest_many(self, records) -> None:
         for rec in records:
@@ -236,13 +240,20 @@ class MetricsStore:
         queue = np.array([j.get("queue_wait_s", 0.0) for j in jobs], dtype=float)
         compute = np.array([j.get("compute_s", 0.0) for j in jobs], dtype=float)
         pickle_b = sum(int(j.get("pickle_bytes", 0)) for j in jobs)
-        return {
+        out = {
             "n_jobs": len(jobs),
             "queue_wait_mean_s": float(queue.mean()),
             "compute_mean_s": float(compute.mean()),
             "compute_total_s": float(compute.sum()),
             "pickle_total_bytes": pickle_b,
         }
+        # per-job wire bytes exist only on remote-backend runs
+        sent = sum(int(j.get("send_bytes", 0)) for j in jobs)
+        recv = sum(int(j.get("recv_bytes", 0)) for j in jobs)
+        if sent or recv:
+            out["wire_sent_bytes"] = sent
+            out["wire_recv_bytes"] = recv
+        return out
 
     def to_dict(self) -> dict:
         """Everything a bench or dashboard needs, JSON-safe."""
@@ -267,6 +278,7 @@ class MetricsStore:
             "deadline_trajectory": self.trajectory("deadline"),
             "concurrency_trajectory": self.trajectory("concurrency_limit"),
             "job_timing": self.job_timing(),
+            "transport": self.transport,
             "n_warnings": len(self.warnings),
             "recorder_overhead_s": self.recorder_overhead_s,
             "snapshots": self.snapshots,
@@ -326,6 +338,15 @@ class MetricsStore:
                 f"queue~{jt['queue_wait_mean_s'] * 1e3:.2f}ms  "
                 f"compute~{jt['compute_mean_s'] * 1e3:.2f}ms  "
                 f"pickled {jt['pickle_total_bytes'] / 1e6:.2f}MB"
+            )
+        tr = d["transport"]
+        if tr:
+            lines.append(
+                f"network:    workers={tr.get('workers_seen', 0)}"
+                f" (lost {tr.get('workers_lost', 0)})  "
+                f"sent {tr.get('bytes_sent', 0) / 1e6:.2f}MB  "
+                f"recv {tr.get('bytes_received', 0) / 1e6:.2f}MB  "
+                f"requeued {tr.get('requeued_jobs', 0)}"
             )
         return "\n".join(lines)
 

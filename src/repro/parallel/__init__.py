@@ -17,6 +17,8 @@ from repro.parallel.backend import (
     ProcessPoolBackend,
     SerialBackend,
     ThreadBackend,
+    build_job_runtime,
+    execute_client_job,
     execute_job,
     make_backend,
     resolve_backend,
@@ -37,6 +39,8 @@ __all__ = [
     "resolve_backend",
     "resolve_streaming",
     "execute_job",
+    "execute_client_job",
+    "build_job_runtime",
     "ParallelClientRunner",
     "parallel_map",
     "resolve_workers",

@@ -98,6 +98,8 @@ __all__ = [
     "resolve_streaming",
     "prepare_engine_backend",
     "execute_job",
+    "execute_client_job",
+    "build_job_runtime",
     "warn_on_replica_config_mismatch",
 ]
 
@@ -207,15 +209,20 @@ def execute_job(ctx: SimulationContext, algorithm, job: ClientJob) -> ClientResu
     )
 
 
-def _run_job_timed(
+def execute_client_job(
     ctx: SimulationContext, algorithm, job: ClientJob, measure_pickle: bool = False
 ) -> ClientResult:
     """:func:`execute_job`, stamping timing when the job asks for it.
 
-    All three backends funnel through here so every execution path reports
-    the same fields: ``queue_wait_s`` (submission to compute start),
-    ``compute_s`` (client_update wall time) and — where the job actually
-    crossed a process boundary — ``pickle_bytes`` (serialized job size).
+    This is *the* worker-side compute path, shared by every executor that
+    runs jobs against a replica — the serial backend, pool workers, thread
+    replicas, and :mod:`repro.net`'s remote worker processes — so every
+    execution path reports the same fields: ``queue_wait_s`` (submission to
+    compute start; ``time.monotonic`` is cross-process comparable on one
+    machine), ``compute_s`` (client_update wall time) and — where the job
+    actually crossed a process boundary — ``pickle_bytes`` (serialized job
+    size).  Remote transports additionally stamp ``send_bytes`` /
+    ``recv_bytes`` on the service side, where the framed sizes are known.
     """
     if not job.collect_timing:
         return execute_job(ctx, algorithm, job)
@@ -314,6 +321,11 @@ class ExecutionBackend:
 
     name = "base"
     shares_state = False
+    #: True when an engine must close this backend even though it received
+    #: it as a pre-built instance (the facade hands engines a configured
+    #: :class:`~repro.net.service.RemoteBackend` whose listener lifetime is
+    #: the run's; plain instances stay caller-owned as before)
+    engine_owned = False
     # class-level defaults so subclasses need not call super().__init__();
     # the first mutation creates the instance attribute
     _handle_seq = 0
@@ -432,6 +444,16 @@ class ExecutionBackend:
         """Order-preserving parallel map over coarse-grained items."""
         raise NotImplementedError
 
+    def transport_stats(self) -> dict:
+        """Cumulative transport counters for observability (may be empty).
+
+        In-process backends have no wire; :class:`repro.net`'s remote
+        backend reports worker counts, bytes on the wire, and requeues.
+        The recorder folds a non-empty dict into the journal's ``meta`` /
+        ``stop`` / ``end`` records.
+        """
+        return {}
+
     def close(self) -> None:
         pass
 
@@ -471,7 +493,7 @@ class SerialBackend(ExecutionBackend):
         if self._ctx is None:
             raise RuntimeError("SerialBackend.submit before bind()")
         handle = self._make_handle(self._stamp(job))
-        self._done[handle] = _run_job_timed(self._ctx, self._algo, handle.job)
+        self._done[handle] = execute_client_job(self._ctx, self._algo, handle.job)
         return handle
 
     def collect(self, handles=None, block=True):
@@ -485,6 +507,25 @@ class SerialBackend(ExecutionBackend):
         return [fn(item) for item in items]
 
 
+def build_job_runtime(model_builder, dataset, config, loss_builder=None,
+                      sampler_builder=None, algo_builder=None):
+    """Build one worker replica: the ``(ctx, algorithm)`` jobs execute against.
+
+    The single construction path for every out-of-process executor — pool
+    workers (via fork-shipped builders), thread replicas, and
+    :mod:`repro.net` remote workers (via builders rebuilt from the shipped
+    :class:`~repro.experiments.ExperimentSpec`) — so a replica is always
+    assembled the same way and stays bit-identical to the serial reference.
+    """
+    ctx = SimulationContext(
+        model_builder(), dataset, config,
+        loss_builder=loss_builder, sampler_builder=sampler_builder,
+    )
+    algo = algo_builder()
+    algo.setup(ctx)
+    return ctx, algo
+
+
 # -- process pool ------------------------------------------------------------
 # worker-global replica: (context, algorithm) built once per process
 _WORKER: dict = {}
@@ -492,18 +533,17 @@ _WORKER: dict = {}
 
 def _pool_worker_init(model_builder, dataset, config, loss_builder,
                       sampler_builder, algo_builder) -> None:
-    ctx = SimulationContext(
-        model_builder(), dataset, config,
+    _WORKER["ctx"], _WORKER["algo"] = build_job_runtime(
+        model_builder, dataset, config,
         loss_builder=loss_builder, sampler_builder=sampler_builder,
+        algo_builder=algo_builder,
     )
-    algo = algo_builder()
-    algo.setup(ctx)
-    _WORKER["ctx"] = ctx
-    _WORKER["algo"] = algo
 
 
 def _pool_worker_run(job: ClientJob) -> ClientResult:
-    return _run_job_timed(_WORKER["ctx"], _WORKER["algo"], job, measure_pickle=True)
+    return execute_client_job(
+        _WORKER["ctx"], _WORKER["algo"], job, measure_pickle=True
+    )
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -622,18 +662,16 @@ class ThreadBackend(ExecutionBackend):
     def _replica(self):
         if not hasattr(self._local, "ctx"):
             model_builder, dataset, config, loss_b, sampler_b, algo_b = self._builders
-            ctx = SimulationContext(
-                model_builder(), dataset, config,
+            self._local.ctx, self._local.algo = build_job_runtime(
+                model_builder, dataset, config,
                 loss_builder=loss_b, sampler_builder=sampler_b,
+                algo_builder=algo_b,
             )
-            algo = algo_b()
-            algo.setup(ctx)
-            self._local.ctx, self._local.algo = ctx, algo
         return self._local.ctx, self._local.algo
 
     def _run_one(self, job: ClientJob) -> ClientResult:
         ctx, algo = self._replica()
-        return _run_job_timed(ctx, algo, job)
+        return execute_client_job(ctx, algo, job)
 
     def submit(self, job: ClientJob) -> JobHandle:
         if self._executor is None:
@@ -676,22 +714,36 @@ class ThreadBackend(ExecutionBackend):
         self._inflight = {}
 
 
-BACKENDS: dict[str, type] = {
+# "remote" registers lazily (module path string resolved at first use):
+# repro.net imports the job contract from here, so a class reference would
+# be a circular import — and the socket layer should not load unless used
+BACKENDS: dict[str, "type | str"] = {
     "serial": SerialBackend,
     "process": ProcessPoolBackend,
     "thread": ThreadBackend,
+    "remote": "repro.net.service:RemoteBackend",
 }
 
 
-def make_backend(name: str, workers: int | None = None) -> ExecutionBackend:
-    """Instantiate a backend by registry name."""
+def _resolve_backend_class(name: str) -> type:
     try:
         cls = BACKENDS[name.lower()]
     except KeyError:
         raise KeyError(
             f"unknown backend {name!r}; available: {sorted(BACKENDS)}"
         ) from None
-    return cls(workers=workers)
+    if isinstance(cls, str):
+        import importlib
+
+        mod_name, _, attr = cls.partition(":")
+        cls = getattr(importlib.import_module(mod_name), attr)
+        BACKENDS[name.lower()] = cls  # cache the resolved class
+    return cls
+
+
+def make_backend(name: str, workers: int | None = None) -> ExecutionBackend:
+    """Instantiate a backend by registry name."""
+    return _resolve_backend_class(name)(workers=workers)
 
 
 def prepare_engine_backend(
@@ -762,7 +814,13 @@ def resolve_backend(
                     f"REPRO_BACKEND must be one of {sorted(BACKENDS)}, "
                     f"got {env_name!r}"
                 )
-            return "serial" if (daemon and env_name == "process") else env_name
+            # a daemonic pool worker can neither fork a nested pool nor sit
+            # listening for federation workers — both collapse to serial
+            return (
+                "serial"
+                if (daemon and env_name in ("process", "remote"))
+                else env_name
+            )
     if workers is not None and workers > 1:
         return "serial" if daemon else "process"
     return "serial"

@@ -33,10 +33,11 @@ Client *compute* is delegated to a pluggable
 :class:`~repro.parallel.backend.ExecutionBackend`: every policy describes
 work as :class:`~repro.parallel.backend.ClientJob` values (broadcast
 params + packed client state + buffers + broadcast state) and the backend
-— serial, process pool, or threads — executes them with identical
-semantics, so stateful methods and BatchNorm buffer tracking work on every
-backend and the histories are bit-identical across them
-(``tests/test_backends.py``).  The hand-off is streaming
+— serial, process pool, threads, or remote workers over TCP
+(:mod:`repro.net`) — executes them with identical semantics, so stateful
+methods and BatchNorm buffer tracking work on every backend and the
+histories are bit-identical across them (``tests/test_backends.py``,
+``tests/test_net.py``).  The hand-off is streaming
 (``submit``/``collect`` through :meth:`EventCore.submit_job` /
 :meth:`EventCore.collect_jobs`): the async policy submits each job as its
 dispatch is issued, overlapping worker compute with event processing,

@@ -271,7 +271,10 @@ class FederatedSimulation:
                 stop_after_rounds=stop_after_rounds,
             )
         finally:
-            if owned:
+            # engine_owned instances (the facade's RemoteBackend) carry
+            # run-scoped resources — a listener and its worker fleet — and
+            # are reaped here too, unlike plain caller-owned instances
+            if owned or getattr(backend, "engine_owned", False):
                 backend.close()
         self.final_params = core.x
         return history

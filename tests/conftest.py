@@ -1,0 +1,9 @@
+"""Shared pytest configuration for the repro test suite."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "net: federation-service tests (repro.net) that open localhost sockets "
+        "or spawn worker subprocesses",
+    )

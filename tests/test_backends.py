@@ -168,8 +168,42 @@ class TestJobContract:
                 res.new_state["ci"], rev.new_state["ci"]
             )
 
+    def test_execute_client_job_is_the_shared_compute_path(self):
+        """Every executor (serial, pool worker, thread replica, remote
+        worker) funnels through ``execute_client_job`` on a replica from
+        ``build_job_runtime`` — the same job gives the same result, and
+        timing stamps appear exactly when the job asks for them."""
+        from repro.parallel import build_job_runtime, execute_client_job
+
+        ds = load_federated_dataset(
+            "fashion-mnist-lite", imbalance_factor=0.3, beta=0.3,
+            num_clients=6, seed=0, scale=0.3,
+        )
+        cfg = FLConfig(rounds=1, participation=0.5, local_epochs=1, seed=0,
+                       max_batches_per_round=2)
+        ctx, algo = build_job_runtime(
+            lambda: make_mlp(32, 10, seed=0), ds, cfg,
+            algo_builder=lambda: make_method("scaffold").algorithm,
+        )
+        state0 = algo.pack_client_state(0)
+        bcast0 = algo.pack_broadcast_state()
+        job = ClientJob(round_idx=0, client_id=0, x_ref=ctx.x0.copy(),
+                        client_state=state0, broadcast_state=bcast0)
+        plain = execute_client_job(ctx, algo, job)
+        assert plain.timing is None  # no collect_timing, no stamps
+        timed_job = ClientJob(
+            round_idx=0, client_id=0, x_ref=ctx.x0.copy(),
+            client_state=state0, broadcast_state=bcast0,
+            collect_timing=True, submitted_at=time.monotonic(),
+        )
+        timed = execute_client_job(ctx, algo, timed_job, measure_pickle=True)
+        assert {"queue_wait_s", "compute_s", "pickle_bytes"} <= set(timed.timing)
+        np.testing.assert_array_equal(
+            timed.update.displacement, plain.update.displacement
+        )
+
     def test_make_backend_registry(self):
-        assert set(BACKENDS) == {"serial", "process", "thread"}
+        assert set(BACKENDS) == {"serial", "process", "thread", "remote"}
         assert isinstance(make_backend("serial"), SerialBackend)
         assert isinstance(make_backend("process", workers=2), ProcessPoolBackend)
         assert isinstance(make_backend("thread", workers=2), ThreadBackend)
