@@ -1,0 +1,285 @@
+"""Clients-per-second across transports: the zero-copy + batching bench.
+
+At 1k/10k/100k simulated clients the federated simulation is transport-
+bound, not compute-bound: every dispatch pickles the same broadcast vector
+into its job and every result crosses a process or socket boundary.  This
+bench measures sustained throughput — simulated client updates per wall
+second — for the same job stream on each transport configuration:
+
+* ``serial``            — in-process reference (pure compute, no transport);
+* ``process``           — fork pool, one pickled job per IPC round-trip;
+* ``process+shm+batch`` — fork pool with ``shared_memory=True`` (broadcast
+  arrays published once per version into POSIX shared memory, jobs carry
+  :class:`~repro.parallel.shm.ArrayRef` descriptors) and ``job_batch``
+  grouping k jobs per pool task;
+* ``remote+batch``      — the :mod:`repro.net` federation service with two
+  ``repro worker`` subprocesses over TCP, ``JOB_BATCH`` frames and
+  per-worker broadcast-version dedup.
+
+"Simulated clients" counts dispatched client updates; client ids cycle
+over the dataset's shards (a 100k-client population sharing data shards —
+the per-client *state* side of that scale is the lazy
+:class:`~repro.runtime.events.ClientStateStore`, pinned in
+``tests/test_scaling.py``).  Every transport executes the identical job
+stream through :func:`~repro.parallel.execute_client_job`, and a separate
+end-to-end leg re-runs a fedbuff+SCAFFOLD spec on the batched/shm pool to
+assert histories stay bit-identical to serial.
+
+PASS/FAIL verdicts (CI surfaces regressions):
+
+* bit-identity — batched+shm pool history == serial history, exactly;
+* throughput — ``process+shm+batch`` >= the per-job ``process`` baseline
+  (full size additionally expects >= 1.5x at 10k+ clients).
+
+Run: ``PYTHONPATH=src python benchmarks/bench_clients_per_sec.py``
+(add ``--smoke`` for a <60s CI-sized run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+from _harness import WORKERS, format_table, report
+from repro.experiments import (
+    DataSpec,
+    ExperimentSpec,
+    MethodSpec,
+    RuntimeSpec,
+    build_problem,
+    run,
+)
+from repro.net import RemoteBackend
+from repro.parallel import (
+    ClientJob,
+    ProcessPoolBackend,
+    SerialBackend,
+    build_job_runtime,
+)
+from repro.simulation import FLConfig
+
+JOB_BATCH = 32       # jobs per pool task / wire frame on the batched rows
+WINDOW = 512         # in-flight window: submit a wave, collect it, repeat
+DATA_CLIENTS = 50    # data shards the simulated population cycles over
+
+
+def problem_spec(seed: int = 0) -> ExperimentSpec:
+    """The shared tiny problem every transport executes jobs against."""
+    return ExperimentSpec(
+        name="clients-per-sec",
+        data=DataSpec(dataset="fashion-mnist-lite", imbalance_factor=0.3,
+                      beta=0.3, clients=DATA_CLIENTS, scale=0.3),
+        method=MethodSpec(name="fedavg"),
+        config=FLConfig(rounds=1, participation=0.1, local_epochs=1,
+                        batch_size=10, max_batches_per_round=1, eval_every=1,
+                        seed=seed),
+        runtime=RuntimeSpec(kind="sync"),
+    )
+
+
+def build_runtime(spec: ExperimentSpec):
+    """(ctx, algo) plus the builders worker replicas are made from."""
+    from repro.experiments import replica_builders
+
+    ds, model_builder, cfg = build_problem(spec)
+    algo_builder, loss_builder, sampler_builder = replica_builders(spec)
+    ctx, algo = build_job_runtime(
+        model_builder, ds, cfg,
+        loss_builder=loss_builder, sampler_builder=sampler_builder,
+        algo_builder=algo_builder,
+    )
+    return ctx, algo, model_builder, algo_builder, loss_builder, sampler_builder
+
+
+def drive(backend, ctx, n_jobs: int) -> float:
+    """Push ``n_jobs`` through ``backend`` in windows; returns clients/sec.
+
+    The same broadcast object rides every job (exactly what the engines
+    ship: the server's live parameter vector between applies), so the
+    identity fast paths — shm version reuse, wire-frame x dedup — see the
+    workload they were built for.
+    """
+    x = ctx.x0.copy()
+    t0 = time.perf_counter()
+    done = 0
+    while done < n_jobs:
+        take = min(WINDOW, n_jobs - done)
+        jobs = [
+            ClientJob(round_idx=0, client_id=(done + i) % DATA_CLIENTS,
+                      x_ref=x)
+            for i in range(take)
+        ]
+        handles = backend.submit_many(jobs)
+        collected = backend.collect(handles, block=True)
+        assert len(collected) == take
+        done += take
+    return done / (time.perf_counter() - t0)
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _spawn_worker(address: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--connect", address,
+         "--retry", "90"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, env=env,
+    )
+
+
+def bench_remote(spec, ctx, n_jobs: int) -> tuple[float, dict]:
+    """The federation service with two real worker subprocesses."""
+    address = f"127.0.0.1:{_free_port()}"
+    backend = RemoteBackend(workers=2, address=address, spec=spec,
+                            job_batch=JOB_BATCH)
+    old_inflight = os.environ.get("REPRO_NET_INFLIGHT")
+    # deep in-flight per worker: throughput, not scheduling fairness
+    os.environ["REPRO_NET_INFLIGHT"] = str(2 * JOB_BATCH)
+    workers: list[subprocess.Popen] = []
+    try:
+        workers = [_spawn_worker(address) for _ in range(2)]
+        backend.bind(ctx, None)
+        rate = drive(backend, ctx, n_jobs)
+        stats = backend.transport_stats()
+    finally:
+        backend.close()
+        for p in workers:
+            try:
+                p.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                p.kill()
+                p.wait()
+        if old_inflight is None:
+            os.environ.pop("REPRO_NET_INFLIGHT", None)
+        else:
+            os.environ["REPRO_NET_INFLIGHT"] = old_inflight
+    return rate, stats
+
+
+def bench_sizes(spec, sizes: list[int], include_remote: bool) -> tuple[str, bool]:
+    ctx, algo, model_builder, algo_builder, loss_builder, sampler_builder = (
+        build_runtime(spec)
+    )
+
+    def bind_pool(**kw) -> ProcessPoolBackend:
+        be = ProcessPoolBackend(workers=WORKERS, **kw)
+        return be.bind(ctx, algo, model_builder=model_builder,
+                       algo_builder=algo_builder, loss_builder=loss_builder,
+                       sampler_builder=sampler_builder)
+
+    rows = []
+    ok = True
+    notes = []
+    for n in sizes:
+        serial = SerialBackend().bind(ctx, algo)
+        r_serial = drive(serial, ctx, n)
+        serial.close()
+
+        pool = bind_pool()
+        r_pool = drive(pool, ctx, n)
+        pool.close()
+
+        fast = bind_pool(job_batch=JOB_BATCH, shared_memory=True)
+        r_fast = drive(fast, ctx, n)
+        fast_stats = fast.transport_stats()
+        fast.close()
+
+        if include_remote:
+            r_remote, remote_stats = bench_remote(spec, ctx, n)
+            notes.append(
+                f"n={n}: wire sent {remote_stats['bytes_sent'] / 1e6:.1f}MB, "
+                f"x dedup saved {remote_stats['bytes_saved'] / 1e6:.1f}MB "
+                f"across {remote_stats['batch_frames']} frames"
+            )
+        else:
+            r_remote = float("nan")
+        notes.append(
+            f"n={n}: shm published "
+            f"{fast_stats['shm_bytes_published'] / 1e6:.1f}MB, saved "
+            f"{fast_stats['shm_bytes_saved'] / 1e6:.1f}MB of job pickle "
+            f"across {fast_stats['pool_tasks']} pool tasks"
+        )
+        speedup = r_fast / r_pool
+        ok = ok and r_fast >= r_pool
+        rows.append([n, r_serial, r_pool, r_fast, r_remote, speedup])
+
+    table = format_table(
+        f"simulated clients per wall second ({WORKERS} pool workers, "
+        f"job_batch={JOB_BATCH})",
+        ["clients", "serial/s", "process/s", "process+shm+batch/s",
+         "remote+batch/s", "batch_speedup"],
+        [[n, f"{a:.0f}", f"{b:.0f}", f"{c:.0f}",
+          "n/a" if np.isnan(d) else f"{d:.0f}", f"{s:.2f}x"]
+         for n, a, b, c, d, s in rows],
+    )
+    return table + "\n" + "\n".join(notes), ok
+
+
+def bit_identity_leg() -> tuple[str, bool]:
+    """fedbuff+SCAFFOLD end-to-end: batched/shm pool == serial, exactly."""
+    base = ExperimentSpec(
+        name="identity",
+        data=DataSpec(dataset="fashion-mnist-lite", imbalance_factor=0.3,
+                      beta=0.3, clients=6, scale=0.3),
+        method=MethodSpec(name="scaffold", kwargs={"buffer_size": 3}),
+        config=FLConfig(rounds=3, participation=0.5, local_epochs=1,
+                        batch_size=10, max_batches_per_round=3, eval_every=1,
+                        seed=0),
+        runtime=RuntimeSpec(kind="fedbuff", latency="lognormal"),
+    )
+    serial = run(base)
+    fast = run(base.override_many([
+        ("runtime.backend", "process"),
+        ("runtime.workers", 2),
+        ("runtime.job_batch", 3),
+        ("runtime.shared_memory", True),
+    ]))
+    same = bool(
+        np.array_equal(serial.history.accuracy, fast.history.accuracy,
+                       equal_nan=True)
+        and np.array_equal(serial.final_params, fast.final_params)
+    )
+    verdict = (
+        "fedbuff+scaffold batched/shm pool == serial: "
+        f"{'PASS' if same else 'FAIL'} "
+        f"(final={fast.final_accuracy:.4f}, serial={serial.final_accuracy:.4f})"
+    )
+    return verdict, same
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny CI-sized run (<60s): 1k clients only")
+    args = ap.parse_args(argv)
+
+    spec = problem_spec()
+    sizes = [1_000] if args.smoke else [1_000, 10_000, 100_000]
+    table, throughput_ok = bench_sizes(spec, sizes,
+                                       include_remote=not args.smoke)
+    identity_verdict, identity_ok = bit_identity_leg()
+
+    verdict = (
+        "batched+shm pool >= per-job pool throughput: "
+        f"{'PASS' if throughput_ok else 'FAIL'}"
+        "\n" + identity_verdict
+    )
+    name = "bench_clients_per_sec" + ("_smoke" if args.smoke else "")
+    report(name, table + "\n\n" + verdict)
+    return 0 if (throughput_ok and identity_ok) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -200,6 +200,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "— REPRO_BACKEND, or process when --workers > 1)")
         p.add_argument("--workers", type=int, default=_SUPPRESS,
                        help="worker count for the process/thread backends")
+        p.add_argument("--job-batch", type=int, default=_SUPPRESS,
+                       help="jobs per pool task / wire frame for the "
+                            "process and remote backends (default: "
+                            "REPRO_JOB_BATCH, else per-job dispatch); "
+                            "histories are bit-identical at any value")
+        p.add_argument("--shared-memory", action=argparse.BooleanOptionalAction,
+                       default=_SUPPRESS,
+                       help="process backend: ship the broadcast vector via "
+                            "POSIX shared memory once per version instead of "
+                            "pickling it into every job (default: "
+                            "REPRO_SHARED_MEMORY, else off)")
         p.add_argument("--buffer-ema", default=_SUPPRESS,
                        choices=("fixed", "staleness"),
                        help="async BatchNorm-buffer EMA: fixed 1/window blend, or "
@@ -362,6 +373,8 @@ _SEMISYNC_MAP = (
     ("sampler", "runtime.sampler"),
     ("backend", "runtime.backend"),
     ("workers", "runtime.workers"),
+    ("job_batch", "runtime.job_batch"),
+    ("shared_memory", "runtime.shared_memory"),
 )
 _ASYNC_MAP = (
     ("concurrency", "runtime.concurrency"),
@@ -369,6 +382,8 @@ _ASYNC_MAP = (
     ("staleness_budget", "runtime.staleness_budget"),
     ("backend", "runtime.backend"),
     ("workers", "runtime.workers"),
+    ("job_batch", "runtime.job_batch"),
+    ("shared_memory", "runtime.shared_memory"),
     ("buffer_ema", "runtime.buffer_ema"),
     ("streaming", "runtime.streaming"),
     ("sampler", "runtime.sampler"),

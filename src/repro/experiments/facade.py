@@ -25,7 +25,13 @@ from repro.algorithms import AsyncAdapter, make_method, method_is_parallel_safe
 from repro.data import load_federated_dataset
 from repro.data.registry import FederatedDataset
 from repro.experiments.spec import ExperimentSpec
-from repro.parallel import resolve_backend, resolve_streaming
+from repro.parallel import (
+    ProcessPoolBackend,
+    resolve_backend,
+    resolve_job_batch,
+    resolve_shared_memory,
+    resolve_streaming,
+)
 from repro.nn import build_model, make_linear, make_mlp
 from repro.runtime import (
     AsyncFederatedSimulation,
@@ -209,6 +215,8 @@ def build(spec: ExperimentSpec):
         # for such methods, so reaching here means a blanket REPRO_BACKEND
         # default — quietly keep the only backend that runs them correctly
         backend_name = "serial"
+    job_batch = resolve_job_batch(rt.job_batch, env=True)
+    shared_memory = resolve_shared_memory(rt.shared_memory, env=True)
     backend: "str | object" = backend_name
     if backend_name == "remote":
         # the remote backend needs run-scoped configuration a bare name
@@ -218,8 +226,18 @@ def build(spec: ExperimentSpec):
         from repro.net import RemoteBackend
 
         backend = RemoteBackend(
-            workers=rt.workers, address=rt.backend_address, spec=spec
+            workers=rt.workers, address=rt.backend_address, spec=spec,
+            job_batch=job_batch,
         )
+    elif backend_name == "process" and (job_batch is not None or shared_memory):
+        # transport knobs a bare name cannot carry: build the pool backend
+        # here and mark it engine_owned so engines close it (unlinking any
+        # shared-memory segments) at the end of run()
+        backend = ProcessPoolBackend(
+            workers=rt.workers, job_batch=job_batch,
+            shared_memory=shared_memory,
+        )
+        backend.engine_owned = True
 
     def make_latency():
         # price_comm must reach the engine even under the default latency:

@@ -229,6 +229,20 @@ class RuntimeSpec:
             ``REPRO_MAX_WORKERS`` or the capped CPU count); for
             ``backend="remote"`` it is the number of worker registrations
             the run waits for before starting.
+        job_batch: jobs shipped per transport unit — one pool task
+            (``backend="process"``) or one wire frame
+            (``backend="remote"``) carries up to this many jobs, amortizing
+            pickling and per-message overhead across the batch.  None
+            (default) resolves via ``REPRO_JOB_BATCH``, else per-job
+            dispatch.  Histories are bit-identical at any value (jobs are
+            stamped at dispatch and results applied in virtual-time order).
+            Transport-only, so serial/thread backends reject it.
+        shared_memory: ``backend="process"`` only — publish the broadcast
+            vector (and round-stable broadcast arrays) into POSIX shared
+            memory once per version; jobs carry small descriptors and pool
+            workers attach read-only, so the model is no longer pickled
+            into every job.  None (default) resolves via
+            ``REPRO_SHARED_MEMORY``, else off.  Bit-identical either way.
         buffer_ema: async server-side buffer EMA mode — ``"fixed"``
             (1/window blend, default) or ``"staleness"`` (stale arrivals
             discounted at ``1/(window * (1 + tau))``, mirroring the
@@ -265,6 +279,8 @@ class RuntimeSpec:
     backend: str = "auto"
     backend_address: str | None = None
     workers: int | None = None
+    job_batch: int | None = None
+    shared_memory: bool | None = None
     buffer_ema: str = "fixed"
     streaming: bool | None = None
     record: bool = False
@@ -335,6 +351,23 @@ class RuntimeSpec:
             raise ValueError(
                 f"backend='serial' contradicts workers={self.workers}; "
                 "use backend='process' or 'thread' for parallel client compute"
+            )
+        if self.job_batch is not None:
+            if self.job_batch < 1:
+                raise ValueError(
+                    f"job_batch must be >= 1, got {self.job_batch}"
+                )
+            if self.backend in ("serial", "thread"):
+                raise ValueError(
+                    f"job_batch={self.job_batch} only applies to transport "
+                    f"backends ('process', 'remote'), got "
+                    f"backend={self.backend!r}"
+                )
+        if self.shared_memory and self.backend not in ("auto", "process"):
+            raise ValueError(
+                "shared_memory=True only applies to backend='process' "
+                f"(pool workers attach the segments), got "
+                f"backend={self.backend!r}"
             )
         if self.buffer_ema not in BUFFER_EMA_MODES:
             raise ValueError(

@@ -18,9 +18,11 @@ from repro.net.framing import (
     JOB_SCHEMA_VERSION,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    XREF_CACHE_VERSIONS,
     FrameDecoder,
     FrameError,
     MsgType,
+    XRefToken,
     encode_frame,
     parse_address,
     recv_frame,
@@ -33,6 +35,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "JOB_SCHEMA_VERSION",
     "MAX_FRAME_BYTES",
+    "XREF_CACHE_VERSIONS",
+    "XRefToken",
     "MsgType",
     "FrameDecoder",
     "FrameError",

@@ -20,8 +20,15 @@ The conversation (aggregator = server, worker = client):
   :class:`~repro.experiments.ExperimentSpec` the worker rebuilds its
   replica from, plus how often to beat.
 * ``JOB``       server -> worker: ``(seq, ClientJob)``.
+* ``JOB_BATCH`` server -> worker: ``([(seq, ClientJob), ...],
+  {version: ndarray})`` — one frame for a whole assignment batch.  Jobs in
+  the batch may carry an :class:`XRefToken` instead of the broadcast
+  vector; the dict inlines only the versions this worker has not yet been
+  sent (the worker keeps a small version cache mirrored by the service),
+  so the model ships once per version per worker, not once per job.
 * ``RESULT``    worker -> server: ``(seq, ClientResult | None, error_str |
-  None)``.
+  None)`` — always per job, batched or not, which keeps requeue
+  accounting exactly-once.
 * ``HEARTBEAT`` worker -> server: ``None`` (liveness only).
 * ``SHUTDOWN``  server -> worker: ``None`` — drain and exit.
 * ``ERROR``     either direction: a string; the connection is done.
@@ -42,12 +49,15 @@ import enum
 import pickle
 import socket
 import struct
+from dataclasses import dataclass
 
 __all__ = [
     "PROTOCOL_VERSION",
     "JOB_SCHEMA_VERSION",
     "MAX_FRAME_BYTES",
+    "XREF_CACHE_VERSIONS",
     "MsgType",
+    "XRefToken",
     "FrameDecoder",
     "FrameError",
     "encode_frame",
@@ -57,10 +67,12 @@ __all__ = [
 ]
 
 #: bumped on any change to the framing or handshake itself
-PROTOCOL_VERSION = 1
+#: (v2: JOB_BATCH frames + per-worker x_ref version dedup)
+PROTOCOL_VERSION = 2
 #: bumped on any change to the ClientJob/ClientResult dataclasses — a field
 #: added to the job contract must not be silently dropped by an old worker
-JOB_SCHEMA_VERSION = 1
+#: (v2: x_ref may arrive as an XRefToken resolved from the batch inline dict)
+JOB_SCHEMA_VERSION = 2
 
 _HEADER = struct.Struct(">IB")
 
@@ -77,6 +89,28 @@ class MsgType(enum.IntEnum):
     HEARTBEAT = 5
     SHUTDOWN = 6
     ERROR = 7
+    JOB_BATCH = 8
+
+
+@dataclass(frozen=True)
+class XRefToken:
+    """Placeholder for a broadcast vector already shipped to this worker.
+
+    The aggregator versions each distinct ``x_ref`` object it is asked to
+    ship and sends the actual array at most once per version per worker
+    (inlined in a ``JOB_BATCH`` frame's version dict); every other job just
+    carries this token, and the worker substitutes its cached copy before
+    executing.  Both sides cap the cache at :data:`XREF_CACHE_VERSIONS`
+    with identical insertion-ordered eviction, so the mirror never skews.
+    """
+
+    version: int
+
+
+#: how many broadcast-vector versions each side of a connection caches;
+#: async servers advance the version on every apply, so a small window
+#: covers the in-flight set while bounding worker memory
+XREF_CACHE_VERSIONS = 8
 
 
 class FrameError(RuntimeError):

@@ -39,14 +39,18 @@ import socket
 import sys
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import replace
+
+import numpy as np
 
 from repro.net.framing import (
     JOB_SCHEMA_VERSION,
     PROTOCOL_VERSION,
+    XREF_CACHE_VERSIONS,
     FrameDecoder,
     MsgType,
+    XRefToken,
     encode_frame,
     parse_address,
 )
@@ -71,7 +75,7 @@ class _Conn:
 
     __slots__ = (
         "sock", "addr", "decoder", "outbox", "worker_id",
-        "registered", "last_seen", "inflight", "closing",
+        "registered", "last_seen", "inflight", "closing", "sent_versions",
     )
 
     def __init__(self, sock: socket.socket, addr) -> None:
@@ -84,6 +88,11 @@ class _Conn:
         self.last_seen = time.monotonic()
         self.inflight: set[int] = set()
         self.closing = False  # flush the outbox, then close (handshake error)
+        # server-side mirror of the worker's broadcast-version cache:
+        # inserted exactly when a version is inlined on this conn, evicted
+        # oldest-inserted-first at the same cap the worker uses — TCP frame
+        # ordering keeps the two caches identical without any round-trip
+        self.sent_versions: "OrderedDict[int, None]" = OrderedDict()
 
 
 class AggregatorService:
@@ -102,9 +111,14 @@ class AggregatorService:
         heartbeat_interval: float | None = None,
         heartbeat_timeout: float | None = None,
         inflight_cap: int | None = None,
+        batch_limit: int | None = None,
     ) -> None:
         self.host, self.port = parse_address(address)
         self.spec_payload = spec_payload
+        #: jobs per JOB_BATCH frame (further bounded by a worker's in-flight
+        #: room); 1 keeps per-job scheduling granularity, the pre-batching
+        #: behavior — broadcast-vector dedup is on either way
+        self.batch_limit = max(1, batch_limit or 1)
         self.heartbeat_interval = (
             heartbeat_interval
             if heartbeat_interval is not None
@@ -123,9 +137,20 @@ class AggregatorService:
         )
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        # seq -> (encoded JOB frame, collect_timing): cached until the
-        # result lands so a requeue after worker death needs no re-encode
-        self._job_frames: dict[int, tuple[bytes, bool]] = {}
+        # seq -> (wire job, collect_timing, x_ref version | None): kept
+        # until the result lands, so a requeue after worker death re-enters
+        # scheduling with nothing lost (frames are encoded per assignment,
+        # because the batch grouping and which versions to inline both
+        # depend on the worker the jobs land on)
+        self._wire_jobs: dict[int, tuple[object, bool, int | None]] = {}
+        # per-seq share of the last assignment frame, for send_bytes timing
+        self._sent_bytes: dict[int, int] = {}
+        # broadcast-vector registry: the engine's x_ref is versioned by
+        # object identity (the server mutates it only by replacement) and
+        # shipped at most once per version per worker
+        self._xref_obj: object | None = None
+        self._xref_next_version = 0
+        self._xref_store: dict[int, np.ndarray] = {}
         self._pending: deque[int] = deque()
         self._results: dict[int, ClientResult] = {}
         self._errors: dict[int, str] = {}
@@ -144,6 +169,8 @@ class AggregatorService:
         self._workers_seen = 0
         self._workers_lost = 0
         self._requeued_jobs = 0
+        self._batch_frames = 0
+        self._bytes_saved = 0  # x_ref payloads not re-shipped (dedup wins)
 
     # -- lifecycle (engine thread) -------------------------------------------
     def start(self) -> "AggregatorService":
@@ -189,12 +216,47 @@ class AggregatorService:
     # -- engine-side API ------------------------------------------------------
     def submit(self, seq: int, job) -> None:
         """Queue one job for dispatch; the I/O thread ships it."""
-        frame = encode_frame(MsgType.JOB, (seq, job))
+        self.submit_many([(seq, job)])
+
+    def submit_many(self, pairs: list[tuple[int, object]]) -> None:
+        """Queue ``(seq, job)`` pairs in one call; the I/O thread ships them.
+
+        The broadcast vector is swapped for an :class:`XRefToken` here (the
+        engine thread, where object identity is meaningful); which workers
+        still need the actual array is decided per assignment.
+        """
         with self._lock:
             self._raise_if_dead()
-            self._job_frames[seq] = (frame, bool(job.collect_timing))
-            self._pending.append(seq)
+            for seq, job in pairs:
+                version = self._tokenize_locked(job)
+                wire_job = (
+                    replace(job, x_ref=XRefToken(version))
+                    if version is not None
+                    else job
+                )
+                self._wire_jobs[seq] = (
+                    wire_job, bool(job.collect_timing), version
+                )
+                self._pending.append(seq)
         self._wake()
+
+    def _tokenize_locked(self, job) -> int | None:
+        """Version ``job.x_ref`` by identity; returns None for inline jobs."""
+        ref = getattr(job, "x_ref", None)
+        if not isinstance(ref, np.ndarray) or ref.nbytes == 0:
+            return None
+        if self._xref_obj is not ref:
+            version = self._xref_next_version
+            self._xref_next_version += 1
+            self._xref_obj = ref
+            self._xref_store[version] = ref
+            # prune superseded versions nothing outstanding references
+            # (outstanding wire jobs keep theirs alive for requeue)
+            live = {v for _, _, v in self._wire_jobs.values() if v is not None}
+            live.add(version)
+            for stale in [v for v in self._xref_store if v not in live]:
+                del self._xref_store[stale]
+        return self._xref_next_version - 1
 
     def collect(
         self, seqs: list[int], block: bool, no_worker_timeout: float = 60.0
@@ -253,6 +315,9 @@ class AggregatorService:
                 "workers_lost": self._workers_lost,
                 "bytes_sent": self._bytes_sent,
                 "bytes_received": self._bytes_received,
+                "bytes_saved": self._bytes_saved,
+                "batch_frames": self._batch_frames,
+                "job_batch": self.batch_limit,
                 "requeued_jobs": self._requeued_jobs,
             }
 
@@ -380,7 +445,8 @@ class AggregatorService:
             return
         conn.inflight.discard(seq)
         with self._lock:
-            meta = self._job_frames.pop(seq, None)
+            meta = self._wire_jobs.pop(seq, None)
+            sent = self._sent_bytes.pop(seq, 0)
             if meta is None:
                 # a duplicate from a worker declared dead after the job was
                 # requeued and completed elsewhere — exactly-once wins
@@ -390,13 +456,21 @@ class AggregatorService:
             else:
                 if meta[1]:  # collect_timing: stamp wire-byte accounting
                     timing = dict(result.timing or {})
-                    timing["send_bytes"] = len(meta[0])
+                    timing["send_bytes"] = sent
                     timing["recv_bytes"] = nbytes
                     result = replace(result, timing=timing)
                 self._results[seq] = result
             self._wakeup.notify_all()
 
     def _assign_pending(self) -> None:
+        """Ship pending jobs: least-loaded worker first, batched per frame.
+
+        Each iteration takes up to ``batch_limit`` jobs (never more than the
+        chosen worker's in-flight room) and encodes them as one
+        ``JOB_BATCH`` frame, inlining only the broadcast-vector versions
+        this worker has not been sent yet.  With ``batch_limit=1`` the
+        scheduling order is exactly the per-job least-loaded behavior.
+        """
         while True:
             with self._lock:
                 if not self._pending:
@@ -409,9 +483,43 @@ class AggregatorService:
                 if not workers:
                     return
                 conn = min(workers, key=lambda c: (len(c.inflight), c.worker_id))
-                seq = self._pending.popleft()
-                frame = self._job_frames[seq][0]
-            conn.inflight.add(seq)
+                room = self.inflight_cap - len(conn.inflight)
+                take = min(self.batch_limit, room, len(self._pending))
+                seqs = [self._pending.popleft() for _ in range(take)]
+                jobs = []
+                needed: set[int] = set()
+                inline: dict[int, np.ndarray] = {}
+                for seq in seqs:
+                    wire_job, _, version = self._wire_jobs[seq]
+                    if version is not None:
+                        needed.add(version)
+                        if version in conn.sent_versions or version in inline:
+                            # this worker holds (or is receiving) the array
+                            # already: the job ships a token only
+                            self._bytes_saved += int(
+                                self._xref_store[version].nbytes
+                            )
+                        else:
+                            inline[version] = self._xref_store[version]
+                    jobs.append((seq, wire_job))
+                # mirror the worker's cache update exactly: insert inlined
+                # versions in dict order, then evict oldest-inserted entries
+                # this frame does not reference until back under the cap
+                # (the worker runs the identical insert+evict sequence)
+                for version in inline:
+                    conn.sent_versions[version] = None
+                for version in list(conn.sent_versions):
+                    if len(conn.sent_versions) <= XREF_CACHE_VERSIONS:
+                        break
+                    if version not in needed:
+                        del conn.sent_versions[version]
+                self._batch_frames += 1
+            frame = encode_frame(MsgType.JOB_BATCH, (jobs, inline))
+            share = len(frame) // max(take, 1)
+            with self._lock:
+                for seq in seqs:
+                    self._sent_bytes[seq] = share
+            conn.inflight.update(seqs)
             self._queue_frame(conn, frame)
 
     def _queue_frame(self, conn: _Conn, frame: bytes) -> None:
@@ -471,7 +579,7 @@ class AggregatorService:
             was_worker = conn.registered
             if was_worker:
                 self._workers_lost += 1
-            requeue = [s for s in conn.inflight if s in self._job_frames]
+            requeue = [s for s in conn.inflight if s in self._wire_jobs]
             for seq in requeue:
                 self._pending.appendleft(seq)
             self._requeued_jobs += len(requeue)
@@ -524,6 +632,9 @@ class RemoteBackend(ExecutionBackend):
             rebuild bit-identical replicas.  The spec facade wires this;
             constructing by name (``make_backend("remote")``) leaves it
             unset and ``bind`` raises.
+        job_batch: jobs per wire frame (``runtime.job_batch`` /
+            ``REPRO_JOB_BATCH``); 1 (default) keeps per-job least-loaded
+            scheduling.  Broadcast-vector dedup is always on.
     """
 
     name = "remote"
@@ -531,8 +642,11 @@ class RemoteBackend(ExecutionBackend):
     engine_owned = True  # the facade builds one per run; engines close it
 
     def __init__(self, workers: int | None = None, address: str | None = None,
-                 spec=None) -> None:
+                 spec=None, job_batch: int | None = None) -> None:
         self.min_workers = max(1, workers or 1)
+        if job_batch is not None and job_batch < 1:
+            raise ValueError(f"job_batch must be >= 1, got {job_batch}")
+        self.job_batch = job_batch
         self._address = address or os.environ.get(
             "REPRO_BACKEND_ADDRESS", ""
         ).strip() or None
@@ -558,7 +672,9 @@ class RemoteBackend(ExecutionBackend):
             )
         self.close()
         self._service = AggregatorService(
-            self._address, spec_payload=self.spec.to_dict()
+            self._address,
+            spec_payload=self.spec.to_dict(),
+            batch_limit=self.job_batch,
         ).start()
         print(
             f"repro.net: aggregator listening on {self._service.address}; "
@@ -576,12 +692,23 @@ class RemoteBackend(ExecutionBackend):
         return self
 
     def submit(self, job) -> JobHandle:
+        return self.submit_many([job])[0]
+
+    def submit_many(self, jobs) -> list[JobHandle]:
+        """Queue a burst of jobs in one service call.
+
+        The service groups them into ``JOB_BATCH`` frames at assignment
+        time (bounded by ``job_batch`` and each worker's in-flight room),
+        so a k-job burst costs one lock round-trip here and ~k/batch
+        frames on the wire instead of k of each.
+        """
         if self._service is None:
             raise RuntimeError("RemoteBackend.submit before bind()")
-        handle = self._make_handle(self._stamp(job))
-        self._outstanding[handle.seq] = handle
-        self._service.submit(handle.seq, handle.job)
-        return handle
+        handles = [self._make_handle(self._stamp(job)) for job in jobs]
+        for handle in handles:
+            self._outstanding[handle.seq] = handle
+        self._service.submit_many([(h.seq, h.job) for h in handles])
+        return handles
 
     def collect(self, handles=None, block=True):
         if self._service is None:

@@ -9,9 +9,12 @@ A worker is openfl's *collaborator* shape: a long-lived process that
    — the *same* dataset / model / algorithm construction the pool workers
    get via fork, but rebuilt from the spec because closures cannot cross
    machines (:func:`repro.parallel.build_job_runtime`),
-4. loops: ``JOB`` in, :func:`repro.parallel.execute_client_job` (the exact
-   pool-worker compute path), ``RESULT`` out — a job that raises ships its
-   traceback back instead of killing the worker,
+4. loops: ``JOB`` / ``JOB_BATCH`` in, :func:`repro.parallel.execute_client_job`
+   (the exact pool-worker compute path) per job, one ``RESULT`` out per job
+   — a job that raises ships its traceback back instead of killing the
+   worker.  Batched jobs may carry an
+   :class:`~repro.net.framing.XRefToken` in place of the broadcast vector,
+   resolved from a small version cache mirrored with the aggregator,
 5. heartbeats from a background thread at the aggregator-announced
    interval, so liveness is signalled even mid-compute,
 6. exits on ``SHUTDOWN`` / clean aggregator close.
@@ -30,12 +33,16 @@ import sys
 import threading
 import time
 import traceback
+from collections import OrderedDict
+from dataclasses import replace
 
 from repro.net.framing import (
     JOB_SCHEMA_VERSION,
     PROTOCOL_VERSION,
+    XREF_CACHE_VERSIONS,
     FrameError,
     MsgType,
+    XRefToken,
     parse_address,
     recv_frame,
     send_frame,
@@ -166,6 +173,12 @@ class WorkerClient:
     def _job_loop(self, ctx, algorithm) -> None:
         from repro.parallel import execute_client_job
 
+        # broadcast-vector cache, the exact mirror of the aggregator's
+        # per-connection `sent_versions`: versions are inserted in the order
+        # the inline dicts arrive and evicted oldest-inserted-first (never
+        # one the current frame references) at the same cap — TCP frame
+        # ordering keeps the two sides identical without a round-trip
+        xref_cache: "OrderedDict[int, object]" = OrderedDict()
         while True:
             msg = recv_frame(self._sock)
             if msg is None:
@@ -175,18 +188,43 @@ class WorkerClient:
                 return
             if msg_type is MsgType.ERROR:
                 raise FrameError(f"aggregator error: {payload}")
-            if msg_type is not MsgType.JOB:
-                raise FrameError(f"expected JOB, got {msg_type.name}")
-            seq, job = payload
-            try:
-                result = execute_client_job(ctx, algorithm, job)
-            except Exception:
-                self._send(
-                    MsgType.RESULT, (seq, None, traceback.format_exc())
-                )
+            if msg_type is MsgType.JOB:
+                batch = [payload]
+            elif msg_type is MsgType.JOB_BATCH:
+                batch, inline = payload
+                for version, arr in inline.items():
+                    xref_cache[version] = arr
+                needed = {
+                    job.x_ref.version for _, job in batch
+                    if isinstance(job.x_ref, XRefToken)
+                }
+                for version in list(xref_cache):
+                    if len(xref_cache) <= XREF_CACHE_VERSIONS:
+                        break
+                    if version not in needed:
+                        del xref_cache[version]
             else:
-                self._send(MsgType.RESULT, (seq, result, None))
-                self.jobs_done += 1
+                raise FrameError(f"expected JOB, got {msg_type.name}")
+            for seq, job in batch:
+                token = job.x_ref if isinstance(job.x_ref, XRefToken) else None
+                if token is not None:
+                    cached = xref_cache.get(token.version)
+                    if cached is None:
+                        self._send(MsgType.RESULT, (seq, None, (
+                            f"worker {self.worker_id}: broadcast version "
+                            f"{token.version} not in cache (protocol bug)"
+                        )))
+                        continue
+                    job = replace(job, x_ref=cached)
+                try:
+                    result = execute_client_job(ctx, algorithm, job)
+                except Exception:
+                    self._send(
+                        MsgType.RESULT, (seq, None, traceback.format_exc())
+                    )
+                else:
+                    self._send(MsgType.RESULT, (seq, result, None))
+                    self.jobs_done += 1
 
 
 def run_worker(address: str, connect_timeout: float = 30.0) -> int:

@@ -340,14 +340,28 @@ class MetricsStore:
                 f"pickled {jt['pickle_total_bytes'] / 1e6:.2f}MB"
             )
         tr = d["transport"]
-        if tr:
-            lines.append(
+        if tr and tr.get("transport") == "pool":
+            line = (
+                f"transport:  pool  jobs={tr.get('jobs', 0)}"
+                f"  tasks={tr.get('pool_tasks', 0)}"
+                f"  batch={tr.get('job_batch') or 1}"
+            )
+            saved = tr.get("shm_bytes_saved", 0)
+            if saved:
+                line += f"  shm saved {saved / 1e6:.2f}MB"
+            lines.append(line)
+        elif tr:
+            line = (
                 f"network:    workers={tr.get('workers_seen', 0)}"
                 f" (lost {tr.get('workers_lost', 0)})  "
                 f"sent {tr.get('bytes_sent', 0) / 1e6:.2f}MB  "
                 f"recv {tr.get('bytes_received', 0) / 1e6:.2f}MB  "
                 f"requeued {tr.get('requeued_jobs', 0)}"
             )
+            saved = tr.get("bytes_saved", 0)
+            if saved:
+                line += f"  saved {saved / 1e6:.2f}MB"
+            lines.append(line)
         return "\n".join(lines)
 
 

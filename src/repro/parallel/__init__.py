@@ -3,9 +3,12 @@
 :mod:`repro.parallel.backend` is the pluggable execution layer every engine
 speaks — the :class:`ClientJob` -> :class:`ClientResult` contract, handed
 over through the streaming ``submit(job) -> JobHandle`` /
-``collect(handles)`` interface (``run_jobs`` remains as a batch shim);
-:mod:`repro.parallel.pool` keeps the lower-level fork-pool primitives
-(:func:`parallel_map`, the per-round :class:`ParallelClientRunner`).
+``collect(handles)`` interface (``submit_many`` batches the hand-off,
+``run_jobs`` remains as a batch shim); :mod:`repro.parallel.shm` publishes
+broadcast arrays into shared memory so pool jobs ship descriptors instead
+of payloads; :mod:`repro.parallel.pool` keeps the lower-level fork-pool
+primitives (:func:`parallel_map`, the per-round
+:class:`ParallelClientRunner`).
 """
 
 from repro.parallel.backend import (
@@ -22,9 +25,12 @@ from repro.parallel.backend import (
     execute_job,
     make_backend,
     resolve_backend,
+    resolve_job_batch,
+    resolve_shared_memory,
     resolve_streaming,
 )
 from repro.parallel.pool import ParallelClientRunner, parallel_map, resolve_workers
+from repro.parallel.shm import ArrayRef, BroadcastStore, resolve_job_refs
 
 __all__ = [
     "ClientJob",
@@ -35,8 +41,13 @@ __all__ = [
     "ProcessPoolBackend",
     "ThreadBackend",
     "BACKENDS",
+    "ArrayRef",
+    "BroadcastStore",
+    "resolve_job_refs",
     "make_backend",
     "resolve_backend",
+    "resolve_job_batch",
+    "resolve_shared_memory",
     "resolve_streaming",
     "execute_job",
     "execute_client_job",

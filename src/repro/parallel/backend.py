@@ -81,6 +81,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.parallel.pool import parallel_map, resolve_workers
+from repro.parallel.shm import BroadcastStore, resolve_job_refs
 from repro.simulation.context import SimulationContext
 from repro.simulation.engine import attach_train_loss
 
@@ -96,6 +97,8 @@ __all__ = [
     "make_backend",
     "resolve_backend",
     "resolve_streaming",
+    "resolve_job_batch",
+    "resolve_shared_memory",
     "prepare_engine_backend",
     "execute_job",
     "execute_client_job",
@@ -112,7 +115,10 @@ class ClientJob:
         round_idx: RNG round key for ``client_update`` (the round for
             barrier/deadline engines, the dispatch sequence for async).
         client_id: which client trains.
-        x_ref: the broadcast parameter vector trained from.
+        x_ref: the broadcast parameter vector trained from.  In transit a
+            transport may substitute a descriptor (a shared-memory
+            :class:`~repro.parallel.shm.ArrayRef`, a wire token) that the
+            executing side resolves back to the real array before compute.
         client_state: packed per-client algorithm state to train from, or
             None when the executing algorithm already holds it (stateless
             methods, or the serial backend under synchronous rounds).
@@ -210,7 +216,7 @@ def execute_job(ctx: SimulationContext, algorithm, job: ClientJob) -> ClientResu
 
 
 def execute_client_job(
-    ctx: SimulationContext, algorithm, job: ClientJob, measure_pickle: bool = False
+    ctx: SimulationContext, algorithm, job: ClientJob, job_bytes: int | None = None
 ) -> ClientResult:
     """:func:`execute_job`, stamping timing when the job asks for it.
 
@@ -220,9 +226,12 @@ def execute_client_job(
     execution path reports the same fields: ``queue_wait_s`` (submission to
     compute start; ``time.monotonic`` is cross-process comparable on one
     machine), ``compute_s`` (client_update wall time) and — where the job
-    actually crossed a process boundary — ``pickle_bytes`` (serialized job
-    size).  Remote transports additionally stamp ``send_bytes`` /
-    ``recv_bytes`` on the service side, where the framed sizes are known.
+    actually crossed a process boundary — ``pickle_bytes``, the serialized
+    job size the *transport* already measured (``job_bytes``: the pool's
+    chunk payload share, the net worker's frame share).  Executors never
+    re-pickle a job just to weigh it.  Remote transports additionally stamp
+    ``send_bytes`` / ``recv_bytes`` on the service side, where the framed
+    sizes are known.
     """
     if not job.collect_timing:
         return execute_job(ctx, algorithm, job)
@@ -234,8 +243,8 @@ def execute_client_job(
         ),
         "compute_s": time.monotonic() - start,
     }
-    if measure_pickle:
-        timing["pickle_bytes"] = len(pickle.dumps(job, pickle.HIGHEST_PROTOCOL))
+    if job_bytes is not None:
+        timing["pickle_bytes"] = int(job_bytes)
     return ClientResult(
         update=result.update,
         new_state=result.new_state,
@@ -373,6 +382,20 @@ class ExecutionBackend:
         self._legacy_pending[handle] = handle.job
         return handle
 
+    def submit_many(self, jobs: Sequence[ClientJob]) -> list[JobHandle]:
+        """Hand a batch of jobs over in one call; handles in job order.
+
+        Semantically equivalent to ``[self.submit(j) for j in jobs]`` —
+        which is exactly the base implementation — but transports that pay
+        per-call overhead (pickle + IPC round-trip per pool task, one wire
+        frame per remote job) override it to amortize that cost across the
+        batch.  Batching is a transport concern only: results still come
+        back through :meth:`collect` one handle at a time, and histories
+        stay bit-identical to per-job submission because jobs are stamped
+        from dispatch-time state before they ever reach the backend.
+        """
+        return [self.submit(job) for job in jobs]
+
     def collect(
         self, handles: Sequence[JobHandle] | None = None, block: bool = True
     ) -> list[tuple[JobHandle, ClientResult]]:
@@ -387,7 +410,14 @@ class ExecutionBackend:
 
         Base-class behavior (legacy fallback): a blocking collect runs all
         queued jobs through ``run_jobs`` first; a non-blocking one returns
-        only results computed by an earlier blocking call.
+        only results computed by an earlier blocking call.  These
+        non-blocking semantics are pinned (``tests/test_scaling.py``):
+        ``collect(block=False)`` *never* starts work — on a legacy backend
+        it returns ``[]`` until a blocking collect has run the batch, and
+        it never raises on a handle that is unknown, still queued, or
+        already collected (only ``block=True`` raises ``KeyError`` for an
+        unknown/already-collected handle).  Batched backends must keep the
+        same contract: a non-blocking collect reports finished work only.
         """
         if block and self._legacy_pending:
             pending = self._legacy_pending
@@ -540,27 +570,70 @@ def _pool_worker_init(model_builder, dataset, config, loss_builder,
     )
 
 
-def _pool_worker_run(job: ClientJob) -> ClientResult:
-    return execute_client_job(
-        _WORKER["ctx"], _WORKER["algo"], job, measure_pickle=True
-    )
+def _pool_worker_run_payload(payload: bytes) -> list[ClientResult]:
+    """Run one pre-pickled chunk of jobs; the pool task granularity.
+
+    The parent pickles the chunk itself (``Pool`` then only re-pickles a
+    ``bytes`` object — effectively a memcpy), so the serialized size is
+    known on both sides without any extra ``pickle.dumps``: each job's
+    ``pickle_bytes`` is its share of the chunk payload.
+    """
+    jobs = pickle.loads(payload)
+    share = len(payload) // max(len(jobs), 1)
+    return [
+        execute_client_job(
+            _WORKER["ctx"], _WORKER["algo"], resolve_job_refs(job),
+            job_bytes=share,
+        )
+        for job in jobs
+    ]
 
 
 class ProcessPoolBackend(ExecutionBackend):
     """Fork-based process pool speaking the full job contract.
 
     The rework of the old ``ParallelClientRunner.run_jobs`` path: workers
-    now accept and return packed client state and buffer dicts, so stateful
+    now accept and return packed state and buffer dicts, so stateful
     methods (SCAFFOLD, FedDyn) and BatchNorm buffer tracking run under the
     pool with results bit-identical to the serial backend.
+
+    Two transport optimizations, both off by default and both identity-
+    preserving (jobs are stamped from dispatch-time state before they reach
+    the backend, and results are applied in virtual-time order):
+
+    * ``job_batch=k`` — :meth:`submit_many` groups k jobs per pool task,
+      amortizing one pickle + one IPC round-trip across the group.
+    * ``shared_memory=True`` — broadcast arrays (``x_ref``, round-stable
+      ``broadcast_state`` entries) are published once per version into a
+      :class:`~repro.parallel.shm.BroadcastStore` and jobs ship tiny
+      :class:`~repro.parallel.shm.ArrayRef` descriptors instead; workers
+      attach the segments read-only.  Segments are reference-counted per
+      in-flight job and the store is unlinked from :meth:`close`, so a run
+      that raises mid-stream (the engines close ``engine_owned`` backends
+      in a ``finally``) still reaps its shared memory.
     """
 
     name = "process"
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        job_batch: int | None = None,
+        shared_memory: bool = False,
+    ) -> None:
+        if job_batch is not None and int(job_batch) < 1:
+            raise ValueError(f"job_batch must be >= 1, got {job_batch}")
         self.workers = resolve_workers(workers)
+        self.job_batch = int(job_batch) if job_batch is not None else None
+        self.shared_memory = bool(shared_memory)
         self._pool = None
-        self._inflight: dict[JobHandle, mp.pool.AsyncResult] = {}
+        self._store: BroadcastStore | None = None
+        # handle -> (chunk AsyncResult, index into the chunk's result list)
+        self._inflight: dict[JobHandle, tuple[mp.pool.AsyncResult, int]] = {}
+        # shm refs acquired per handle, released at collect
+        self._handle_refs: dict[JobHandle, tuple] = {}
+        self._jobs_submitted = 0
+        self._tasks_submitted = 0
 
     def bind(self, ctx, algorithm, model_builder=None, algo_builder=None,
              loss_builder=None, sampler_builder=None) -> "ProcessPoolBackend":
@@ -572,6 +645,8 @@ class ProcessPoolBackend(ExecutionBackend):
             warn_on_replica_config_mismatch(algorithm)
             algo_builder = type(algorithm)
         self.close()
+        if self.shared_memory:
+            self._store = BroadcastStore()
         self._pool = mp.get_context("fork").Pool(
             processes=self.workers,
             initializer=_pool_worker_init,
@@ -581,19 +656,41 @@ class ProcessPoolBackend(ExecutionBackend):
         return self
 
     def submit(self, job: ClientJob) -> JobHandle:
+        return self.submit_many([job])[0]
+
+    def submit_many(self, jobs: Sequence[ClientJob]) -> list[JobHandle]:
+        """Chunk by ``job_batch`` and ship each chunk as one pool task."""
         if self._pool is None:
             raise RuntimeError("ProcessPoolBackend.submit before bind()")
-        handle = self._make_handle(self._stamp(job))
-        self._inflight[handle] = self._pool.apply_async(
-            _pool_worker_run, (handle.job,)
-        )
-        return handle
+        chunk = self.job_batch or 1
+        handles: list[JobHandle] = []
+        for start in range(0, len(jobs), chunk):
+            group = [self._stamp(j) for j in jobs[start:start + chunk]]
+            if self._store is not None:
+                packed = [self._store.pack_job(j) for j in group]
+                ship = [j for j, _ in packed]
+                refs = [r for _, r in packed]
+            else:
+                ship, refs = group, [()] * len(group)
+            payload = pickle.dumps(tuple(ship), pickle.HIGHEST_PROTOCOL)
+            async_res = self._pool.apply_async(
+                _pool_worker_run_payload, (payload,)
+            )
+            self._tasks_submitted += 1
+            for idx, (job_s, job_refs) in enumerate(zip(group, refs)):
+                handle = self._make_handle(job_s)
+                self._inflight[handle] = (async_res, idx)
+                if job_refs:
+                    self._handle_refs[handle] = job_refs
+                handles.append(handle)
+            self._jobs_submitted += len(group)
+        return handles
 
     def collect(self, handles=None, block=True):
         out = []
         for h in list(self._inflight) if handles is None else handles:
             try:
-                async_res = self._inflight[h]
+                async_res, idx = self._inflight[h]
             except KeyError:
                 if block:
                     raise KeyError(
@@ -602,10 +699,31 @@ class ProcessPoolBackend(ExecutionBackend):
                 continue
             if not block and not async_res.ready():
                 continue
-            result = async_res.get()  # re-raises a worker exception here
+            # AsyncResult caches its value, so sibling handles of the same
+            # chunk each .get() cheaply and index their own slot
+            results = async_res.get()  # re-raises a worker exception here
             del self._inflight[h]
-            out.append((h, result))
+            for ref in self._handle_refs.pop(h, ()):
+                self._store.release(ref)
+            out.append((h, results[idx]))
         return out
+
+    def transport_stats(self) -> dict:
+        """Pool transport counters — non-empty only when a transport
+        optimization (batching / shared memory) is actually on."""
+        if not self.shared_memory and not self.job_batch:
+            return {}
+        stats = {
+            "transport": "pool",
+            "jobs": self._jobs_submitted,
+            "pool_tasks": self._tasks_submitted,
+            "job_batch": self.job_batch or 1,
+        }
+        if self._store is not None:
+            self._last_shm_stats = self._store.stats()
+        if getattr(self, "_last_shm_stats", None):
+            stats.update(self._last_shm_stats)  # survives the store's close
+        return stats
 
     def map(self, fn: Callable, items: list) -> list:
         # coarse-grained sweep map: a transient pool, independent of bind()
@@ -621,7 +739,15 @@ class ProcessPoolBackend(ExecutionBackend):
                 self._pool.close()
             self._pool.join()
             self._pool = None
+        if self._store is not None:
+            # snapshot counters first: the journal's end record reads
+            # transport_stats after the engine closed the backend
+            self._last_shm_stats = self._store.stats()
+            # after the pool is gone: no worker still maps the segments
+            self._store.close()
+            self._store = None
         self._inflight = {}
+        self._handle_refs = {}
 
 
 class ThreadBackend(ExecutionBackend):
@@ -824,6 +950,61 @@ def resolve_backend(
     if workers is not None and workers > 1:
         return "serial" if daemon else "process"
     return "serial"
+
+
+def resolve_job_batch(value: int | None = None, env: bool = False) -> int | None:
+    """Resolve the transport batch size (jobs per pool task / wire frame).
+
+    Precedence: explicit ``value`` > the ``REPRO_JOB_BATCH`` environment
+    variable (only when ``env=True`` — the spec facade opts in, mirroring
+    ``REPRO_BACKEND``) > None (per-job transport, the pre-batching
+    behavior).  Batch size is a transport knob with zero effect on
+    histories, so any value is valid for every engine kind.
+    """
+    if value is not None:
+        value = int(value)
+        if value < 1:
+            raise ValueError(f"job_batch must be >= 1, got {value}")
+        return value
+    if env:
+        raw = os.environ.get("REPRO_JOB_BATCH", "").strip()
+        if raw:
+            try:
+                value = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOB_BATCH must be an integer >= 1, got {raw!r}"
+                ) from None
+            if value < 1:
+                raise ValueError(
+                    f"REPRO_JOB_BATCH must be an integer >= 1, got {raw!r}"
+                )
+            return value
+    return None
+
+
+def resolve_shared_memory(value: bool | None = None, env: bool = False) -> bool:
+    """Resolve the zero-copy broadcast flag for the process pool.
+
+    Precedence: explicit ``value`` > the ``REPRO_SHARED_MEMORY``
+    environment variable (only when ``env=True``) > off.  Off by default
+    because below a few thousand simulated clients (or with tiny models)
+    the segment publish + attach overhead can exceed the pickle saved.
+    """
+    if value is not None:
+        return bool(value)
+    if env:
+        raw = os.environ.get("REPRO_SHARED_MEMORY", "").strip().lower()
+        if raw:
+            if raw in ("1", "true", "on", "yes"):
+                return True
+            if raw in ("0", "false", "off", "no"):
+                return False
+            raise ValueError(
+                "REPRO_SHARED_MEMORY must be boolean-like "
+                f"(1/0/true/false/on/off), got {raw!r}"
+            )
+    return False
 
 
 def resolve_streaming(streaming: bool | None = None, env: bool = False) -> bool:

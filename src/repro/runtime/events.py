@@ -171,15 +171,30 @@ class ClientStateStore:
         self.stale_commits = 0
 
     def capture_initial(self) -> None:
-        """Snapshot every client's post-``setup`` state (called once)."""
+        """Reset the store to the post-``setup`` baseline (called once).
+
+        Materialization is *lazy*: nothing is packed here.  A client's state
+        is first packed — from the algorithm's own post-``setup`` arrays —
+        when its first dispatch snapshots it, and cached from then on, so a
+        100k-client simulation holds packed state for the clients that
+        actually ran, O(active) not O(total).  Laziness is identity-safe
+        because a client's first snapshot always happens before anything
+        can mutate its slot in the algorithm (only ``commit`` writes, and a
+        commit is always preceded by the dispatch that snapshotted).
+        """
         self.stale_commits = 0
-        self._versions = dict.fromkeys(range(self._num), 0)
-        if self.active:
-            self._state = {k: self._algo.pack_client_state(k) for k in range(self._num)}
+        self._versions = {}
+        self._state = {}
 
     def snapshot(self, client_id: int) -> dict | None:
-        """State a dispatch issued now should train from."""
-        return self._state[client_id] if self.active else None
+        """State a dispatch issued now should train from (packed on first
+        use, cached after — see :meth:`capture_initial`)."""
+        if not self.active:
+            return None
+        state = self._state.get(client_id)
+        if state is None:
+            state = self._state[client_id] = self._algo.pack_client_state(client_id)
+        return state
 
     def version(self, client_id: int) -> int:
         """Monotone per-client commit counter (0 until the first commit)."""
@@ -301,6 +316,25 @@ class EventCore:
             job = replace(job, collect_timing=True, submitted_at=time.monotonic())
         return self.backend.submit(job)
 
+    def submit_jobs(self, jobs: list[ClientJob]) -> list:
+        """Batch submit through ``backend.submit_many``; handles in order.
+
+        Same timing stamps as :meth:`submit_job`, one backend call: batching
+        backends (pool ``job_batch``, the remote service) amortize a pickle
+        + transport round-trip across the list.  Identity-safe for the same
+        reason streaming is: every job is already stamped from
+        dispatch-time state before it gets here.
+        """
+        if self.recorder is not None:
+            now = time.monotonic()
+            jobs = [
+                replace(job, collect_timing=True, submitted_at=now)
+                if not job.collect_timing
+                else job
+                for job in jobs
+            ]
+        return self.backend.submit_many(jobs)
+
     def collect_jobs(self, handles=None, block: bool = True) -> list:
         """Collect completed ``(handle, result)`` pairs from the backend.
 
@@ -319,9 +353,11 @@ class EventCore:
 
         Round policies (whole-cohort compute) and the async lazy flush go
         through here; unrecorded runs pass jobs through untouched, so the
-        hot path pays nothing.
+        hot path pays nothing.  Submission is batched (one
+        ``submit_many``), so a cohort costs one transport round-trip on
+        batching backends.
         """
-        handles = [self.submit_job(job) for job in jobs]
+        handles = self.submit_jobs(jobs)
         return [res for _, res in self.collect_jobs(handles, block=True)]
 
     def run_cohort(self, round_idx: int, clients) -> list:
@@ -804,6 +840,7 @@ class AsyncPolicy:
         # pre-streaming snapshots carry neither attribute) stay runnable
         self._handles: dict[int, object] = {}
         self._jobs: dict[int, ClientJob] = {}
+        self._burst: list[tuple[int, ClientJob]] = []
 
     # -- lifecycle -----------------------------------------------------------
     def begin(self, core: EventCore) -> None:
@@ -830,9 +867,11 @@ class AsyncPolicy:
         # every job through the contract (so it works on every backend)
         buf0 = ctx.model.get_buffers(copy=True) if ctx.model.buffers else None
         self._buffers = buf0
+        self._burst = []
         self._t0 = time.perf_counter()
         for _ in range(min(self.concurrency, self.max_updates)):
             self.dispatch(core)
+        self._submit_burst(core)
 
     def finish(self, core: EventCore) -> None:
         pass
@@ -871,11 +910,24 @@ class AsyncPolicy:
         job = self._make_job(core, d)
         if self._streaming_active(core):
             # eager hand-off: workers start computing while the event loop
-            # keeps processing; the result still applies at virtual arrival
-            self._handles[seq] = core.submit_job(job)
+            # keeps processing; the result still applies at virtual arrival.
+            # Dispatches issued back-to-back (the begin() prime, a refill
+            # burst after a completion) accumulate and go to the backend as
+            # one submit_many at the end of the burst, so batching
+            # transports amortize a round-trip across them.
+            self._burst.append((seq, job))
         else:
             self._pending.append(d)
             self._jobs[seq] = job
+
+    def _submit_burst(self, core: EventCore) -> None:
+        """Hand the accumulated dispatch burst to the backend in one call."""
+        if not self._burst:
+            return
+        seqs = [s for s, _ in self._burst]
+        handles = core.submit_jobs([j for _, j in self._burst])
+        self._burst = []
+        self._handles.update(zip(seqs, handles))
 
     def _make_job(self, core: EventCore, d: Dispatch) -> ClientJob:
         """Build the dispatch's job from *dispatch-time* server state.
@@ -925,6 +977,10 @@ class AsyncPolicy:
         """The result for dispatch ``seq``: cached, collected, or computed."""
         if seq in self._results:
             return self._results.pop(seq)
+        # a burst never stays unsubmitted across event-loop steps (every
+        # dispatch site flushes it), but submit defensively before looking
+        # the handle up so _obtain can never miss a burst-parked job
+        self._submit_burst(core)
         if seq in self._handles:
             # sweep everything already finished, then wait on the one needed
             self._drain(core, block=False)
@@ -944,6 +1000,7 @@ class AsyncPolicy:
         wall-clock overlap; lazy-batch jobs (``_jobs``) are plain data and
         simply ride the snapshot.
         """
+        self._submit_burst(core)
         self._drain(core, block=True)
 
     def flush(self, core: EventCore) -> None:
@@ -1018,6 +1075,7 @@ class AsyncPolicy:
         # limit drops, replacements pause until the population drains
         while st["dispatched"] < self.max_updates and len(self._in_flight) < limit:
             self.dispatch(core)
+        self._submit_burst(core)
 
         if self._completed % self.window == 0 or self._completed == self.max_updates:
             self.close_window(core)

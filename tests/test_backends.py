@@ -196,8 +196,10 @@ class TestJobContract:
             client_state=state0, broadcast_state=bcast0,
             collect_timing=True, submitted_at=time.monotonic(),
         )
-        timed = execute_client_job(ctx, algo, timed_job, measure_pickle=True)
+        # the transport measured the serialized size; no re-pickle happens
+        timed = execute_client_job(ctx, algo, timed_job, job_bytes=4096)
         assert {"queue_wait_s", "compute_s", "pickle_bytes"} <= set(timed.timing)
+        assert timed.timing["pickle_bytes"] == 4096
         np.testing.assert_array_equal(
             timed.update.displacement, plain.update.displacement
         )

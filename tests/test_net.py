@@ -24,6 +24,8 @@ import subprocess
 import sys
 import threading
 import time
+from collections import OrderedDict
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -41,6 +43,7 @@ from repro.experiments import (
 from repro.net import (
     JOB_SCHEMA_VERSION,
     PROTOCOL_VERSION,
+    XREF_CACHE_VERSIONS,
     AggregatorService,
     FrameDecoder,
     FrameError,
@@ -48,6 +51,7 @@ from repro.net import (
     RemoteBackend,
     WorkerClient,
     WorkerError,
+    XRefToken,
     encode_frame,
     parse_address,
     recv_frame,
@@ -249,11 +253,33 @@ class _ScriptedWorker:
             "protocol": protocol, "job_schema": schema, "pid": 0, "host": "t",
         })
         self.welcome = recv_frame(self.sock)
+        self._queue: list = []
+        self._xref: "OrderedDict[int, np.ndarray]" = OrderedDict()
 
     def recv_job(self):
-        msg_type, payload = recv_frame(self.sock)
-        assert msg_type is MsgType.JOB
-        return payload  # (seq, job)
+        """Next (seq, job) with any XRefToken resolved, consuming JOB_BATCH
+        frames with the same cache discipline as the real worker."""
+        while not self._queue:
+            msg_type, payload = recv_frame(self.sock)
+            assert msg_type in (MsgType.JOB, MsgType.JOB_BATCH), msg_type
+            if msg_type is MsgType.JOB:
+                self._queue.append(payload)
+                continue
+            batch, inline = payload
+            for version, arr in inline.items():
+                self._xref[version] = arr
+            needed = {j.x_ref.version for _, j in batch
+                      if isinstance(j.x_ref, XRefToken)}
+            for version in list(self._xref):
+                if len(self._xref) <= XREF_CACHE_VERSIONS:
+                    break
+                if version not in needed:
+                    del self._xref[version]
+            for seq, job in batch:
+                if isinstance(job.x_ref, XRefToken):
+                    job = replace(job, x_ref=self._xref[job.x_ref.version])
+                self._queue.append((seq, job))
+        return self._queue.pop(0)
 
     def serve(self, n: int) -> None:
         for _ in range(n):
@@ -349,6 +375,57 @@ class TestAggregatorService:
         result = service.collect([0], block=True)[0]
         assert result.timing["send_bytes"] > 0
         assert result.timing["recv_bytes"] > 0
+        w.close()
+
+    def test_batched_assignment_ships_x_once(self):
+        """batch_limit>1: one JOB_BATCH frame carries the whole burst and
+        inlines each distinct broadcast vector exactly once."""
+        svc = AggregatorService(
+            "127.0.0.1:0", batch_limit=4, heartbeat_timeout=30.0
+        ).start()
+        try:
+            w = _ScriptedWorker(svc.address)
+            x = np.arange(8.0)
+            jobs = [
+                ClientJob(round_idx=s, client_id=s % 3, x_ref=x,
+                          collect_timing=True, submitted_at=time.monotonic())
+                for s in range(4)
+            ]
+            svc.submit_many(list(enumerate(jobs)))
+            msg_type, payload = recv_frame(w.sock)
+            assert msg_type is MsgType.JOB_BATCH
+            batch, inline = payload
+            assert [s for s, _ in batch] == [0, 1, 2, 3]
+            assert len(inline) == 1  # the shared x ships once
+            assert all(isinstance(j.x_ref, XRefToken) for _, j in batch)
+            (version,) = inline
+            for seq, job in batch:
+                job = replace(job, x_ref=inline[version])
+                send_frame(w.sock, MsgType.RESULT, (seq, _result(job), None))
+            results = svc.collect([0, 1, 2, 3], block=True)
+            assert set(results) == {0, 1, 2, 3}
+            stats = svc.stats()
+            assert stats["batch_frames"] == 1
+            assert stats["job_batch"] == 4
+            assert stats["bytes_saved"] == 3 * x.nbytes
+            w.close()
+        finally:
+            svc.stop()
+
+    def test_xref_dedup_across_frames(self, service):
+        """Even unbatched (batch_limit=1), a worker receives each broadcast
+        version once; later jobs carry tokens only."""
+        w = _ScriptedWorker(service.address)
+        x = np.arange(16.0)
+        for seq in range(3):
+            service.submit(seq, replace(_job(seq), x_ref=x))
+        w.serve(3)
+        results = service.collect([0, 1, 2], block=True)
+        assert all(results[s] is not None for s in range(3))
+        # the scripted worker resolved tokens from its cache, so every
+        # result saw the same vector
+        assert len({results[s].update for s in range(3)}) == 1
+        assert service.stats()["bytes_saved"] == 2 * x.nbytes
         w.close()
 
     def test_wait_for_workers_times_out(self, service):
