@@ -1,35 +1,31 @@
-"""Clients-per-second across transports: the zero-copy + batching bench.
+"""Clients-per-second: control-plane + transport throughput at 100k clients.
 
-At 1k/10k/100k simulated clients the federated simulation is transport-
-bound, not compute-bound: every dispatch pickles the same broadcast vector
-into its job and every result crosses a process or socket boundary.  This
-bench measures sustained throughput — simulated client updates per wall
-second — for the same job stream on each transport configuration:
+Two legs, one committed results file:
 
-* ``serial``            — in-process reference (pure compute, no transport);
-* ``process``           — fork pool, one pickled job per IPC round-trip;
-* ``process+shm+batch`` — fork pool with ``shared_memory=True`` (broadcast
-  arrays published once per version into POSIX shared memory, jobs carry
-  :class:`~repro.parallel.shm.ArrayRef` descriptors) and ``job_batch``
-  grouping k jobs per pool task;
-* ``remote+batch``      — the :mod:`repro.net` federation service with two
-  ``repro worker`` subprocesses over TCP, ``JOB_BATCH`` frames and
-  per-worker broadcast-version dedup.
+**Event-core control plane** — real 1k/10k/100k-client populations driven
+end-to-end through :class:`~repro.runtime.AsyncFederatedSimulation` (one
+sample per client, a linear model, lognormal latencies), scalar
+per-dispatch planning vs the vectorized ``fast_path`` (incremental
+:class:`~repro.runtime.IdleTracker`, ``LatencyModel.sample_many`` batched
+draws, ``VirtualClock.push_many`` burst insertion).  A
+:class:`~repro.observe.HotPathProfiler` rides every run, and the committed
+results include its per-phase breakdown — *where* each dispatch's wall
+time went, not just how many happened per second.
 
-"Simulated clients" counts dispatched client updates; client ids cycle
-over the dataset's shards (a 100k-client population sharing data shards —
-the per-client *state* side of that scale is the lazy
-:class:`~repro.runtime.events.ClientStateStore`, pinned in
-``tests/test_scaling.py``).  Every transport executes the identical job
-stream through :func:`~repro.parallel.execute_client_job`, and a separate
-end-to-end leg re-runs a fedbuff+SCAFFOLD spec on the batched/shm pool to
-assert histories stay bit-identical to serial.
+**Transports** — the PR-9 leg, unchanged in shape: the same raw job
+stream pushed through each backend configuration (``serial``,
+``process``, ``process+shm+batch``, ``remote+batch``); client ids cycle
+over the dataset's shards, so this isolates transport cost from
+population-scale control-plane cost (which the first leg owns).
 
 PASS/FAIL verdicts (CI surfaces regressions):
 
+* control plane — ``fast_path`` >= scalar clients/s at every size, and
+  (full run) >= 2x the PR-9 serial baseline (3396/s) at 100k clients;
+* fast-vs-scalar bit-identity — identical histories and final params on a
+  mid-sized async population;
 * bit-identity — batched+shm pool history == serial history, exactly;
-* throughput — ``process+shm+batch`` >= the per-job ``process`` baseline
-  (full size additionally expects >= 1.5x at 10k+ clients).
+* throughput — ``process+shm+batch`` >= the per-job ``process`` baseline.
 
 Run: ``PYTHONPATH=src python benchmarks/bench_clients_per_sec.py``
 (add ``--smoke`` for a <60s CI-sized run).
@@ -44,9 +40,17 @@ import subprocess
 import sys
 import time
 
+# pool fairness: the committed PR-9 run inherited "1 pool workers" from a
+# single-core default.  Pin a CPU-count-aware floor (>=2 so pool rows
+# measure a real pool) before _harness resolves WORKERS at import time;
+# an explicit REPRO_MAX_WORKERS still wins.
+os.environ.setdefault("REPRO_MAX_WORKERS", str(max(2, os.cpu_count() or 1)))
+
 import numpy as np
 
 from _harness import WORKERS, format_table, report
+from repro.algorithms import make_method
+from repro.data.registry import DatasetInfo, FederatedDataset
 from repro.experiments import (
     DataSpec,
     ExperimentSpec,
@@ -56,17 +60,147 @@ from repro.experiments import (
     run,
 )
 from repro.net import RemoteBackend
+from repro.nn import make_linear
+from repro.observe import HotPathProfiler
 from repro.parallel import (
     ClientJob,
     ProcessPoolBackend,
     SerialBackend,
     build_job_runtime,
 )
+from repro.runtime import AsyncFederatedSimulation, LognormalLatency
 from repro.simulation import FLConfig
 
 JOB_BATCH = 32       # jobs per pool task / wire frame on the batched rows
 WINDOW = 512         # in-flight window: submit a wave, collect it, repeat
 DATA_CLIENTS = 50    # data shards the simulated population cycles over
+
+PR9_SERIAL_BASELINE = 3396.0  # committed PR-9 serial clients/s at 100k
+CTRL_DIM = 16                 # feature dim of the control-plane problem
+
+
+def control_plane_dataset(population: int) -> FederatedDataset:
+    """A real ``population``-client problem: one sample per client.
+
+    Built directly from numpy (no Dirichlet partitioner — it would need
+    >= population samples) so the event core plans dispatches over an
+    actual 100k-entry busy mask, which is exactly the cost this leg
+    measures.  The linear model keeps per-update compute near-zero.
+    """
+    rng = np.random.default_rng(42)
+    w = rng.standard_normal(CTRL_DIM)
+    x_train = rng.standard_normal((population, CTRL_DIM))
+    y_train = (x_train @ w > 0).astype(np.int64)
+    x_test = rng.standard_normal((128, CTRL_DIM))
+    y_test = (x_test @ w > 0).astype(np.int64)
+    info = DatasetInfo(
+        name=f"ctrl-plane-{population}", num_classes=2, shape=(CTRL_DIM,),
+        n_max_train=1, n_test_per_class=64, separation=1.0, noise=0.0,
+        default_model="linear",
+    )
+    return FederatedDataset(
+        info=info, x_train=x_train, y_train=y_train, x_test=x_test,
+        y_test=y_test, partitions=[np.array([i]) for i in range(population)],
+        imbalance_factor=1.0, beta=1.0, partition_kind="balanced",
+    )
+
+
+def run_control_plane(
+    ds: FederatedDataset, max_updates: int, fast: bool
+) -> tuple[float, HotPathProfiler, object]:
+    """One async engine run over the population; returns (rate, profiler, result).
+
+    ``jitter=0`` keeps the lognormal model draw-free per dispatch (device
+    speeds are memoized per client), so the measured cost is planning, not
+    RNG construction; histories stay bit-identical to ``jitter=0`` scalar.
+    """
+    sim = AsyncFederatedSimulation(
+        make_method("fedasync").algorithm,
+        make_linear(CTRL_DIM, 2, seed=0),
+        ds,
+        FLConfig(rounds=1, participation=0.1, local_epochs=1, batch_size=10,
+                 max_batches_per_round=1, eval_every=8, seed=0),
+        latency_model=LognormalLatency(sigma=0.5, jitter=0.0),
+        concurrency=256,
+        max_updates=max_updates,
+        fast_path=fast,
+    )
+    profiler = HotPathProfiler()
+    t0 = time.perf_counter()
+    history = sim.run(profiler=profiler)
+    rate = max_updates / (time.perf_counter() - t0)
+    return rate, profiler, (history, sim.final_params)
+
+
+def _breakdown(label: str, profiler: HotPathProfiler) -> str:
+    d = profiler.as_dict()
+    shares = sorted(d["shares"].items(), key=lambda kv: kv[1], reverse=True)
+    parts = ", ".join(f"{k} {v:.0%}" for k, v in shares)
+    return f"  {label:28s} {d['clients_per_sec']:8.0f} clients/s — {parts}"
+
+
+def bench_control_plane(sizes: list[int], smoke: bool) -> tuple[str, bool]:
+    """Scalar vs fast-path event-core throughput over real populations."""
+    rows = []
+    breakdowns = []
+    ok = True
+    fast_at_max = 0.0
+    for n in sizes:
+        ds = control_plane_dataset(n)
+        fast_updates = 4_000 if smoke else 20_000
+        # the scalar path pays O(population) per dispatch; cap its updates
+        # so the row costs seconds, not minutes (clients/s is a rate)
+        scalar_updates = min(fast_updates, max(1_000, 200_000_000 // max(n, 1)))
+        r_scalar, p_scalar, _ = run_control_plane(ds, scalar_updates, fast=False)
+        r_fast, p_fast, _ = run_control_plane(ds, fast_updates, fast=True)
+        ok = ok and r_fast >= r_scalar
+        fast_at_max = r_fast
+        rows.append([n, scalar_updates, fast_updates, r_scalar, r_fast,
+                     r_fast / r_scalar])
+        breakdowns.append(_breakdown(f"scalar  n={n}", p_scalar))
+        breakdowns.append(_breakdown(f"fast    n={n}", p_fast))
+
+    table = format_table(
+        "event-core control plane (fedasync, linear model, 1 sample/client, "
+        "concurrency=256)",
+        ["clients", "scalar_upd", "fast_upd", "scalar/s", "fast/s", "speedup"],
+        [[n, su, fu, f"{a:.0f}", f"{b:.0f}", f"{s:.1f}x"]
+         for n, su, fu, a, b, s in rows],
+    )
+    lines = [table, "", "profile breakdown (per-phase share of wall time):"]
+    lines += breakdowns
+
+    verdicts = [f"fast_path >= scalar clients/s at every size: "
+                f"{'PASS' if ok else 'FAIL'}"]
+    if not smoke and sizes and sizes[-1] >= 100_000:
+        gate = fast_at_max >= 2.0 * PR9_SERIAL_BASELINE
+        ok = ok and gate
+        verdicts.append(
+            f"fast_path >= 2x PR-9 serial baseline "
+            f"({PR9_SERIAL_BASELINE:.0f}/s) at {sizes[-1]} clients: "
+            f"{'PASS' if gate else 'FAIL'} ({fast_at_max:.0f}/s)"
+        )
+    return "\n".join(lines + [""] + verdicts), ok
+
+
+def fast_scalar_identity_leg() -> tuple[str, bool]:
+    """fast_path histories == scalar histories on a mid-sized population."""
+    ds = control_plane_dataset(2_000)
+    _, _, (h_fast, x_fast) = run_control_plane(ds, 1_000, fast=True)
+    _, _, (h_scalar, x_scalar) = run_control_plane(ds, 1_000, fast=False)
+    same = bool(
+        np.array_equal(h_fast.accuracy, h_scalar.accuracy, equal_nan=True)
+        and np.array_equal(x_fast, x_scalar)
+        and [r.virtual_time for r in h_fast.records]
+        == [r.virtual_time for r in h_scalar.records]
+        and [r.staleness for r in h_fast.records]
+        == [r.staleness for r in h_scalar.records]
+    )
+    verdict = (
+        "fast_path vs scalar bit-identity (fedasync, 2k clients): "
+        f"{'PASS' if same else 'FAIL'}"
+    )
+    return verdict, same
 
 
 def problem_spec(seed: int = 0) -> ExperimentSpec:
@@ -216,8 +350,8 @@ def bench_sizes(spec, sizes: list[int], include_remote: bool) -> tuple[str, bool
         rows.append([n, r_serial, r_pool, r_fast, r_remote, speedup])
 
     table = format_table(
-        f"simulated clients per wall second ({WORKERS} pool workers, "
-        f"job_batch={JOB_BATCH})",
+        f"simulated clients per wall second ({os.cpu_count()} cores, "
+        f"{WORKERS} pool workers, job_batch={JOB_BATCH})",
         ["clients", "serial/s", "process/s", "process+shm+batch/s",
          "remote+batch/s", "batch_speedup"],
         [[n, f"{a:.0f}", f"{b:.0f}", f"{c:.0f}",
@@ -267,18 +401,31 @@ def main(argv: list[str] | None = None) -> int:
 
     spec = problem_spec()
     sizes = [1_000] if args.smoke else [1_000, 10_000, 100_000]
+    ctrl_text, ctrl_ok = bench_control_plane(sizes, smoke=args.smoke)
+    fast_verdict, fast_ok = fast_scalar_identity_leg()
     table, throughput_ok = bench_sizes(spec, sizes,
                                        include_remote=not args.smoke)
     identity_verdict, identity_ok = bit_identity_leg()
 
+    notes = []
+    if (os.cpu_count() or 1) < 2:
+        notes.append(
+            "note: single-core host — pool rows time-slice one core, so "
+            "serial stays the throughput ceiling here by construction"
+        )
     verdict = (
-        "batched+shm pool >= per-job pool throughput: "
+        fast_verdict
+        + "\nbatched+shm pool >= per-job pool throughput: "
         f"{'PASS' if throughput_ok else 'FAIL'}"
         "\n" + identity_verdict
     )
     name = "bench_clients_per_sec" + ("_smoke" if args.smoke else "")
-    report(name, table + "\n\n" + verdict)
-    return 0 if (throughput_ok and identity_ok) else 1
+    report(
+        name,
+        ctrl_text + "\n\n" + table + "\n\n"
+        + ("\n".join(notes) + "\n\n" if notes else "") + verdict,
+    )
+    return 0 if (ctrl_ok and fast_ok and throughput_ok and identity_ok) else 1
 
 
 if __name__ == "__main__":

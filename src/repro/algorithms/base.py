@@ -193,10 +193,13 @@ class LocalSGDMixin:
         loss_batches = 0
         cap = cfg.max_batches_per_round
         done = False
-        # grad_eval paths (the SAM family) evaluate the loss inside
-        # _plain_gradient; trace those calls so the batch's first evaluation —
-        # the pre-perturbation loss — still feeds loss-aware samplers
-        self._plain_losses: list[float] = []
+        if grad_eval is not None:
+            # grad_eval paths (the SAM family) evaluate the loss inside
+            # _plain_gradient; trace those calls so the batch's first
+            # evaluation — the pre-perturbation loss — still feeds
+            # loss-aware samplers.  The plain path never reads the trace,
+            # so it skips the per-call allocation.
+            self._plain_losses: list[float] = []
         for _ in range(epochs):
             if done:
                 break

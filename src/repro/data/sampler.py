@@ -15,6 +15,11 @@ from repro.utils.rng import as_generator
 
 __all__ = ["BalancedBatchSampler", "UniformBatchSampler"]
 
+# the one batch a single-sample client's epoch yields (read-only: callers
+# only ever index with it); matches permutation(1)'s dtype and value
+_SINGLE = np.zeros(1, dtype=np.int64)
+_SINGLE.setflags(write=False)
+
 
 class UniformBatchSampler:
     """Plain shuffled epoch iteration (the default for all algorithms)."""
@@ -26,6 +31,13 @@ class UniformBatchSampler:
         self.batch_size = batch_size
 
     def epoch(self, rng: int | np.random.Generator) -> Iterator[np.ndarray]:
+        if self.n <= 1:
+            # permutation(n) draws nothing for n <= 1 (no swaps happen), so
+            # skipping it leaves the caller's stream untouched — exact, and
+            # single-sample clients are the population-scale bench workload
+            if self.n == 1:
+                yield _SINGLE
+            return
         rng = as_generator(rng)
         order = rng.permutation(self.n)
         for lo in range(0, self.n, self.batch_size):

@@ -41,6 +41,7 @@ from repro.runtime import (
     TimeAwareSampler,
     make_latency_model,
     make_sampler,
+    resolve_fast_path,
 )
 from repro.simulation import FLConfig, FederatedSimulation, History
 
@@ -77,6 +78,9 @@ class RunResult:
     final_params: np.ndarray | None = None
     total_virtual_time: float = 0.0
     engine: object = field(default=None, repr=False)
+    #: hot-path profile summary (``HotPathProfiler.as_dict()``) for recorded
+    #: runs — the same dict journaled as the run's ``profile`` record
+    profile: dict | None = None
 
     @property
     def final_accuracy(self) -> float:
@@ -311,9 +315,10 @@ def build(spec: ExperimentSpec):
         algo_builder=algo_builder,
         sampler=_build_sampler(spec, timed=True),
         buffer_ema=rt.buffer_ema,
-        # spec-driven runs opt into the REPRO_STREAMING environment default,
-        # mirroring the backend resolution above
+        # spec-driven runs opt into the REPRO_STREAMING / REPRO_FAST_PATH
+        # environment defaults, mirroring the backend resolution above
         streaming=resolve_streaming(rt.streaming, env=True),
+        fast_path=resolve_fast_path(rt.fast_path, env=True),
         loss_builder=loss_builder,
         sampler_builder=sampler_builder,
     )
@@ -333,18 +338,23 @@ def run(
     """
     engine = build(spec)
     recorder = None
+    profiler = None
     if spec.runtime.record:
         import os
 
-        from repro.observe import RunRecorder
+        from repro.observe import HotPathProfiler, RunRecorder
 
         run_dir = spec.runtime.run_dir
         os.makedirs(run_dir, exist_ok=True)
         spec.save(os.path.join(run_dir, "spec.json"))
         recorder = RunRecorder(run_dir)
+        # recorded runs profile themselves: the hot-path summary lands in
+        # the journal (a "profile" record) and on RunResult.profile
+        profiler = HotPathProfiler()
     try:
         history = engine.run(
-            verbose=verbose, recorder=recorder, stop_after_rounds=stop_after_rounds
+            verbose=verbose, recorder=recorder, stop_after_rounds=stop_after_rounds,
+            profiler=profiler,
         )
     finally:
         if recorder is not None:
@@ -355,6 +365,7 @@ def run(
         final_params=getattr(engine, "final_params", None),
         total_virtual_time=getattr(engine, "total_virtual_time", 0.0),
         engine=engine,
+        profile=profiler.as_dict() if profiler is not None else None,
     )
 
 
@@ -374,7 +385,12 @@ def resume_run(
     """
     import os
 
-    from repro.observe import RunRecorder, latest_snapshot, load_snapshot
+    from repro.observe import (
+        HotPathProfiler,
+        RunRecorder,
+        latest_snapshot,
+        load_snapshot,
+    )
 
     spec = ExperimentSpec.load(os.path.join(run_dir, "spec.json"))
     snap_path = latest_snapshot(run_dir)
@@ -386,12 +402,14 @@ def resume_run(
     snap = load_snapshot(snap_path)
     engine = build(spec)
     recorder = RunRecorder(run_dir) if record else None
+    profiler = HotPathProfiler() if record else None
     try:
         history = engine.run(
             verbose=verbose,
             recorder=recorder,
             resume=snap,
             stop_after_rounds=stop_after_rounds,
+            profiler=profiler,
         )
     finally:
         if recorder is not None:
@@ -402,4 +420,5 @@ def resume_run(
         final_params=getattr(engine, "final_params", None),
         total_virtual_time=getattr(engine, "total_virtual_time", 0.0),
         engine=engine,
+        profile=profiler.as_dict() if profiler is not None else None,
     )

@@ -34,12 +34,34 @@ class CrossEntropyLoss:
 
     def __call__(self, logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
         n, c = logits.shape
-        p = softmax(logits)
-        y = one_hot(labels, c)
         eps = 1e-12
-        loss = float(-np.mean(np.log(p[np.arange(n), labels] + eps)))
-        dlogits = (p - y) / n
-        return loss, dlogits
+        if n == 1:
+            # single-sample lane (one-sample-per-client populations hit this
+            # every batch): scalar indexing replaces the fancy-index
+            # machinery.  mean() of one element is that element, log of a
+            # 0-d value runs the same ufunc loop, and x / 1 == x, so the
+            # returned bits match the general path exactly.
+            lab = labels[0]
+            if lab < 0:
+                raise ValueError(f"labels out of range [0, {c}): min={lab}")
+            p = softmax(logits)
+            pt = p[0, lab]  # raises on lab >= c like the fancy index does
+            loss = float(-np.log(pt + eps))
+            p[0, lab] -= 1.0
+            return loss, p
+        if labels.size and labels.min() < 0:
+            raise ValueError(f"labels out of range [0, {c}): min={labels.min()}")
+        p = softmax(logits)
+        idx = np.arange(n)
+        pt = p[idx, labels]  # fancy-indexed copy; raises on labels >= c
+        loss = float(-np.log(pt + eps).mean())
+        # in-place (p - one_hot) / n without materialising the one-hot:
+        # off-label entries are p - 0.0 == p bit for bit, the label entry
+        # subtracts the same 1.0, and the division is the same elementwise
+        # op — identical to the allocating form, minus two (n, c) temporaries
+        p[idx, labels] -= 1.0
+        p /= n
+        return loss, p
 
 
 class FocalLoss:

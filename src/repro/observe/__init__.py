@@ -11,10 +11,16 @@ Three pieces, one artifact directory (``run_dir``):
   trajectories).  CLI: ``python -m repro watch <run_dir>``.
 * :mod:`repro.observe.snapshot` — resumable core snapshots;
   ``repro run --resume <run_dir>`` continues a stopped run bit-identically.
+
+Plus :mod:`repro.observe.profile` — the :class:`HotPathProfiler` per-phase
+wall counters the event core feeds while a run executes; recorded runs
+journal the summary as a ``profile`` record which ``repro watch --summary``
+surfaces as a ``hotpath:`` line.
 """
 
 from repro.observe.journal import JOURNAL_SCHEMA_VERSION, RunRecorder, journal_path
 from repro.observe.metrics import JournalTailer, MetricsStore, read_journal
+from repro.observe.profile import PROFILE_PHASES, HotPathProfiler, format_hotpath
 from repro.observe.snapshot import (
     SNAPSHOT_SCHEMA_VERSION,
     latest_snapshot,
@@ -39,4 +45,7 @@ __all__ = [
     "load_snapshot",
     "latest_snapshot",
     "model_hash",
+    "PROFILE_PHASES",
+    "HotPathProfiler",
+    "format_hotpath",
 ]

@@ -19,6 +19,8 @@ and turns a run into an operable artifact under ``<run_dir>/``:
   snapshot    a resumable state snapshot was written (path + model hash)
   warning     a ``repro.*`` logger warning raised while recording
   stop        the run stopped early at a round boundary (checkpointed)
+  profile     hot-path per-phase wall breakdown + clients/sec (profiled
+              runs; see :class:`repro.observe.profile.HotPathProfiler`)
   end         the run completed; final accuracy and round count
   ==========  ============================================================
 
@@ -283,6 +285,13 @@ class RunRecorder:
 
     @_timed_hook
     def finish(self, core) -> None:
+        profiler = getattr(core, "profiler", None)
+        if profiler is not None:
+            # additive record (schema version unchanged): the hot-path
+            # per-phase wall breakdown; `repro watch --summary` renders it
+            # as the `hotpath:` line.  Emitted for stopped runs too — the
+            # partial leg's profile is still real
+            self.emit("profile", t=core.clock.now, **profiler.as_dict())
         if not getattr(core, "stopped", False):
             final = core.history.final_accuracy
             self.emit(

@@ -84,6 +84,8 @@ class MetricsStore:
         self.recorder_overhead_s: float | None = None
         #: wire-level stats from the latest stop/end record (remote backend)
         self.transport: dict = {}
+        #: hot-path profile record (profiled runs; latest leg wins)
+        self.profile: dict | None = None
 
     # -- ingestion -----------------------------------------------------------
     def ingest(self, rec: dict) -> None:
@@ -105,6 +107,8 @@ class MetricsStore:
         elif kind == "resume":
             self.resumes += 1
             self.stopped = False  # the run is live again
+        elif kind == "profile":
+            self.profile = rec
         elif kind == "stop":
             self.stopped = True
             self.recorder_overhead_s = rec.get("recorder_overhead_s")
@@ -278,6 +282,7 @@ class MetricsStore:
             "deadline_trajectory": self.trajectory("deadline"),
             "concurrency_trajectory": self.trajectory("concurrency_limit"),
             "job_timing": self.job_timing(),
+            "profile": self.profile,
             "transport": self.transport,
             "n_warnings": len(self.warnings),
             "recorder_overhead_s": self.recorder_overhead_s,
@@ -304,6 +309,10 @@ class MetricsStore:
             f"wall:       {d['wall_time']:.2f}s"
             f"   clients/sec:  {_fmt(d['clients_per_wall_sec'])}",
         ]
+        if d["profile"]:
+            from repro.observe.profile import format_hotpath
+
+            lines.append(f"hotpath:    {format_hotpath(d['profile'])}")
         if d["recorder_overhead_s"] is not None:
             lines.append(
                 f"recorder:   {d['recorder_overhead_s'] * 1e3:.1f}ms in hooks"

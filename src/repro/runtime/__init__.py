@@ -51,6 +51,7 @@ from repro.runtime.clock import (
     make_latency_model,
 )
 from repro.runtime.async_engine import AsyncFederatedSimulation
+from repro.runtime.fastpath import IdleTracker, resolve_fast_path
 from repro.runtime.scheduling import (
     ConcurrencyController,
     DeadlineController,
@@ -94,6 +95,8 @@ __all__ = [
     "DropoutRetryLatency",
     "LATENCY_MODELS",
     "make_latency_model",
+    "IdleTracker",
+    "resolve_fast_path",
     "AsyncFederatedSimulation",
     "SemiSyncFederatedSimulation",
     "TimedRoundRecord",

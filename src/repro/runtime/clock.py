@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.simulation.context import SimulationContext
+from repro.utils.rng import keyed_rng
 
 __all__ = [
     "Event",
@@ -87,6 +88,45 @@ class VirtualClock:
         heapq.heappush(self._heap, (ev.time, ev.seq, ev))
         self._seq += 1
         return ev
+
+    def push_many(self, entries) -> list[Event]:
+        """Batched schedule: one planning pass for a whole dispatch burst.
+
+        Args:
+            entries: sequence of ``(delay, client_id, data)`` triples, with
+                ``data`` the event's payload dict (what ``schedule`` takes
+                as ``**data``).
+
+        Pop order is bit-identical to sequential :meth:`schedule` calls:
+        entries receive consecutive ``seq`` numbers in list order and heap
+        order is fully determined by ``(time, seq)``, so how the tuples
+        *entered* the heap is unobservable.  That freedom pays for the
+        speed: large bursts (the async policy's begin() prime, a barrier
+        round's cohort) are appended and re-heapified in O(n + k) instead
+        of k O(log n) pushes, while small refill bursts keep the cheaper
+        per-item push.
+        """
+        items: list[tuple[float, int, Event]] = []
+        events: list[Event] = []
+        now, seq = self.now, self._seq
+        for delay, client_id, data in entries:
+            if not math.isfinite(delay) or delay < 0:
+                raise ValueError(f"delay must be finite and >= 0, got {delay}")
+            ev = Event(
+                time=now + float(delay), seq=seq, client_id=int(client_id), data=data
+            )
+            items.append((ev.time, ev.seq, ev))
+            events.append(ev)
+            seq += 1
+        self._seq = seq
+        heap = self._heap
+        if len(items) >= 8 and len(items) >= len(heap):
+            heap.extend(items)
+            heapq.heapify(heap)
+        else:
+            for item in items:
+                heapq.heappush(heap, item)
+        return events
 
     def peek(self) -> Event | None:
         """Earliest pending event without popping it (None when empty)."""
@@ -214,18 +254,45 @@ class LatencyModel:
         """Simulated seconds for dispatch ``dispatch_idx`` of ``client_id``."""
         return self.base_seconds(client_id) * self.factor(client_id, dispatch_idx)
 
+    def sample_many(self, client_ids, dispatch_idxs) -> np.ndarray:
+        """Batched :meth:`latency` over parallel id/index arrays.
+
+        The base implementation is a scalar loop over :meth:`latency`, so
+        third-party subclasses stay correct without opting in; the built-in
+        models override it with vectorized or memoized paths that reproduce
+        the per-call draws *bit for bit* — every stream is still keyed by
+        ``(seed, tag, dispatch_idx, client_id)``, so batching changes
+        neither the values nor any other stream
+        (``tests/test_fastpath.py`` pins this for every registered model).
+        """
+        return np.array(
+            [
+                self.latency(int(c), int(i))
+                for c, i in zip(client_ids, dispatch_idxs)
+            ],
+            dtype=np.float64,
+        )
+
     def factor(self, client_id: int, dispatch_idx: int) -> float:
         """Stochastic device multiplier; 1.0 in the constant base model."""
         return 1.0
 
     def _rng(self, tag: int, *key: int) -> np.random.Generator:
-        return np.random.default_rng((self.seed or 0, tag, *key))
+        return keyed_rng(self.seed or 0, tag, *key)
 
 
 class ConstantLatency(LatencyModel):
     """Homogeneous devices: latency is exactly the priced base cost."""
 
     name = "constant"
+
+    def sample_many(self, client_ids, dispatch_idxs) -> np.ndarray:
+        # fully vectorized: factor is identically 1.0, and base * 1.0 is
+        # the base bit for bit, so indexing the bound base array suffices
+        if self._base is None:
+            raise RuntimeError("LatencyModel.bind(ctx) must be called before pricing")
+        ids = np.asarray(client_ids, dtype=np.int64)
+        return self._base[ids].astype(np.float64, copy=True)
 
 
 class LognormalLatency(LatencyModel):
@@ -245,11 +312,64 @@ class LognormalLatency(LatencyModel):
             raise ValueError("sigma and jitter must be >= 0")
         self.sigma = float(sigma)
         self.jitter = float(jitter)
+        self._speed_cache: dict[int, float] = {}
+
+    def bind(self, ctx: SimulationContext) -> "LognormalLatency":
+        super().bind(ctx)
+        # rebinding may change the seed the per-client speed streams key on
+        self._speed_cache = {}
+        return self
+
+    def _speed(self, client_id: int) -> float:
+        """Memoized persistent device speed (one draw per client per bind).
+
+        The stream is keyed by ``(seed, 0x5E, client_id)`` alone, so the
+        draw is a pure function of the client — caching it is exact, and
+        the ``sigma == 0`` shortcut returns the same 1.0 the draw's
+        ``exp(0 * z)`` would.
+        """
+        cache = getattr(self, "_speed_cache", None)
+        if cache is None:  # instances unpickled from pre-cache snapshots
+            cache = self._speed_cache = {}
+        s = cache.get(client_id)
+        if s is None:
+            if self.sigma == 0.0:
+                s = 1.0
+            else:
+                s = math.exp(self.sigma * self._rng(0x5E, client_id).standard_normal())
+            cache[client_id] = s
+        return s
 
     def factor(self, client_id: int, dispatch_idx: int) -> float:
-        speed = math.exp(self.sigma * self._rng(0x5E, client_id).standard_normal())
+        speed = self._speed(client_id)
+        if self.jitter == 0.0:
+            # exp(0 * z) == 1.0 exactly; skipping the draw is value- and
+            # stream-safe (every stream has its own keyed generator)
+            return speed
         noise = math.exp(self.jitter * self._rng(0x11, dispatch_idx, client_id).standard_normal())
         return speed * noise
+
+    def sample_many(self, client_ids, dispatch_idxs) -> np.ndarray:
+        if self._base is None:
+            raise RuntimeError("LatencyModel.bind(ctx) must be called before pricing")
+        ids = np.asarray(client_ids, dtype=np.int64)
+        base = self._base[ids].astype(np.float64, copy=False)
+        speed = np.array([self._speed(int(c)) for c in ids], dtype=np.float64)
+        if self.jitter == 0.0:
+            return base * speed
+        noise = np.array(
+            [
+                math.exp(
+                    self.jitter
+                    * self._rng(0x11, int(i), int(c)).standard_normal()
+                )
+                for c, i in zip(ids, dispatch_idxs)
+            ],
+            dtype=np.float64,
+        )
+        # scalar latency() computes base * (speed * noise); keep the same
+        # association so the products round identically
+        return base * (speed * noise)
 
 
 class ParetoLatency(LatencyModel):

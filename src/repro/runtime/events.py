@@ -63,6 +63,8 @@ import numpy as np
 
 from repro.parallel.backend import ClientJob, SerialBackend
 from repro.runtime.clock import VirtualClock
+from repro.runtime.fastpath import IdleTracker, mask_positions
+from repro.utils.rng import keyed_rng
 from repro.simulation.engine import (
     History,
     RoundRecord,
@@ -257,6 +259,7 @@ class EventCore:
         self.history: History | None = None
         self.state_store: ClientStateStore | None = None
         self.recorder = None
+        self.profiler = None
         self.stopped = False
         self._seq = 0
 
@@ -355,8 +358,15 @@ class EventCore:
         through here; unrecorded runs pass jobs through untouched, so the
         hot path pays nothing.  Submission is batched (one
         ``submit_many``), so a cohort costs one transport round-trip on
-        batching backends.
+        batching backends.  Backends offering ``run_jobs_inline`` (the
+        serial reference) skip the handle round-trip entirely when no
+        recorder needs per-job journal records — the handles would be
+        dropped on the floor one line later anyway.
         """
+        if self.recorder is None:
+            inline = getattr(self.backend, "run_jobs_inline", None)
+            if inline is not None:
+                return inline(jobs)
         handles = self.submit_jobs(jobs)
         return [res for _, res in self.collect_jobs(handles, block=True)]
 
@@ -405,6 +415,7 @@ class EventCore:
         recorder=None,
         resume: dict | None = None,
         stop_after_rounds: int | None = None,
+        profiler=None,
     ) -> History:
         """Process events until the policy stops scheduling.
 
@@ -418,11 +429,17 @@ class EventCore:
             stop_after_rounds: checkpoint-and-stop once the history holds
                 this many records (a round boundary); ``core.stopped`` tells
                 a stopped run apart from a completed one.
+            profiler: optional :class:`~repro.observe.HotPathProfiler`; hot
+                sites feed it per-phase wall counters (pure observation —
+                profiled runs stay bit-identical) and recorded runs journal
+                its summary as a ``profile`` record.
         """
         ctx, algo = self.ctx, self.algorithm
         self.verbose = verbose
         self.recorder = recorder
+        self.profiler = profiler
         self.stopped = False
+        t_wall = time.perf_counter()
         algo.setup(ctx)
         self.x = ctx.x0.copy()
         self.history = History(algorithm=getattr(algo, "name", type(algo).__name__))
@@ -456,6 +473,8 @@ class EventCore:
                 if recorder is not None:
                     # before the handler: staleness reads the pre-apply version
                     recorder.on_completion(self, payload, ev.time)
+                if profiler is not None:
+                    profiler.completions += 1
                 self.policy.on_completion(self, payload, ev.time)
             elif isinstance(payload, DeadlineTick):
                 if recorder is not None:
@@ -480,6 +499,13 @@ class EventCore:
                     self.clock.clear()
                     break
         self.policy.finish(self)
+        if profiler is not None:
+            # close before recorder.finish so the journaled profile record
+            # carries the final wall total and the recorder's own overhead
+            profiler.finish(
+                time.perf_counter() - t_wall,
+                journal_seconds=recorder.hook_seconds if recorder is not None else 0.0,
+            )
         if recorder is not None:
             recorder.finish(self)
         return self.history
@@ -545,12 +571,22 @@ class BarrierPolicy(_RoundPolicy):
         selected = core.select_cohort(r)
         self._selected = selected
         results = core.run_cohort(r, selected)
+        # the cohort's zero-delay completions enter the clock as one batch
+        # (heapify instead of per-event pushes); pop order is unchanged —
+        # (time, seq) keys are identical to sequential core.post calls, and
+        # each dispatch is journaled before its event is queued, as before
+        rec = core.recorder
+        entries = []
         for i, (k, res) in enumerate(zip(selected, results)):
             d = Dispatch(
                 seq=core.next_seq(), client_id=int(k), round_idx=r,
                 issued_at=core.clock.now, cohort_pos=i, x_ref=core.x,
             )
-            core.post(0.0, Completion(d, 0.0, update=res.update), client_id=int(k))
+            comp = Completion(d, 0.0, update=res.update)
+            if rec is not None:
+                rec.on_dispatch(core, d, 0.0)
+            entries.append((0.0, d.client_id, {"event": comp}))
+        core.clock.push_many(entries)
         core.post(0.0, DeadlineTick(r, "close"))
 
     def close_round(self, core: EventCore, r: int) -> None:
@@ -621,13 +657,11 @@ class DeadlinePolicy(_RoundPolicy):
         The single home of the latency-stream keying; the engine facade's
         public ``round_latencies`` delegates here so benchmarks calibrating
         deadlines from it can never drift from what the rounds price.
+        Draws batch through :meth:`~repro.runtime.clock.LatencyModel
+        .sample_many` (bit-equal to the per-client loop it replaced).
         """
-        return np.array(
-            [
-                self.latency_model.latency(int(k), round_idx * num_clients + int(k))
-                for k in selected
-            ]
-        )
+        ids = np.asarray(selected, dtype=np.int64)
+        return self.latency_model.sample_many(ids, round_idx * num_clients + ids)
 
     def open_round(self, core: EventCore, r: int) -> None:
         ctx = core.ctx
@@ -676,8 +710,10 @@ class DeadlinePolicy(_RoundPolicy):
         else:
             include = np.ones(len(selected), dtype=bool)
 
-        positions = [i for i in range(len(selected)) if include[i]]
-        results = core.run_cohort(r, [int(selected[i]) for i in positions])
+        # the shared busy-mask helper replaces the per-round index-list
+        # comprehension (one flatnonzero over the include mask)
+        positions = mask_positions(include)
+        results = core.run_cohort(r, np.asarray(selected)[positions])
         for i, res in zip(positions, results):
             k, u = int(selected[i]), res.update
             if not on_time[i] and not trickle:
@@ -823,6 +859,7 @@ class AsyncPolicy:
         sampler=None,
         buffer_ema: str = "fixed",
         streaming: bool = True,
+        fast_path: bool = True,
     ) -> None:
         if buffer_ema not in BUFFER_EMA_MODES:
             raise ValueError(
@@ -836,11 +873,17 @@ class AsyncPolicy:
         self.sampler = sampler
         self.buffer_ema = buffer_ema
         self.streaming = bool(streaming)
+        #: vectorized dispatch planning (idle tracker + batched latency
+        #: draws + batched heap insertion); bit-identical to the scalar
+        #: per-dispatch path, so on by default — the knob is a debugging
+        #: opt-out (runtime.fast_path / REPRO_FAST_PATH)
+        self.fast_path = bool(fast_path)
         # set here as well as in begin() so resumed runs (begin is skipped;
         # pre-streaming snapshots carry neither attribute) stay runnable
         self._handles: dict[int, object] = {}
         self._jobs: dict[int, ClientJob] = {}
         self._burst: list[tuple[int, ClientJob]] = []
+        self._tracker: IdleTracker | None = None
 
     # -- lifecycle -----------------------------------------------------------
     def begin(self, core: EventCore) -> None:
@@ -868,9 +911,9 @@ class AsyncPolicy:
         buf0 = ctx.model.get_buffers(copy=True) if ctx.model.buffers else None
         self._buffers = buf0
         self._burst = []
+        self._tracker = IdleTracker(ctx.num_clients) if self.fast_path else None
         self._t0 = time.perf_counter()
-        for _ in range(min(self.concurrency, self.max_updates)):
-            self.dispatch(core)
+        self._issue(core, min(self.concurrency, self.max_updates))
         self._submit_burst(core)
 
     def finish(self, core: EventCore) -> None:
@@ -880,9 +923,164 @@ class AsyncPolicy:
         raise TypeError("the async policy schedules no deadline ticks")
 
     # -- dispatch ------------------------------------------------------------
-    def dispatch(self, core: EventCore) -> None:
+    def _issue(self, core: EventCore, n: int) -> None:
+        """Issue ``n`` dispatches: one vectorized planning pass when the
+        fast path is on, else ``n`` scalar :meth:`dispatch` calls."""
+        if n <= 0:
+            return
+        if self.fast_path:
+            self._dispatch_many(core, n)
+        else:
+            for _ in range(n):
+                self.dispatch(core)
+
+    def _tracker_for(self, core: EventCore) -> IdleTracker:
+        """The idle tracker, rebuilt lazily from ``_busy`` when absent.
+
+        Runs resumed from snapshots that predate the fast path (and
+        policies whose ``fast_path`` was flipped after construction) land
+        here with ``_tracker`` unset; the tracker is pure densified
+        ``_busy`` state, so rebuilding it mid-run is exact.
+        """
+        tracker = getattr(self, "_tracker", None)
+        if tracker is None:
+            tracker = IdleTracker(core.ctx.num_clients, busy=self._busy)
+            self._tracker = tracker
+        return tracker
+
+    def _dispatch_many(self, core: EventCore, n: int) -> None:
+        """Vectorized dispatch planning: one pass for an ``n``-dispatch burst.
+
+        Bit-identical to ``n`` scalar :meth:`dispatch` calls (pinned by
+        ``tests/test_fastpath.py``): picks stay sequential — each draw must
+        see the busy marks of the ones before it — but the O(population)
+        idle-list rebuild becomes an O(log N) Fenwick rank lookup, the
+        latency draws batch through ``sample_many``, and the completion
+        events enter the clock through one ``push_many``.  Within a burst
+        ``clock.now`` is frozen and state snapshots are read-only, so
+        regrouping picks/draws/hooks/pushes across the burst's dispatches
+        is unobservable in both the history and the journal.
+        """
         ctx, cfg = core.ctx, core.ctx.config
         st, busy = self._state, self._busy
+        prof = core.profiler
+        tracker = self._tracker_for(core)
+        t0 = time.perf_counter() if prof is not None else 0.0
+        seq0 = st["dispatched"]
+        cids: list[int] = []
+        for i in range(n):
+            if self.sampler is None:
+                # choose among idle clients with a stream keyed by dispatch
+                # index, so the schedule is independent of execution details
+                rng = keyed_rng(cfg.seed, 0xA7, seq0 + i)
+                if tracker.n_idle > 0:
+                    # rank draw -> j-th smallest idle id, which is exactly
+                    # what indexing the scalar path's ascending idle
+                    # comprehension returned
+                    cid = tracker.kth_idle(int(rng.integers(tracker.n_idle)))
+                else:  # concurrency exceeds the client pool
+                    cid = int(rng.integers(ctx.num_clients))
+            else:
+                ids = tracker.idle_ids()
+                if ids.size == 0:
+                    ids = np.arange(ctx.num_clients, dtype=np.int64)
+                cid = int(self.sampler.pick_next(ids, core.clock.now))
+            cids.append(cid)
+            busy[cid] = busy.get(cid, 0) + 1
+            tracker.mark_busy(cid)
+        st["dispatched"] = seq0 + n
+        if prof is not None:
+            t1 = time.perf_counter()
+            prof.add("pick", t1 - t0)
+            t0 = t1
+        store, rec = core.state_store, core.recorder
+        # the store's activity is run-constant; hoisting the check lets the
+        # inactive (stateless) case skip two method calls per dispatch —
+        # snapshot() returns None and version() returns 0 when inactive
+        store_active = store.active
+        if n == 1:
+            # steady-state refills are single dispatches: the scalar draw is
+            # what sample_many reduces to (pinned), the single schedule() is
+            # what push_many reduces to, and no burst lists are built
+            cid = cids[0]
+            lat = float(self.latency_model.latency(cid, seq0))
+            if prof is not None:
+                t1 = time.perf_counter()
+                prof.add("latency", t1 - t0)
+                t0 = t1
+            d = Dispatch(
+                seq=seq0, client_id=cid, round_idx=seq0,
+                issued_at=core.clock.now,
+                version=st["version"], x_ref=core.x,
+                state=store.snapshot(cid) if store_active else None,
+                state_version=store.version(cid) if store_active else 0,
+            )
+            self._in_flight[seq0] = d
+            if rec is not None:
+                rec.on_dispatch(core, d, lat)
+            core.clock.schedule(lat, client_id=cid, event=Completion(d, lat))
+            if prof is not None:
+                t1 = time.perf_counter()
+                prof.add("heap", t1 - t0)
+                prof.dispatches += 1
+                t0 = t1
+            job = self._make_job(core, d)
+            if self._streaming_active(core):
+                self._burst.append((seq0, job))
+            else:
+                self._pending.append(d)
+                self._jobs[seq0] = job
+            if prof is not None:
+                prof.add("job_build", time.perf_counter() - t0)
+            return
+        lats = self.latency_model.sample_many(
+            np.asarray(cids, dtype=np.int64),
+            np.arange(seq0, seq0 + n, dtype=np.int64),
+        )
+        if prof is not None:
+            t1 = time.perf_counter()
+            prof.add("latency", t1 - t0)
+            t0 = t1
+        now = core.clock.now
+        dispatches: list[Dispatch] = []
+        entries: list[tuple[float, int, dict]] = []
+        for i in range(n):
+            cid, seq, lat = cids[i], seq0 + i, float(lats[i])
+            d = Dispatch(
+                seq=seq, client_id=cid, round_idx=seq, issued_at=now,
+                version=st["version"], x_ref=core.x,
+                state=store.snapshot(cid) if store_active else None,
+                state_version=store.version(cid) if store_active else 0,
+            )
+            dispatches.append(d)
+            self._in_flight[seq] = d
+            if rec is not None:
+                rec.on_dispatch(core, d, lat)
+            entries.append((lat, cid, {"event": Completion(d, lat)}))
+        core.clock.push_many(entries)
+        if prof is not None:
+            t1 = time.perf_counter()
+            prof.add("heap", t1 - t0)
+            prof.dispatches += n
+            t0 = t1
+        streaming = self._streaming_active(core)
+        for d in dispatches:
+            job = self._make_job(core, d)
+            if streaming:
+                self._burst.append((d.seq, job))
+            else:
+                self._pending.append(d)
+                self._jobs[d.seq] = job
+        if prof is not None:
+            prof.add("job_build", time.perf_counter() - t0)
+
+    def dispatch(self, core: EventCore) -> None:
+        """Scalar single-dispatch path (``fast_path`` off; kept bit-equal
+        to :meth:`_dispatch_many` with ``n=1`` by the fast-path tests)."""
+        ctx, cfg = core.ctx, core.ctx.config
+        st, busy = self._state, self._busy
+        prof = core.profiler
+        t0 = time.perf_counter() if prof is not None else 0.0
         avail = np.array(
             [k for k in range(ctx.num_clients) if not busy.get(k)], dtype=np.int64
         )
@@ -891,13 +1089,21 @@ class AsyncPolicy:
         if self.sampler is None:
             # choose among idle clients with a stream keyed by dispatch
             # index, so the schedule is independent of execution details
-            rng = np.random.default_rng((cfg.seed, 0xA7, st["dispatched"]))
+            rng = keyed_rng(cfg.seed, 0xA7, st["dispatched"])
             cid = int(avail[rng.integers(avail.size)])
         else:
             cid = int(self.sampler.pick_next(avail, core.clock.now))
         seq = st["dispatched"]
         st["dispatched"] += 1
+        if prof is not None:
+            t1 = time.perf_counter()
+            prof.add("pick", t1 - t0)
+            t0 = t1
         lat = self.latency_model.latency(cid, seq)
+        if prof is not None:
+            t1 = time.perf_counter()
+            prof.add("latency", t1 - t0)
+            t0 = t1
         d = Dispatch(
             seq=seq, client_id=cid, round_idx=seq, issued_at=core.clock.now,
             version=st["version"], x_ref=core.x,
@@ -907,6 +1113,14 @@ class AsyncPolicy:
         core.post(lat, Completion(d, float(lat)), client_id=cid)
         self._in_flight[seq] = d
         busy[cid] = busy.get(cid, 0) + 1
+        tracker = getattr(self, "_tracker", None)
+        if tracker is not None:
+            tracker.mark_busy(cid)
+        if prof is not None:
+            t1 = time.perf_counter()
+            prof.add("heap", t1 - t0)
+            prof.dispatches += 1
+            t0 = t1
         job = self._make_job(core, d)
         if self._streaming_active(core):
             # eager hand-off: workers start computing while the event loop
@@ -919,15 +1133,21 @@ class AsyncPolicy:
         else:
             self._pending.append(d)
             self._jobs[seq] = job
+        if prof is not None:
+            prof.add("job_build", time.perf_counter() - t0)
 
     def _submit_burst(self, core: EventCore) -> None:
         """Hand the accumulated dispatch burst to the backend in one call."""
         if not self._burst:
             return
+        prof = core.profiler
+        t0 = time.perf_counter() if prof is not None else 0.0
         seqs = [s for s, _ in self._burst]
         handles = core.submit_jobs([j for _, j in self._burst])
         self._burst = []
         self._handles.update(zip(seqs, handles))
+        if prof is not None:
+            prof.add("submit", time.perf_counter() - t0)
 
     def _make_job(self, core: EventCore, d: Dispatch) -> ClientJob:
         """Build the dispatch's job from *dispatch-time* server state.
@@ -975,12 +1195,14 @@ class AsyncPolicy:
 
     def _obtain(self, core: EventCore, seq: int):
         """The result for dispatch ``seq``: cached, collected, or computed."""
-        if seq in self._results:
-            return self._results.pop(seq)
+        res = self._results.pop(seq, None)
+        if res is not None:
+            return res
         # a burst never stays unsubmitted across event-loop steps (every
         # dispatch site flushes it), but submit defensively before looking
         # the handle up so _obtain can never miss a burst-parked job
-        self._submit_burst(core)
+        if self._burst:
+            self._submit_burst(core)
         if seq in self._handles:
             # sweep everything already finished, then wait on the one needed
             self._drain(core, block=False)
@@ -988,6 +1210,21 @@ class AsyncPolicy:
                 return self._results.pop(seq)
             handle = self._handles.pop(seq)
             ((_, res),) = core.collect_jobs([handle], block=True)
+            return res
+        pending = self._pending
+        if len(pending) == 1 and pending[0].seq == seq:
+            # steady-state lazy path: each completion computes exactly the
+            # job its refill dispatched, so the batch scaffolding (pending
+            # zip, _results round-trip) reduces to one direct execution —
+            # with the same stale-broadcast-state restore flush() does
+            self._pending = []
+            job = self._jobs.pop(seq)
+            restore = None
+            if core.backend.shares_state and job.broadcast_state is not None:
+                restore = core.algorithm.pack_broadcast_state()
+            (res,) = core.run_backend_jobs([job])
+            if restore is not None:
+                core.algorithm.unpack_broadcast_state(restore)
             return res
         self.flush(core)
         return self._results.pop(seq)
@@ -1033,18 +1270,30 @@ class AsyncPolicy:
         ctx, algo = core.ctx, core.algorithm
         st = self._state
         seq = comp.dispatch.seq
+        prof = core.profiler
+        t0 = time.perf_counter() if prof is not None else 0.0
         res = self._obtain(core, seq)
+        if prof is not None:
+            prof.add("collect", time.perf_counter() - t0)
         update, new_state, client_bufs = res.update, res.new_state, res.buffers
         d = self._in_flight.pop(seq)
         cid = d.client_id
-        core.state_store.commit(cid, new_state, expected_version=d.state_version)
+        if new_state is not None:  # commit() is a no-op for None state
+            core.state_store.commit(cid, new_state, expected_version=d.state_version)
         if self._busy.get(cid, 0) <= 1:
             self._busy.pop(cid, None)
         else:
             self._busy[cid] -= 1
+        tracker = getattr(self, "_tracker", None)
+        if tracker is not None:
+            tracker.mark_idle(cid)
 
         tau = st["version"] - d.version
+        if prof is not None:
+            t0 = time.perf_counter()
         x_new = algo.server_apply(ctx, core.x, update, tau, d.x_ref)
+        if prof is not None:
+            prof.add("apply", time.perf_counter() - t0)
         if x_new is not None:
             core.x = x_new
             st["version"] += 1
@@ -1072,9 +1321,13 @@ class AsyncPolicy:
         else:
             limit = self.concurrency
         # refill up to the (possibly AIMD-adjusted) in-flight limit; when the
-        # limit drops, replacements pause until the population drains
-        while st["dispatched"] < self.max_updates and len(self._in_flight) < limit:
-            self.dispatch(core)
+        # limit drops, replacements pause until the population drains.  Each
+        # dispatch shrinks both headrooms by one, so the burst size is just
+        # the smaller of the two — equivalent to the old per-dispatch loop.
+        self._issue(
+            core,
+            min(self.max_updates - st["dispatched"], limit - len(self._in_flight)),
+        )
         self._submit_burst(core)
 
         if self._completed % self.window == 0 or self._completed == self.max_updates:
@@ -1116,7 +1369,11 @@ class AsyncPolicy:
             # ClientStateStore.commit); keyed off the store so stateless
             # histories keep their exact pre-existing extras schema
             rec.extras["state_stale_commits"] = core.state_store.stale_commits
+        prof = core.profiler
+        t0 = time.perf_counter() if prof is not None else 0.0
         core.record(rec, do_eval, round_idx)
+        if prof is not None:
+            prof.add("eval", time.perf_counter() - t0)
         if core.verbose and not np.isnan(rec.test_accuracy):
             print(
                 f"[{core.history.algorithm}] window {round_idx:4d}  "

@@ -1,0 +1,170 @@
+"""Vectorized control-plane helpers for the dispatch hot loop.
+
+At 100k simulated clients the event core's cost is no longer client
+compute but the *planning* Python does per dispatch.  The worst offender
+was the async policy's idle-set rebuild — a comprehension over every
+client on every dispatch, O(population) work to pick one id.  This module
+holds the incremental replacements:
+
+* :class:`IdleTracker` — per-client in-flight counts plus a Fenwick tree
+  over the idle indicator, giving O(log N) ``mark_busy`` / ``mark_idle``
+  and O(log N) ``kth_idle`` rank selection.  The keystone invariant:
+  ``kth_idle(j)`` returns the j-th *smallest* idle client id, which is
+  exactly what indexing the scalar path's ascending idle comprehension
+  returned — so a uniform rank draw maps to the identical client and the
+  vectorized schedule is bit-identical to the scalar one.
+* :func:`mask_positions` — the shared busy-mask/include-mask helper the
+  round policies (sync/semisync cohort paths) use instead of rebuilding
+  per-round index lists with Python comprehensions.
+* :func:`resolve_fast_path` — the ``runtime.fast_path`` /
+  ``REPRO_FAST_PATH`` knob resolver, mirroring
+  :func:`repro.parallel.backend.resolve_streaming`: the fast path is on
+  by default (it is bit-identical by construction, pinned by
+  ``tests/test_fastpath.py``) and the knob exists as an opt-out for
+  debugging or for third-party policy subclasses that bypass it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["IdleTracker", "mask_positions", "resolve_fast_path"]
+
+
+def resolve_fast_path(fast_path: bool | None = None, env: bool = False) -> bool:
+    """Resolve the async fast-path knob: explicit value > environment > on.
+
+    Args:
+        fast_path: an explicit True/False wins outright; None consults the
+            defaults below.
+        env: when True (spec-driven runs), an unset value falls back to the
+            ``REPRO_FAST_PATH`` environment variable (``1/true/on/yes`` or
+            ``0/false/off/no``); direct engine construction keeps env=False
+            so library behavior never depends on ambient state.
+
+    The default is on: the vectorized dispatch planner is bit-identical to
+    the scalar path for every built-in latency model and sampler.
+    """
+    if fast_path is not None:
+        return bool(fast_path)
+    if env:
+        raw = os.environ.get("REPRO_FAST_PATH", "").strip().lower()
+        if raw:
+            if raw in ("1", "true", "on", "yes"):
+                return True
+            if raw in ("0", "false", "off", "no"):
+                return False
+            raise ValueError(
+                f"REPRO_FAST_PATH must be boolean-like "
+                f"(1/0/true/false/on/off/yes/no), got {raw!r}"
+            )
+    return True
+
+
+def mask_positions(mask: np.ndarray) -> list[int]:
+    """Positions where a boolean cohort mask is True, as plain ints.
+
+    The shared replacement for the round policies' per-round
+    ``[i for i in range(n) if mask[i]]`` comprehensions: one vectorized
+    ``flatnonzero`` instead of O(cohort) Python-level predicate calls.
+    Returns a list (not an array) because callers feed the positions into
+    record fields and ``Dispatch.cohort_pos`` slots that store plain ints.
+    """
+    return np.flatnonzero(np.asarray(mask)).tolist()
+
+
+class IdleTracker:
+    """Incrementally maintained busy mask over the client population.
+
+    Keeps, per client, the number of in-flight dispatches (the async
+    policy's ``_busy`` dict, densified) and a Fenwick/binary-indexed tree
+    over the *idle* indicator, so the dispatch planner can
+
+    * count idle clients in O(1) (:attr:`n_idle`),
+    * map a uniform rank draw to the j-th smallest idle client id in
+      O(log N) (:meth:`kth_idle`) — replacing the O(N) idle-list rebuild,
+    * hand samplers the ascending idle-id array (:meth:`idle_ids`),
+      rebuilt lazily via ``flatnonzero`` only when the mask changed since
+      the last call.
+
+    The tracker is plain numpy state, so it pickles into run snapshots;
+    resumed runs from snapshots that predate it rebuild one lazily from
+    the policy's ``_busy`` dict (see ``AsyncPolicy._tracker_for``).
+    """
+
+    def __init__(self, num_clients: int, busy: dict[int, int] | None = None) -> None:
+        n = int(num_clients)
+        if n < 1:
+            raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+        self.n = n
+        self._count = np.zeros(n, dtype=np.int64)
+        if busy:
+            for cid, c in busy.items():
+                self._count[int(cid)] = int(c)
+        idle = (self._count == 0).astype(np.int64)
+        self.n_idle = int(idle.sum())
+        # Fenwick construction from the indicator in one vectorized pass:
+        # tree[i] owns the range (i - (i & -i), i], i.e. a prefix-sum diff
+        csum = np.concatenate(([0], np.cumsum(idle)))
+        idx = np.arange(1, n + 1)
+        self._tree = np.zeros(n + 1, dtype=np.int64)
+        self._tree[1:] = csum[idx] - csum[idx - (idx & -idx)]
+        self._idle_cache: np.ndarray | None = None
+        self._dirty = True
+
+    def _add(self, cid: int, delta: int) -> None:
+        i = cid + 1
+        tree, n = self._tree, self.n
+        while i <= n:
+            tree[i] += delta
+            i += i & -i
+
+    def mark_busy(self, cid: int) -> None:
+        """A dispatch of ``cid`` was issued (idempotent for oversubscription)."""
+        c = self._count[cid]
+        self._count[cid] = c + 1
+        if c == 0:
+            self._add(cid, -1)
+            self.n_idle -= 1
+            self._dirty = True
+
+    def mark_idle(self, cid: int) -> None:
+        """A dispatch of ``cid`` completed."""
+        c = self._count[cid]
+        if c <= 0:  # defensive: a double-complete must not corrupt the tree
+            return
+        self._count[cid] = c - 1
+        if c == 1:
+            self._add(cid, 1)
+            self.n_idle += 1
+            self._dirty = True
+
+    def kth_idle(self, j: int) -> int:
+        """The j-th smallest idle client id (0-based rank), O(log N).
+
+        Equivalent to ``sorted(idle_ids)[j]`` — and therefore to indexing
+        the scalar path's ascending idle comprehension — without ever
+        materializing the list.
+        """
+        if not 0 <= j < self.n_idle:
+            raise IndexError(f"rank {j} out of range for {self.n_idle} idle clients")
+        k = j + 1
+        pos = 0
+        tree, n = self._tree, self.n
+        step = 1 << (n.bit_length() - 1)
+        while step:
+            nxt = pos + step
+            if nxt <= n and tree[nxt] < k:
+                k -= tree[nxt]
+                pos = nxt
+            step >>= 1
+        return pos  # 1-based Fenwick index pos+1 -> 0-based client id pos
+
+    def idle_ids(self) -> np.ndarray:
+        """Ascending idle client ids (cached until the mask next changes)."""
+        if self._dirty or self._idle_cache is None:
+            self._idle_cache = np.flatnonzero(self._count == 0).astype(np.int64)
+            self._dirty = False
+        return self._idle_cache

@@ -36,6 +36,7 @@ from repro.runtime.clock import LatencyModel
 from repro.simulation.communication import comm_profile
 from repro.simulation.context import SimulationContext
 from repro.simulation.sampling import RoundRobinSampler, ScoreBiasedSampler, UniformSampler
+from repro.utils.rng import keyed_rng
 
 __all__ = [
     "DeadlineController",
@@ -277,17 +278,25 @@ class TimeAwareSampler:
         self._seed = 0
         self._dispatch_count = 0
         self._last_dispatch: np.ndarray | None = None
+        # monotone estimate version: bumped by every observe()/observe_loss()
+        # so per-dispatch weight caches know when to rebuild (incremental
+        # weights instead of an O(N) recompute per dispatch)
+        self._estimate_version = 0
 
     def bind(self, ctx: SimulationContext, latency_model: LatencyModel) -> "TimeAwareSampler":
         k = ctx.num_clients
         # prior = the priced first dispatch: deterministic under the seed and
         # carries persistent device speed, unlike the data-size-only base cost
-        self._prior = np.array([latency_model.latency(c, 0) for c in range(k)])
+        # (sample_many batches the draws; bit-equal to the per-client loop)
+        self._prior = latency_model.sample_many(
+            np.arange(k, dtype=np.int64), np.zeros(k, dtype=np.int64)
+        )
         self._observed = self._prior.copy()
         self._seen = np.zeros(k, dtype=bool)
         self._seed = ctx.config.seed
         self._dispatch_count = 0
         self._last_dispatch = np.full(k, -np.inf)
+        self._bump_estimates()
         return self
 
     def reset(self) -> None:
@@ -297,6 +306,12 @@ class TimeAwareSampler:
             self._seen[:] = False
             self._dispatch_count = 0
             self._last_dispatch[:] = -np.inf
+            self._bump_estimates()
+
+    def _bump_estimates(self) -> None:
+        # getattr: sampler instances can ride in snapshots pickled before
+        # the version counter existed
+        self._estimate_version = getattr(self, "_estimate_version", 0) + 1
 
     # -- per-dispatch interface (async engine) -------------------------------
     def dispatch_weights(self, idle: np.ndarray, now: float) -> np.ndarray:
@@ -314,7 +329,7 @@ class TimeAwareSampler:
             raise RuntimeError("sampler.bind(ctx, latency_model) must run before pick_next()")
         idle = np.asarray(idle, dtype=np.int64)
         w = np.maximum(self.dispatch_weights(idle, now), 1e-12)
-        rng = np.random.default_rng((self._seed, 0xD1, self._dispatch_count))
+        rng = keyed_rng(self._seed, 0xD1, self._dispatch_count)
         self._dispatch_count += 1
         cid = int(idle[rng.choice(idle.size, p=w / w.sum())])
         self._last_dispatch[cid] = now
@@ -329,6 +344,7 @@ class TimeAwareSampler:
         else:
             self._observed[client_id] = float(seconds)
             self._seen[client_id] = True
+        self._bump_estimates()
 
     def expected_seconds(self) -> np.ndarray:
         if self._observed is None:
@@ -357,18 +373,37 @@ class FastFirstSampler(TimeAwareSampler):
         if power < 0:
             raise ValueError(f"power must be >= 0, got {power}")
         self.power = float(power)
+        self._w_cache: np.ndarray | None = None
+        self._w_cache_version = -1
+
+    def _full_weights(self) -> np.ndarray:
+        """Population weight array, rebuilt only when an estimate changed.
+
+        Incremental in the sense that per-dispatch cost drops from O(N)
+        to O(idle-index): the O(N) power transform runs once per
+        ``observe``, not once per dispatch.  Bit-identity with the old
+        per-dispatch recompute holds because ``power(maximum(lat, eps),
+        -p)`` is elementwise — computing it over the population and then
+        indexing equals indexing first and then computing.
+        """
+        version = getattr(self, "_estimate_version", 0)
+        cache = getattr(self, "_w_cache", None)
+        if cache is None or self._w_cache_version != version:
+            lat = self.expected_seconds()
+            cache = np.power(np.maximum(lat, 1e-12), -self.power)
+            self._w_cache = cache
+            self._w_cache_version = version
+        return cache
 
     def __call__(self, ctx: SimulationContext, round_idx: int) -> np.ndarray:
-        lat = self.expected_seconds()
-        w = np.power(np.maximum(lat, 1e-12), -self.power)
+        w = self._full_weights()
         p = w / w.sum()
         m = self.cohort_size(ctx)
         rng = ctx.round_rng(round_idx)
         return np.sort(rng.choice(ctx.num_clients, size=m, replace=False, p=p))
 
     def dispatch_weights(self, idle: np.ndarray, now: float) -> np.ndarray:
-        lat = self.expected_seconds()[idle]
-        return np.power(np.maximum(lat, 1e-12), -self.power)
+        return self._full_weights()[idle]
 
 
 class LongIdleSampler(TimeAwareSampler):
@@ -503,6 +538,7 @@ class UtilitySampler(TimeAwareSampler):
         else:
             self._loss[client_id] = float(loss)
             self._loss_seen[client_id] = True
+        self._bump_estimates()
 
     def statistical_utilities(self) -> np.ndarray:
         """Size/scarcity term, loss-scaled once any client reported a loss."""
@@ -518,10 +554,24 @@ class UtilitySampler(TimeAwareSampler):
         return stat
 
     def utilities(self) -> np.ndarray:
-        lat = self.expected_seconds()
-        t_pref = float(np.quantile(lat, self.round_pref))
-        speed = np.minimum(1.0, t_pref / np.maximum(lat, 1e-12)) ** self.alpha
-        return self.statistical_utilities() * np.maximum(speed, 1e-9)
+        """Population utilities, cached between estimate changes.
+
+        The full product — quantile, speed penalty, statistical term — is
+        O(N); recomputing it per *dispatch* was the async hot loop's cost.
+        It now reruns only when :meth:`observe` / :meth:`observe_loss`
+        moved an estimate (the inputs are pure functions of those arrays),
+        which keeps the values bit-identical to an uncached recompute.
+        """
+        version = getattr(self, "_estimate_version", 0)
+        cache = getattr(self, "_util_cache", None)
+        if cache is None or getattr(self, "_util_cache_version", -1) != version:
+            lat = self.expected_seconds()
+            t_pref = float(np.quantile(lat, self.round_pref))
+            speed = np.minimum(1.0, t_pref / np.maximum(lat, 1e-12)) ** self.alpha
+            cache = self.statistical_utilities() * np.maximum(speed, 1e-9)
+            self._util_cache = cache
+            self._util_cache_version = version
+        return cache
 
     def __call__(self, ctx: SimulationContext, round_idx: int) -> np.ndarray:
         if self._stat is None:

@@ -157,6 +157,7 @@ class SemiSyncFederatedSimulation:
         recorder=None,
         resume: dict | None = None,
         stop_after_rounds: int | None = None,
+        profiler=None,
     ) -> History:
         owned = self._backend is None
         backend = (
@@ -185,7 +186,7 @@ class SemiSyncFederatedSimulation:
             )
             history = core.run(
                 verbose=verbose, recorder=recorder, resume=resume,
-                stop_after_rounds=stop_after_rounds,
+                stop_after_rounds=stop_after_rounds, profiler=profiler,
             )
         finally:
             # engine_owned instances (the facade's RemoteBackend) carry

@@ -17,7 +17,8 @@ from repro.data.sampler import UniformBatchSampler
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.simulation.config import FLConfig, resolve_lr_schedule
-from repro.utils.pytree import ParamSpec, flatten_params, unflatten_params
+from repro.utils.pytree import ParamSpec, flatten_params, write_into_tree
+from repro.utils.rng import keyed_rng
 
 __all__ = ["SimulationContext"]
 
@@ -94,9 +95,13 @@ class SimulationContext:
 
     # -- model parameter plumbing ---------------------------------------------
     def load_params(self, flat: np.ndarray) -> None:
-        """Write a flat vector into the live model (copies into the arrays)."""
-        tree = unflatten_params(flat, self.spec)
-        self.model.set_params(tree)
+        """Write a flat vector into the live model (copies into the arrays).
+
+        ``spec`` was derived from this model's own param tree, so the
+        key-match/shape validation ``set_params`` would redo per batch is
+        settled at construction; copy straight into the arrays.
+        """
+        write_into_tree(flat, self.spec, self.model.params)
 
     def flat_gradient(self) -> np.ndarray:
         """Flatten the model's current gradients into the reusable buffer."""
@@ -113,11 +118,11 @@ class SimulationContext:
     # -- determinism ------------------------------------------------------------
     def round_rng(self, round_idx: int) -> np.random.Generator:
         """Server-side stream for round ``round_idx`` (client sampling etc.)."""
-        return np.random.default_rng((self.config.seed, 0xA5, round_idx))
+        return keyed_rng(self.config.seed, 0xA5, round_idx)
 
     def client_rng(self, round_idx: int, client_id: int) -> np.random.Generator:
         """Client-local stream, independent of execution order."""
-        return np.random.default_rng((self.config.seed, 0xC1, round_idx, client_id))
+        return keyed_rng(self.config.seed, 0xC1, round_idx, client_id)
 
     # -- client sampling --------------------------------------------------------
     def sample_clients(self, round_idx: int) -> np.ndarray:

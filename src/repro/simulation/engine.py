@@ -233,6 +233,7 @@ class FederatedSimulation:
         recorder=None,
         resume: dict | None = None,
         stop_after_rounds: int | None = None,
+        profiler=None,
     ) -> History:
         # the round loop lives in the shared event core: synchronous rounds
         # are the barrier policy (zero-latency dispatches, a barrier tick
@@ -268,7 +269,7 @@ class FederatedSimulation:
             )
             history = core.run(
                 verbose=verbose, recorder=recorder, resume=resume,
-                stop_after_rounds=stop_after_rounds,
+                stop_after_rounds=stop_after_rounds, profiler=profiler,
             )
         finally:
             # engine_owned instances (the facade's RemoteBackend) carry

@@ -12,7 +12,9 @@ records the name/shape/offset layout so flatten/unflatten round-trip exactly.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -48,17 +50,33 @@ class ParamSpec:
     def from_tree(cls, tree: dict[str, np.ndarray]) -> "ParamSpec":
         names = tuple(tree.keys())
         shapes = tuple(tuple(tree[n].shape) for n in names)
-        sizes = [int(np.prod(s)) if s else 1 for s in shapes]
-        offsets = tuple(int(o) for o in np.concatenate([[0], np.cumsum(sizes)[:-1]]))
-        return cls(names=names, shapes=shapes, offsets=offsets, size=int(sum(sizes)))
+        sizes = [math.prod(s) for s in shapes]
+        offsets, off = [], 0
+        for n in sizes:
+            offsets.append(off)
+            off += n
+        return cls(names=names, shapes=shapes, offsets=tuple(offsets), size=off)
 
     def slices(self) -> dict[str, slice]:
         """Per-parameter slices into the flat vector."""
-        out: dict[str, slice] = {}
-        for name, shape, off in zip(self.names, self.shapes, self.offsets):
-            n = int(np.prod(shape)) if shape else 1
-            out[name] = slice(off, off + n)
-        return out
+        return {
+            name: slice(off, off + n) for name, _, off, n in _layout(self)
+        }
+
+
+@lru_cache(maxsize=None)
+def _layout(spec: ParamSpec) -> tuple[tuple[str, tuple[int, ...], int, int], ...]:
+    """Cached ``(name, shape, offset, size)`` rows for a spec.
+
+    Flatten/unflatten sit inside every client's batch loop; re-deriving each
+    parameter's element count there (``np.prod`` per parameter per call) was
+    a measurable share of serial-backend job time.  ``ParamSpec`` is a frozen
+    tuple-field dataclass, so it hashes — one row table per distinct layout.
+    """
+    return tuple(
+        (name, shape, off, math.prod(shape))
+        for name, shape, off in zip(spec.names, spec.shapes, spec.offsets)
+    )
 
 
 def flatten_params(
@@ -84,10 +102,8 @@ def flatten_params(
         out = np.empty(spec.size, dtype=np.float64)
     elif out.shape != (spec.size,):
         raise ValueError(f"out has shape {out.shape}, expected ({spec.size},)")
-    for name, shape, off in zip(spec.names, spec.shapes, spec.offsets):
-        arr = tree[name]
-        n = int(np.prod(shape)) if shape else 1
-        out[off : off + n] = arr.reshape(-1)
+    for name, _, off, n in _layout(spec):
+        out[off : off + n] = tree[name].reshape(-1)
     return out, spec
 
 
@@ -95,17 +111,15 @@ def unflatten_params(flat: np.ndarray, spec: ParamSpec) -> dict[str, np.ndarray]
     """Rebuild a param tree from a flat vector (views where possible)."""
     if flat.shape != (spec.size,):
         raise ValueError(f"flat has shape {flat.shape}, expected ({spec.size},)")
-    tree: dict[str, np.ndarray] = {}
-    for name, shape, off in zip(spec.names, spec.shapes, spec.offsets):
-        n = int(np.prod(shape)) if shape else 1
-        tree[name] = flat[off : off + n].reshape(shape)
-    return tree
+    return {
+        name: flat[off : off + n].reshape(shape)
+        for name, shape, off, n in _layout(spec)
+    }
 
 
 def write_into_tree(flat: np.ndarray, spec: ParamSpec, tree: dict[str, np.ndarray]) -> None:
     """Copy a flat vector back into an existing tree's arrays, in place."""
-    for name, shape, off in zip(spec.names, spec.shapes, spec.offsets):
-        n = int(np.prod(shape)) if shape else 1
+    for name, shape, off, n in _layout(spec):
         np.copyto(tree[name], flat[off : off + n].reshape(shape))
 
 

@@ -12,8 +12,32 @@ Every module in the library takes RNG state explicitly.  Two conventions:
 from __future__ import annotations
 
 import numpy as np
+from numpy.random import PCG64, Generator, SeedSequence
 
-__all__ = ["as_generator", "spawn", "split"]
+__all__ = ["as_generator", "keyed_rng", "spawn", "split"]
+
+
+def keyed_rng(*key: int) -> np.random.Generator:
+    """``default_rng(key)`` for the library's small-integer stream keys.
+
+    Stream discipline everywhere in the library is "one generator per
+    ``(seed, tag, ...)`` tuple", which makes generator construction itself
+    a hot-loop cost: ``SeedSequence`` routes tuple entropy through a
+    per-word Python coercion helper (wrapped in an ``errstate`` guard).
+    Pre-coercing the key to the exact ``uint32`` word array the coercion
+    would produce skips that machinery, and building
+    ``Generator(PCG64(SeedSequence(...)))`` directly skips
+    ``default_rng``'s argument dispatch — both are exactly what
+    ``default_rng`` does underneath, so the resulting stream is
+    bit-identical (pinned by ``tests/test_fastpath.py``).  Keys with
+    negative or >=2**32 entries fall back to the general path, which
+    accepts arbitrary Python ints.
+    """
+    try:
+        arr = np.array(key, dtype=np.uint32)
+    except (OverflowError, ValueError):
+        return np.random.default_rng(key)
+    return Generator(PCG64(SeedSequence(arr)))
 
 
 def as_generator(seed: int | None | np.random.Generator) -> np.random.Generator:

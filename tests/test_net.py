@@ -530,16 +530,18 @@ class TestEndToEnd:
         assert [p.returncode for p in procs] == [0, 0]
 
     def test_worker_killed_mid_run_requeues(self, tmp_path, monkeypatch):
-        """Kill (SIGSTOP) one worker as soon as it registers: its jobs must
+        """Kill (SIGSTOP) one worker before the run can start: its jobs must
         requeue onto the survivor and the history stay bit-identical."""
         monkeypatch.setenv("REPRO_NET_HEARTBEAT", "0.2")
-        monkeypatch.setenv("REPRO_NET_HEARTBEAT_TIMEOUT", "0.8")
+        # long enough that the frozen victim isn't pruned before the
+        # survivor's interpreter starts up and registers
+        monkeypatch.setenv("REPRO_NET_HEARTBEAT_TIMEOUT", "3.0")
         run_dir = tmp_path / "rec"
         spec = _spec(backend="remote", record=True, run_dir=str(run_dir))
         address = spec.runtime.backend_address
         victim_log = str(tmp_path / "victim.log")
         victim = _spawn_worker(address, victim_log)
-        survivor = _spawn_worker(address, str(tmp_path / "survivor.log"))
+        survivor = None
         box: dict = {}
 
         def _run():
@@ -551,13 +553,18 @@ class TestEndToEnd:
         t = threading.Thread(target=_run, daemon=True)
         t.start()
         try:
-            # freeze the victim the moment it registers: jobs assigned to it
-            # never compute, so the heartbeat timeout must requeue them
+            # freeze the victim the moment it registers, BEFORE spawning the
+            # survivor: the aggregator needs both workers to start the run,
+            # so the victim is frozen from the first dispatch burst no
+            # matter how fast the run itself is.  The burst spreads jobs
+            # least-loaded across both workers, so the victim necessarily
+            # holds some — the heartbeat timeout must requeue them.
             _wait_for_log(victim_log, "registered")
             os.kill(victim.pid, signal.SIGSTOP)
+            survivor = _spawn_worker(address, str(tmp_path / "survivor.log"))
             t.join(timeout=180.0)
         finally:
-            _reap([victim, survivor])
+            _reap([victim] + ([survivor] if survivor else []))
         assert not t.is_alive(), "remote run did not survive the worker kill"
         if "error" in box:
             raise box["error"]
